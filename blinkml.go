@@ -1,0 +1,214 @@
+// Package blinkml is a Go implementation of BlinkML (Park, Qing, Shen,
+// Mozafari — SIGMOD 2019): fast, quality-guaranteed training for maximum-
+// likelihood models. Instead of training on the full dataset, BlinkML
+// trains on an automatically sized uniform sample and guarantees — with
+// probability at least 1−δ — that the returned model's predictions differ
+// from the (never trained) full model's predictions on at most an ε
+// fraction of unseen examples:
+//
+//	Pr[ v(m_n) ≤ ε ] ≥ 1−δ,  v(m_n) = E_x 1{m_n(x) ≠ m_N(x)}
+//
+// Basic use mirrors Figure 1 of the paper — a traditional fit call plus an
+// accuracy contract:
+//
+//	model, err := blinkml.Train(
+//		blinkml.LogisticRegression(0.001),
+//		data,
+//		blinkml.Config{Epsilon: 0.05, Delta: 0.05}, // "95% accurate, 95% confident"
+//	)
+//
+// Supported model classes: linear regression, logistic regression,
+// max-entropy (softmax) classification, Poisson regression, and PPCA —
+// i.e., MLE-based models (§2.2). The heavy lifting lives in internal/core
+// (estimators, three statistics-computation methods), internal/models
+// (model class specifications), internal/optimize (BFGS/L-BFGS) and
+// internal/linalg (from-scratch dense linear algebra).
+package blinkml
+
+import (
+	"io"
+
+	"blinkml/internal/core"
+	"blinkml/internal/datagen"
+	"blinkml/internal/dataset"
+	"blinkml/internal/models"
+)
+
+// Re-exported data model: a Dataset holds rows (dense or sparse) and
+// labels; see the dataset package docs for construction helpers.
+type (
+	// Dataset is an in-memory labeled dataset.
+	Dataset = dataset.Dataset
+	// Row is one feature vector (dense or sparse).
+	Row = dataset.Row
+	// DenseRow is a dense feature vector.
+	DenseRow = dataset.DenseRow
+	// SparseRow is a compressed sparse feature vector.
+	SparseRow = dataset.SparseRow
+	// Task tags label semantics.
+	Task = dataset.Task
+)
+
+// Task values.
+const (
+	Regression           = dataset.Regression
+	BinaryClassification = dataset.BinaryClassification
+	MultiClassification  = dataset.MultiClassification
+	Unsupervised         = dataset.Unsupervised
+)
+
+// NewSparseRow builds a sparse row; indices must be strictly increasing.
+func NewSparseRow(dim int, idx []int32, val []float64) (*SparseRow, error) {
+	return dataset.NewSparseRow(dim, idx, val)
+}
+
+// Config is the approximation contract plus tuning knobs; Epsilon and Delta
+// form the (ε, δ) contract of §2.1 and everything else has sensible
+// defaults. It is an alias of the core options type — see core.Options for
+// per-field documentation.
+type Config = core.Options
+
+// Statistics-computation method selectors (§3.4).
+const (
+	ObservedFisher   = core.ObservedFisher
+	InverseGradients = core.InverseGradients
+	ClosedForm       = core.ClosedForm
+)
+
+// ModelSpec identifies a model class (a model class specification in the
+// paper's terms).
+type ModelSpec = models.Spec
+
+// LinearRegression returns the L2-regularized Gaussian-MLE linear model
+// ("Lin"; the paper's default reg is 0.001).
+func LinearRegression(reg float64) ModelSpec { return models.LinearRegression{Reg: reg} }
+
+// LogisticRegression returns the L2-regularized binary classifier ("LR").
+func LogisticRegression(reg float64) ModelSpec { return models.LogisticRegression{Reg: reg} }
+
+// MaxEntropy returns the K-class softmax classifier ("ME").
+func MaxEntropy(classes int, reg float64) ModelSpec {
+	return models.MaxEntropy{Classes: classes, Reg: reg}
+}
+
+// PoissonRegression returns the log-link Poisson GLM.
+func PoissonRegression(reg float64) ModelSpec { return models.PoissonRegression{Reg: reg} }
+
+// PPCA returns probabilistic PCA with q factors (the paper's default q is
+// 10).
+func PPCA(factors int) ModelSpec { return models.NewPPCA(factors) }
+
+// Model is a trained (approximate or full) model.
+type Model struct {
+	// Spec is the model class this model belongs to.
+	Spec ModelSpec
+	// Theta is the flattened parameter vector.
+	Theta []float64
+	// SampleSize is the number of training rows actually used.
+	SampleSize int
+	// PoolSize is N, the rows the full model would have used.
+	PoolSize int
+	// EstimatedEpsilon bounds v(m_n) with probability ≥ 1−δ (0 for a full
+	// model).
+	EstimatedEpsilon float64
+	// UsedInitialModel reports whether the initial n₀-row model already met
+	// the contract (§2.3: at most two models are ever trained).
+	UsedInitialModel bool
+	// Diag breaks down where the time went (Figure 8a phases).
+	Diag core.Diagnostics
+}
+
+// Predict returns the model's prediction for x: a class index for
+// classifiers, a real value for regressors.
+func (m *Model) Predict(x Row) float64 { return m.Spec.Predict(m.Theta, x) }
+
+// Accuracy returns the fraction of rows in ds the model labels correctly
+// (classification tasks).
+func (m *Model) Accuracy(ds *Dataset) float64 { return models.Accuracy(m.Spec, m.Theta, ds) }
+
+// GeneralizationError returns the test error (misclassification rate or
+// normalized RMSE).
+func (m *Model) GeneralizationError(ds *Dataset) float64 {
+	return models.GeneralizationError(m.Spec, m.Theta, ds)
+}
+
+// Diff returns the empirical model difference v between m and other on a
+// holdout set (the metric the (ε, δ) contract bounds).
+func (m *Model) Diff(other *Model, holdout *Dataset) float64 {
+	return models.Diff(m.Spec, m.Theta, other.Theta, holdout)
+}
+
+// Train runs the BlinkML workflow: train an initial model on a small
+// sample, estimate its accuracy against the unknown full model, and — only
+// if needed — train one more model on an automatically sized sample that
+// meets the (ε, δ) contract.
+func Train(spec ModelSpec, ds *Dataset, cfg Config) (*Model, error) {
+	res, err := core.Train(spec, ds, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Model{
+		Spec:             spec,
+		Theta:            res.Theta,
+		SampleSize:       res.SampleSize,
+		PoolSize:         res.PoolSize,
+		EstimatedEpsilon: res.EstimatedEpsilon,
+		UsedInitialModel: res.UsedInitialModel,
+		Diag:             res.Diag,
+	}, nil
+}
+
+// TrainFull trains on the entire training pool — the traditional path
+// BlinkML is compared against. It uses the same train/holdout split as
+// Train with the same Config, so Diff between the two models estimates the
+// realized v.
+func TrainFull(spec ModelSpec, ds *Dataset, cfg Config) (*Model, error) {
+	cfg = cfg.WithDefaults()
+	env := core.NewEnv(ds, cfg)
+	res, err := env.TrainFull(spec, cfg.Optimizer)
+	if err != nil {
+		return nil, err
+	}
+	return &Model{
+		Spec:       spec,
+		Theta:      res.Theta,
+		SampleSize: env.Pool.Len(),
+		PoolSize:   env.Pool.Len(),
+	}, nil
+}
+
+// Env exposes the shared train/holdout/test split for workflows that
+// compare approximate and full models on identical data (as the paper's
+// evaluation does).
+type Env = core.Env
+
+// NewEnv prepares a split environment; TrainApprox/TrainFull on the same
+// Env are directly comparable.
+func NewEnv(ds *Dataset, cfg Config) *Env { return core.NewEnv(ds, cfg) }
+
+// SyntheticDataset generates one of the paper-shaped synthetic workloads:
+// "gas", "power" (regression), "criteo", "higgs" (binary), "mnist", "yelp"
+// (multiclass), or "counts" (Poisson). rows/dim of 0 use per-dataset
+// defaults.
+func SyntheticDataset(name string, rows, dim int, seed int64) (*Dataset, error) {
+	return datagen.Generate(name, datagen.Config{Rows: rows, Dim: dim, Seed: seed})
+}
+
+// ReadCSV loads a dense labeled dataset from CSV (label in labelCol;
+// negative counts from the end). A non-numeric first line is treated as a
+// header.
+func ReadCSV(r io.Reader, labelCol int, task Task) (*Dataset, error) {
+	return dataset.ReadCSV(r, labelCol, task)
+}
+
+// WriteCSV writes ds as CSV with the label in the last column.
+func WriteCSV(w io.Writer, ds *Dataset) error { return dataset.WriteCSV(w, ds) }
+
+// ReadLibSVM loads a sparse dataset in LibSVM/SVMlight format (dim 0
+// infers the dimension from the data).
+func ReadLibSVM(r io.Reader, dim int, task Task) (*Dataset, error) {
+	return dataset.ReadLibSVM(r, dim, task)
+}
+
+// WriteLibSVM writes ds in LibSVM format.
+func WriteLibSVM(w io.Writer, ds *Dataset) error { return dataset.WriteLibSVM(w, ds) }

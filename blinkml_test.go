@@ -1,0 +1,106 @@
+package blinkml
+
+import (
+	"testing"
+)
+
+func TestPublicAPIEndToEnd(t *testing.T) {
+	ds, err := SyntheticDataset("higgs", 12000, 8, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Epsilon: 0.05, Delta: 0.05, Seed: 1, InitialSampleSize: 400}
+	approx, err := Train(LogisticRegression(0.01), ds, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if approx.SampleSize <= 0 || approx.SampleSize > approx.PoolSize {
+		t.Fatalf("bad sample size %d of %d", approx.SampleSize, approx.PoolSize)
+	}
+	full, err := TrainFull(LogisticRegression(0.01), ds, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := NewEnv(ds, cfg)
+	if v := approx.Diff(full, env.Holdout); v > cfg.Epsilon {
+		t.Fatalf("contract violated: v=%v > ε=%v", v, cfg.Epsilon)
+	}
+	// Predictions must be valid class labels.
+	for i := 0; i < 10; i++ {
+		p := approx.Predict(env.Holdout.X[i])
+		if p != 0 && p != 1 {
+			t.Fatalf("prediction %v not a binary label", p)
+		}
+	}
+	if acc := approx.Accuracy(env.Holdout); acc < 0.5 {
+		t.Fatalf("holdout accuracy %v suspiciously low", acc)
+	}
+}
+
+func TestPublicAPIAllModelConstructors(t *testing.T) {
+	cases := []struct {
+		spec ModelSpec
+		data string
+		dim  int
+	}{
+		{LinearRegression(0.001), "gas", 10},
+		{LogisticRegression(0.001), "criteo", 200},
+		{MaxEntropy(10, 0.001), "mnist", 36},
+		{PoissonRegression(0.001), "counts", 6},
+		{PPCA(3), "mnist", 25},
+	}
+	for _, c := range cases {
+		t.Run(c.spec.Name(), func(t *testing.T) {
+			ds, err := SyntheticDataset(c.data, 4000, c.dim, 7)
+			if err != nil {
+				t.Fatal(err)
+			}
+			m, err := Train(c.spec, ds, Config{Epsilon: 0.2, Seed: 2, InitialSampleSize: 300, K: 40})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(m.Theta) == 0 {
+				t.Fatal("empty parameters")
+			}
+			if m.EstimatedEpsilon > 0.2 {
+				t.Fatalf("estimated ε %v exceeds request", m.EstimatedEpsilon)
+			}
+		})
+	}
+}
+
+func TestPublicAPISyntheticUnknown(t *testing.T) {
+	if _, err := SyntheticDataset("nope", 10, 10, 1); err == nil {
+		t.Fatal("unknown dataset accepted")
+	}
+}
+
+func TestPublicAPISparseRowConstructor(t *testing.T) {
+	r, err := NewSparseRow(10, []int32{2, 5}, []float64{1, -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.NNZ() != 2 || r.Dim() != 10 {
+		t.Fatal("sparse row misconstructed")
+	}
+	if _, err := NewSparseRow(10, []int32{5, 2}, []float64{1, -1}); err == nil {
+		t.Fatal("out-of-order indices accepted")
+	}
+}
+
+func TestPublicAPIGeneralizationError(t *testing.T) {
+	ds, err := SyntheticDataset("higgs", 8000, 6, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Epsilon: 0.1, Seed: 4, TestFraction: 0.2}
+	m, err := Train(LogisticRegression(0.01), ds, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := NewEnv(ds, cfg)
+	ge := m.GeneralizationError(env.Test)
+	if ge < 0 || ge > 1 {
+		t.Fatalf("generalization error %v out of range", ge)
+	}
+}

@@ -1,0 +1,65 @@
+// Command blinkml-bench regenerates the paper's evaluation tables and
+// figures (Figures 5–11, Tables 4–9) on the synthetic workloads.
+//
+// Usage:
+//
+//	blinkml-bench -list
+//	blinkml-bench -experiment fig5-lr-criteo -scale medium
+//	blinkml-bench -all -scale small
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"blinkml/internal/experiments"
+)
+
+func main() {
+	var (
+		list  = flag.Bool("list", false, "list available experiments")
+		exp   = flag.String("experiment", "", "experiment id (see -list)")
+		all   = flag.Bool("all", false, "run every experiment")
+		scale = flag.String("scale", "small", "small | medium | large")
+		seed  = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, r := range experiments.Runners() {
+			fmt.Printf("%-18s %s\n", r.ID, r.Desc)
+		}
+		return
+	}
+	s, err := experiments.ParseScale(*scale)
+	if err != nil {
+		fatal(err)
+	}
+	switch {
+	case *all:
+		if err := experiments.RunAll(s, *seed, os.Stdout); err != nil {
+			fatal(err)
+		}
+	case *exp != "":
+		r, err := experiments.RunnerByID(*exp)
+		if err != nil {
+			fatal(err)
+		}
+		tables, err := r.Run(s, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		for _, t := range tables {
+			t.Fprint(os.Stdout)
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "blinkml-bench: pass -list, -all, or -experiment <id>")
+		os.Exit(2)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "blinkml-bench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,105 @@
+// Command blinkml trains an approximate model with an accuracy contract on
+// one of the synthetic paper workloads and prints the contract, the chosen
+// sample size, and the realized difference against a fully trained model —
+// the Figure-1 interaction in CLI form.
+//
+// Usage:
+//
+//	blinkml -model logistic -data criteo -rows 20000 -dim 500 -accuracy 0.95 -delta 0.05
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"blinkml"
+)
+
+func main() {
+	var (
+		modelName = flag.String("model", "logistic", "model class: linear | logistic | maxent | poisson | ppca")
+		dataName  = flag.String("data", "criteo", "dataset: gas | power | criteo | higgs | mnist | yelp | counts")
+		rows      = flag.Int("rows", 20000, "synthetic rows (0 = dataset default)")
+		dim       = flag.Int("dim", 0, "feature dimension (0 = dataset default)")
+		accuracy  = flag.Float64("accuracy", 0.95, "requested accuracy (1-ε)")
+		delta     = flag.Float64("delta", 0.05, "allowed violation probability δ")
+		reg       = flag.Float64("reg", 0.001, "L2 regularization coefficient")
+		classes   = flag.Int("classes", 10, "classes for maxent")
+		factors   = flag.Int("factors", 4, "factors for ppca")
+		n0        = flag.Int("n0", 1000, "initial sample size")
+		seed      = flag.Int64("seed", 1, "random seed")
+		compare   = flag.Bool("compare-full", true, "also train the full model and report the realized difference")
+	)
+	flag.Parse()
+	if err := run(*modelName, *dataName, *rows, *dim, *accuracy, *delta, *reg, *classes, *factors, *n0, *seed, *compare); err != nil {
+		fmt.Fprintln(os.Stderr, "blinkml:", err)
+		os.Exit(1)
+	}
+}
+
+func run(modelName, dataName string, rows, dim int, accuracy, delta, reg float64, classes, factors, n0 int, seed int64, compare bool) error {
+	var spec blinkml.ModelSpec
+	switch strings.ToLower(modelName) {
+	case "linear":
+		spec = blinkml.LinearRegression(reg)
+	case "logistic":
+		spec = blinkml.LogisticRegression(reg)
+	case "maxent":
+		spec = blinkml.MaxEntropy(classes, reg)
+	case "poisson":
+		spec = blinkml.PoissonRegression(reg)
+	case "ppca":
+		spec = blinkml.PPCA(factors)
+	default:
+		return fmt.Errorf("unknown model %q", modelName)
+	}
+
+	ds, err := blinkml.SyntheticDataset(dataName, rows, dim, seed)
+	if err != nil {
+		return err
+	}
+	cfg := blinkml.Config{
+		Epsilon:           1 - accuracy,
+		Delta:             delta,
+		Seed:              seed,
+		InitialSampleSize: n0,
+	}
+	fmt.Printf("dataset %s: %d rows, %d features\n", dataName, ds.Len(), ds.Dim)
+	fmt.Printf("contract: accuracy >= %.4g%% with probability >= %.4g%%\n", 100*accuracy, 100*(1-delta))
+
+	model, err := blinkml.Train(spec, ds, cfg)
+	if err != nil {
+		return err
+	}
+	d := model.Diag
+	fmt.Printf("\napproximate model (%s):\n", spec.Name())
+	fmt.Printf("  sample size        %d of %d (%.2f%%)\n", model.SampleSize, model.PoolSize, 100*float64(model.SampleSize)/float64(model.PoolSize))
+	fmt.Printf("  estimated epsilon  %.5f\n", model.EstimatedEpsilon)
+	fmt.Printf("  initial model used %v\n", model.UsedInitialModel)
+	fmt.Printf("  phases             init %v | stats %v | search %v | final %v\n",
+		d.InitialTrain.Round(1e6), d.Statistics.Round(1e6), d.SampleSearch.Round(1e6), d.FinalTrain.Round(1e6))
+	fmt.Printf("  total              %v\n", d.Total().Round(1e6))
+
+	if !compare {
+		return nil
+	}
+	full, err := blinkml.TrainFull(spec, ds, cfg)
+	if err != nil {
+		return err
+	}
+	env := blinkml.NewEnv(ds, cfg)
+	v := model.Diff(full, env.Holdout)
+	fmt.Printf("\nfull model (for comparison):\n")
+	fmt.Printf("  realized difference v = %.5f (contract ε = %.5f) — %s\n",
+		v, cfg.Epsilon, verdict(v <= cfg.Epsilon))
+	return nil
+}
+
+func verdict(ok bool) string {
+	if ok {
+		return "contract met"
+	}
+	return "CONTRACT MISSED"
+}

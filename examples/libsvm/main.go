@@ -1,0 +1,65 @@
+// Bring-your-own-data workflow: export a sparse dataset to the standard
+// LibSVM format, load it back (as a user would load their own file), and
+// train with an accuracy contract. Demonstrates the I/O layer a downstream
+// adopter needs to use BlinkML on real data.
+//
+//	go run ./examples/libsvm
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"blinkml"
+)
+
+func main() {
+	// Stand-in for "your data": write a sparse click-through dataset to a
+	// LibSVM file, the format Criteo-style data usually ships in.
+	src, err := blinkml.SyntheticDataset("criteo", 20000, 800, 13)
+	if err != nil {
+		log.Fatal(err)
+	}
+	path := filepath.Join(os.TempDir(), "blinkml-example.libsvm")
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := blinkml.WriteLibSVM(f, src); err != nil {
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+	info, err := os.Stat(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s (%.1f MB)\n", path, float64(info.Size())/1e6)
+
+	// Load it back the way a user would.
+	in, err := os.Open(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer in.Close()
+	data, err := blinkml.ReadLibSVM(in, 0, blinkml.BinaryClassification)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("loaded %d rows, %d features\n", data.Len(), data.Dim)
+
+	cfg := blinkml.Config{Epsilon: 0.05, Delta: 0.05, Seed: 13}
+	model, err := blinkml.Train(blinkml.LogisticRegression(0.001), data, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("BlinkML used %d of %d rows; estimated ε = %.4f (requested 0.05)\n",
+		model.SampleSize, model.PoolSize, model.EstimatedEpsilon)
+
+	if err := os.Remove(path); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,57 @@
+// PPCA with an accuracy contract (the paper's unsupervised model class,
+// Appendix C): extract principal factors from an MNIST-like image stream
+// using a sample sized so that — with 95% probability — the factor loadings
+// are within 1% cosine distance of what full training would produce.
+//
+//	go run ./examples/ppca
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"blinkml"
+)
+
+func main() {
+	data, err := blinkml.SyntheticDataset("mnist", 20000, 144, 3) // 12x12 images
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := blinkml.Config{
+		Epsilon: 0.01, // 99% cosine similarity to the full model's loadings
+		Delta:   0.05,
+		Seed:    3,
+	}
+	const factors = 6
+
+	approx, err := blinkml.Train(blinkml.PPCA(factors), data, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("PPCA trained on %d of %d rows; estimated 1-cosine <= %.4f\n",
+		approx.SampleSize, approx.PoolSize, approx.EstimatedEpsilon)
+
+	full, err := blinkml.TrainFull(blinkml.PPCA(factors), data, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// For PPCA the model difference is parameter-space cosine distance.
+	v := approx.Diff(full, nil)
+	fmt.Printf("realized 1-cosine vs full model: %.5f (contract: <= %.4f)\n", v, cfg.Epsilon)
+
+	// Report per-factor energy (column norms of the loading matrix).
+	d := data.Dim
+	fmt.Println("\nfactor loadings (column norms):")
+	for j := 0; j < factors; j++ {
+		var approxNorm, fullNorm float64
+		for i := 0; i < d; i++ {
+			a := approx.Theta[i*factors+j]
+			f := full.Theta[i*factors+j]
+			approxNorm += a * a
+			fullNorm += f * f
+		}
+		fmt.Printf("  factor %d: approx %.3f, full %.3f\n", j, math.Sqrt(approxNorm), math.Sqrt(fullNorm))
+	}
+}

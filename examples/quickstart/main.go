@@ -1,0 +1,47 @@
+// Quickstart: train a 95%-accurate logistic-regression model on a
+// Criteo-like click-through workload and compare it with a fully trained
+// model — the Figure-1 interaction of the paper.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"blinkml"
+)
+
+func main() {
+	// A sparse click-through dataset: 30K rows, 1,000 one-hot features.
+	data, err := blinkml.SyntheticDataset("criteo", 30000, 1000, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The approximation contract: with probability >= 95%, the approximate
+	// model predicts the same labels as the full model on >= 95% of unseen
+	// examples.
+	cfg := blinkml.Config{Epsilon: 0.05, Delta: 0.05, Seed: 7}
+
+	approx, err := blinkml.Train(blinkml.LogisticRegression(0.001), data, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("BlinkML trained on %d of %d rows (%.1f%%) in %v\n",
+		approx.SampleSize, approx.PoolSize,
+		100*float64(approx.SampleSize)/float64(approx.PoolSize),
+		approx.Diag.Total().Round(1e6))
+
+	// Train the full model the traditional way, on the same pool, to verify
+	// the contract empirically.
+	full, err := blinkml.TrainFull(blinkml.LogisticRegression(0.001), data, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	env := blinkml.NewEnv(data, cfg)
+	v := approx.Diff(full, env.Holdout)
+	fmt.Printf("prediction difference vs full model: %.4f (contract: <= %.4f)\n", v, cfg.Epsilon)
+	fmt.Printf("holdout accuracy: approx %.2f%%, full %.2f%%\n",
+		100*approx.Accuracy(env.Holdout), 100*full.Accuracy(env.Holdout))
+}

@@ -1,0 +1,47 @@
+// Regression with explicit sample-size introspection: train linear
+// regression on a Gas-sensor-like workload at several accuracy targets and
+// watch the automatically chosen sample size adapt (the §5.8 behaviour).
+//
+//	go run ./examples/regression
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"blinkml"
+)
+
+func main() {
+	data, err := blinkml.SyntheticDataset("gas", 50000, 57, 21)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%-10s %-12s %-12s %-14s %-10s\n", "req. acc", "sample n", "pct of N", "est. epsilon", "time")
+	for _, acc := range []float64{0.80, 0.90, 0.95, 0.99} {
+		cfg := blinkml.Config{Epsilon: 1 - acc, Delta: 0.05, Seed: 21}
+		model, err := blinkml.Train(blinkml.LinearRegression(0.001), data, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-10.2f %-12d %-12.2f %-14.5f %-10v\n",
+			acc, model.SampleSize,
+			100*float64(model.SampleSize)/float64(model.PoolSize),
+			model.EstimatedEpsilon, model.Diag.Total().Round(1e6))
+	}
+
+	// Verify the tightest contract against a fully trained model.
+	cfg := blinkml.Config{Epsilon: 0.01, Delta: 0.05, Seed: 21}
+	approx, err := blinkml.Train(blinkml.LinearRegression(0.001), data, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	full, err := blinkml.TrainFull(blinkml.LinearRegression(0.001), data, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	env := blinkml.NewEnv(data, cfg)
+	fmt.Printf("\n99%% contract check: realized difference %.5f (<= 0.01 expected)\n",
+		approx.Diff(full, env.Holdout))
+}

@@ -1,0 +1,95 @@
+package baselines
+
+import (
+	"testing"
+
+	"blinkml/internal/core"
+	"blinkml/internal/datagen"
+	"blinkml/internal/models"
+	"blinkml/internal/optimize"
+)
+
+func testEnv(t *testing.T) *core.Env {
+	t.Helper()
+	ds := datagen.Higgs(datagen.Config{Rows: 12000, Dim: 6, Seed: 1})
+	return core.NewEnv(ds, core.Options{Epsilon: 0.1, Seed: 2})
+}
+
+func TestFixedRatio(t *testing.T) {
+	env := testEnv(t)
+	res, err := FixedRatio(env, models.LogisticRegression{Reg: 0.01}, 0.01, 3, optimize.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := env.Pool.Len() / 100
+	if res.SampleSize != want {
+		t.Fatalf("sample size %d want %d", res.SampleSize, want)
+	}
+	if res.ModelsTrained != 1 {
+		t.Fatalf("models trained %d", res.ModelsTrained)
+	}
+}
+
+func TestFixedRatioRejectsBadRatio(t *testing.T) {
+	env := testEnv(t)
+	if _, err := FixedRatio(env, models.LogisticRegression{}, 0, 1, optimize.Options{}); err == nil {
+		t.Fatal("ratio 0 accepted")
+	}
+	if _, err := FixedRatio(env, models.LogisticRegression{}, 1.5, 1, optimize.Options{}); err == nil {
+		t.Fatal("ratio 1.5 accepted")
+	}
+}
+
+func TestRelativeRatioScalesWithEpsilon(t *testing.T) {
+	env := testEnv(t)
+	spec := models.LogisticRegression{Reg: 0.01}
+	loose, err := RelativeRatio(env, spec, 0.2, 4, optimize.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tight, err := RelativeRatio(env, spec, 0.01, 4, optimize.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loose.SampleSize >= tight.SampleSize {
+		t.Fatalf("looser ε should use a smaller sample: %d vs %d", loose.SampleSize, tight.SampleSize)
+	}
+}
+
+func TestIncEstimatorMeetsAccuracy(t *testing.T) {
+	env := testEnv(t)
+	spec := models.LogisticRegression{Reg: 0.01}
+	opt := core.Options{Epsilon: 0.05, Delta: 0.05, Seed: 5, K: 50}
+	res, err := IncEstimator(env, spec, opt, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ModelsTrained < 1 {
+		t.Fatal("no models trained")
+	}
+	if res.SampleSize > env.Pool.Len() {
+		t.Fatalf("sample %d exceeds pool", res.SampleSize)
+	}
+	// The model it returns should actually be close to the full model.
+	full, err := env.TrainFull(spec, optimize.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := models.Diff(spec, res.Theta, full.Theta, env.Holdout); v > 0.08 {
+		t.Fatalf("IncEstimator model differs from full by %v", v)
+	}
+}
+
+func TestIncEstimatorTerminatesAtPool(t *testing.T) {
+	// Impossible request (ε ≈ 0) must still terminate by hitting n = N.
+	env := testEnv(t)
+	spec := models.LogisticRegression{Reg: 0.01}
+	opt := core.Options{Epsilon: 1e-9, Delta: 0.05, Seed: 6, K: 20}
+	res, err := IncEstimator(env, spec, opt, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SampleSize != env.Pool.Len() {
+		t.Fatalf("expected full pool, got %d", res.SampleSize)
+	}
+}

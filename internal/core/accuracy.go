@@ -1,0 +1,55 @@
+package core
+
+import (
+	"math"
+
+	"blinkml/internal/dataset"
+	"blinkml/internal/models"
+	"blinkml/internal/stat"
+)
+
+// AccuracyEstimate is the output of the Model Accuracy Estimator (§3).
+type AccuracyEstimate struct {
+	// Epsilon is the Lemma-2 conservative bound: Pr[v(m_n) ≤ Epsilon] ≥ 1−δ.
+	Epsilon float64
+	// Diffs are the k sampled model differences v(m_n; θ_N,i).
+	Diffs []float64
+}
+
+// EstimateAccuracy bounds the difference between the model at theta
+// (trained on a sample of size n) and the unknown full model (size N):
+// it draws k parameters θ_N,i ~ N(θ_n, α·H⁻¹JH⁻¹) with α = 1/n − 1/N
+// (Corollary 1), evaluates v(m_n; θ_N,i) on the holdout, and returns the
+// conservative quantile of Lemma 2.
+func EstimateAccuracy(spec models.Spec, theta []float64, fac Factor, alpha float64, holdout *dataset.Dataset, k int, delta float64, rng *stat.RNG) AccuracyEstimate {
+	if alpha <= 0 {
+		// n ≥ N: the "approximate" model is the full model.
+		return AccuracyEstimate{Epsilon: 0, Diffs: make([]float64, k)}
+	}
+	scale := sqrt(alpha)
+	d := len(theta)
+	vs := make([]float64, k)
+	z := make([]float64, fac.Rank())
+	w := make([]float64, d)
+	thetaN := make([]float64, d)
+	for i := 0; i < k; i++ {
+		rng.NormVec(z)
+		fac.Apply(z, w)
+		for j := 0; j < d; j++ {
+			thetaN[j] = theta[j] + scale*w[j]
+		}
+		vs[i] = models.Diff(spec, theta, thetaN, holdout)
+	}
+	return AccuracyEstimate{
+		Epsilon: stat.ConservativeQuantile(vs, delta),
+		Diffs:   vs,
+	}
+}
+
+// sqrt clamps negative inputs (rounding noise in α) to zero.
+func sqrt(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return math.Sqrt(x)
+}

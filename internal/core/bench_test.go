@@ -1,0 +1,166 @@
+package core
+
+import (
+	"testing"
+
+	"blinkml/internal/datagen"
+	"blinkml/internal/dataset"
+	"blinkml/internal/models"
+	"blinkml/internal/optimize"
+	"blinkml/internal/stat"
+)
+
+// Ablation benchmarks for the design choices DESIGN.md calls out: the
+// linear-score fast path in the Sample Size Estimator, the
+// sampling-by-scaling reuse of factor draws, and the Gram-side vs
+// covariance-side ObservedFisher paths.
+
+func benchSearcherSetup(b *testing.B, hide bool) *Searcher {
+	b.Helper()
+	ds := datagen.Criteo(datagen.Config{Rows: 20000, Dim: 500, Seed: 1})
+	var spec models.Spec = models.LogisticRegression{Reg: 0.001}
+	env := NewEnv(ds, Options{Epsilon: 0.05, Seed: 2})
+	n0 := 500
+	rng := stat.NewRNG(3)
+	sample := env.Pool.Subset(dataset.SampleWithoutReplacement(rng, env.Pool.Len(), n0))
+	fit, err := models.Train(spec, sample, nil, optimize.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	st, err := ComputeStatistics(spec, sample, fit.Theta, Options{Epsilon: 0.05}.withDefaults())
+	if err != nil {
+		b.Fatal(err)
+	}
+	if hide {
+		spec = hideScores{spec}
+	}
+	return NewSearcher(spec, fit.Theta, st.Factor, n0, env.Pool.Len(), env.Holdout, 0.05, 0.05, 100, stat.NewRNG(4))
+}
+
+// BenchmarkAblationProbeScorePath measures one SSE probe with the
+// precomputed-score fast path.
+func BenchmarkAblationProbeScorePath(b *testing.B) {
+	s := benchSearcherSetup(b, false)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Probe(2000 + i%3)
+	}
+}
+
+// BenchmarkAblationProbeGenericPath measures the same probe without the
+// fast path (materialized parameter vectors + full Diff per pair).
+func BenchmarkAblationProbeGenericPath(b *testing.B) {
+	s := benchSearcherSetup(b, true)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Probe(2000 + i%3)
+	}
+}
+
+// BenchmarkAblationSamplingByScaling measures drawing k parameter samples
+// by rescaling pre-applied factor draws (the §4.3 optimization)...
+func BenchmarkAblationSamplingByScaling(b *testing.B) {
+	s := benchSearcherSetup(b, true)
+	d := len(s.theta0)
+	theta := make([]float64, d)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		a1 := sqrt(Alpha(s.n0, 4000))
+		for k := 0; k < s.k; k++ {
+			for j := 0; j < d; j++ {
+				theta[j] = s.theta0[j] + a1*s.w1[k][j]
+			}
+		}
+	}
+}
+
+// ...versus re-invoking the factor for every draw (what a naive sampler
+// would do for each candidate n).
+func BenchmarkAblationSamplingNaive(b *testing.B) {
+	ds := datagen.Criteo(datagen.Config{Rows: 20000, Dim: 500, Seed: 1})
+	spec := models.LogisticRegression{Reg: 0.001}
+	env := NewEnv(ds, Options{Epsilon: 0.05, Seed: 2})
+	rng := stat.NewRNG(3)
+	n0 := 500
+	sample := env.Pool.Subset(dataset.SampleWithoutReplacement(rng, env.Pool.Len(), n0))
+	fit, err := models.Train(spec, sample, nil, optimize.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	st, err := ComputeStatistics(spec, sample, fit.Theta, Options{Epsilon: 0.05}.withDefaults())
+	if err != nil {
+		b.Fatal(err)
+	}
+	d := len(fit.Theta)
+	theta := make([]float64, d)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		a1 := sqrt(Alpha(n0, 4000))
+		for k := 0; k < 100; k++ {
+			Sample(st.Factor, rng, fit.Theta, a1, theta)
+		}
+	}
+}
+
+// BenchmarkAblationFisherGramSide and ...CovarianceSide compare the two
+// ObservedFisher paths on the same statistics problem (d ≈ n, where either
+// side is feasible).
+func benchFisherRows(b *testing.B) ([]dataset.Row, []float64, int, int) {
+	b.Helper()
+	ds := datagen.Higgs(datagen.Config{Rows: 400, Dim: 40, Seed: 5})
+	spec := models.LogisticRegression{Reg: 0.01}
+	fit, err := models.Train(spec, ds, nil, optimize.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rows := models.PerExampleGradRows(spec, ds, fit.Theta)
+	mean := make([]float64, len(fit.Theta))
+	for _, r := range rows {
+		r.AddTo(mean, 1)
+	}
+	for i := range mean {
+		mean[i] /= float64(len(rows))
+	}
+	return rows, mean, len(fit.Theta), len(rows)
+}
+
+func BenchmarkAblationFisherCovarianceSide(b *testing.B) {
+	rows, mean, d, n := benchFisherRows(b)
+	opt := Options{Epsilon: 0.05}.withDefaults()
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := fisherCovarianceSide(rows, mean, d, n, 0.01, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationFisherGramSide(b *testing.B) {
+	rows, mean, d, n := benchFisherRows(b)
+	opt := Options{Epsilon: 0.05}.withDefaults()
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := fisherGramSide(rows, mean, d, n, 0.01, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCoordinatorEndToEnd times one full BlinkML run (all four
+// phases) on a mid-size sparse workload.
+func BenchmarkCoordinatorEndToEnd(b *testing.B) {
+	ds := datagen.Criteo(datagen.Config{Rows: 20000, Dim: 500, Seed: 6})
+	spec := models.LogisticRegression{Reg: 0.001}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Train(spec, ds, Options{Epsilon: 0.05, Seed: int64(i), InitialSampleSize: 500, K: 60}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,229 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"blinkml/internal/dataset"
+	"blinkml/internal/models"
+	"blinkml/internal/optimize"
+	"blinkml/internal/stat"
+)
+
+// Diagnostics breaks a BlinkML run into the four phases of Figure 8a plus
+// estimator internals.
+type Diagnostics struct {
+	InitialTrain time.Duration
+	Statistics   time.Duration
+	SampleSearch time.Duration
+	FinalTrain   time.Duration
+
+	InitialEpsilon float64 // ε₀, the accuracy estimate of the initial model
+	InitialIters   int
+	FinalIters     int
+	Rank           int
+	GradsCalls     int
+	Probes         []Probe
+	Method         Method
+}
+
+// Total returns the end-to-end BlinkML time.
+func (d Diagnostics) Total() time.Duration {
+	return d.InitialTrain + d.Statistics + d.SampleSearch + d.FinalTrain
+}
+
+// Result is an approximate model with its accuracy contract.
+type Result struct {
+	Theta      []float64
+	SampleSize int
+	// EstimatedEpsilon is the bound ε such that Pr[v(m_n) ≤ ε] ≥ 1−δ: the
+	// initial model's estimate when it already satisfies the request, or
+	// the requested ε when the final model was sized to meet it.
+	EstimatedEpsilon float64
+	UsedInitialModel bool
+	PoolSize         int // N, what the full model would train on
+	Diag             Diagnostics
+}
+
+// Env is a prepared training environment: the train/holdout/test split that
+// both BlinkML and the full-model baseline must share so their predictions
+// are comparable (the experiments in §5 measure v(m_n, m_N) on the same
+// holdout).
+type Env struct {
+	Pool    *dataset.Dataset // the full model's training set (size N)
+	Holdout *dataset.Dataset // diff() evaluation set, never trained on
+	Test    *dataset.Dataset // generalization-error reporting (may be empty)
+	seed    int64
+}
+
+// NewEnv splits ds according to opt (deterministic in opt.Seed).
+func NewEnv(ds *dataset.Dataset, opt Options) *Env {
+	opt = opt.withDefaults()
+	rng := stat.NewRNG(opt.Seed)
+	n := ds.Len()
+	hf := opt.HoldoutFraction
+	if max := float64(opt.MaxHoldout) / float64(n); hf > max {
+		hf = max
+	}
+	split := dataset.NewSplit(rng, n, hf, opt.TestFraction)
+	return &Env{
+		Pool:    ds.Subset(split.Train),
+		Holdout: ds.Subset(split.Holdout),
+		Test:    ds.Subset(split.Test),
+		seed:    opt.Seed,
+	}
+}
+
+// Train runs the full BlinkML workflow (§2.3) on ds: split, train the
+// initial model m₀ on n₀ rows, estimate its accuracy, and — only if the
+// estimate misses the requested ε — size and train one final model. At most
+// two approximate models are ever trained.
+func Train(spec models.Spec, ds *dataset.Dataset, opt Options) (*Result, error) {
+	opt = opt.withDefaults()
+	if err := opt.validate(); err != nil {
+		return nil, err
+	}
+	return NewEnv(ds, opt).TrainApprox(spec, opt)
+}
+
+// TrainApprox runs the BlinkML coordinator inside a prepared environment.
+func (e *Env) TrainApprox(spec models.Spec, opt Options) (*Result, error) {
+	opt = opt.withDefaults()
+	if err := opt.validate(); err != nil {
+		return nil, err
+	}
+	bigN := e.Pool.Len()
+	if bigN == 0 {
+		return nil, errors.New("core: empty training pool")
+	}
+	rng := stat.NewRNG(opt.Seed + 0x5EED)
+	diag := Diagnostics{Method: opt.Method}
+
+	n0 := opt.InitialSampleSize
+	if n0 > bigN {
+		n0 = bigN
+	}
+
+	// Phase 1: initial model m₀ on a uniform sample of size n₀.
+	start := time.Now()
+	sample0 := e.Pool.Subset(dataset.SampleWithoutReplacement(rng, bigN, n0))
+	m0, err := models.Train(spec, sample0, nil, opt.Optimizer)
+	if err != nil {
+		return nil, fmt.Errorf("core: initial training failed: %w", err)
+	}
+	diag.InitialTrain = time.Since(start)
+	diag.InitialIters = m0.Iters
+
+	if n0 >= bigN {
+		// The "sample" already is the full pool; nothing to approximate.
+		return &Result{
+			Theta:            m0.Theta,
+			SampleSize:       n0,
+			EstimatedEpsilon: 0,
+			UsedInitialModel: true,
+			PoolSize:         bigN,
+			Diag:             diag,
+		}, nil
+	}
+
+	// Phase 2: statistics (H, J → sampling factor) at θ₀.
+	start = time.Now()
+	stats, err := ComputeStatistics(spec, sample0, m0.Theta, opt)
+	if err != nil {
+		return nil, fmt.Errorf("core: statistics computation failed: %w", err)
+	}
+	diag.Statistics = time.Since(start)
+	diag.Rank = stats.Rank
+	diag.GradsCalls = stats.GradsCalls
+	factor := Inflate(stats.Factor, opt.VarianceInflation)
+
+	// Phase 3: accuracy estimate for m₀; early exit if it already meets ε.
+	start = time.Now()
+	est := EstimateAccuracy(spec, m0.Theta, factor, Alpha(n0, bigN), e.Holdout, opt.K, opt.Delta, rng)
+	diag.InitialEpsilon = est.Epsilon
+	if est.Epsilon <= opt.Epsilon {
+		diag.SampleSearch = time.Since(start)
+		return &Result{
+			Theta:            m0.Theta,
+			SampleSize:       n0,
+			EstimatedEpsilon: est.Epsilon,
+			UsedInitialModel: true,
+			PoolSize:         bigN,
+			Diag:             diag,
+		}, nil
+	}
+
+	// Phase 3b: minimum sample size via two-stage sampling + binary search.
+	searcher := NewSearcher(spec, m0.Theta, factor, n0, bigN, e.Holdout, opt.Epsilon, opt.Delta, opt.K, rng)
+	sres := searcher.Search()
+	diag.SampleSearch = time.Since(start)
+	diag.Probes = sres.Probes
+	n := sres.N
+	if n < opt.MinSampleSize {
+		n = opt.MinSampleSize
+	}
+	if n > bigN {
+		n = bigN
+	}
+
+	// Phase 4: final model m_n on a fresh uniform sample of size n.
+	start = time.Now()
+	sampleN := e.Pool.Subset(dataset.SampleWithoutReplacement(rng, bigN, n))
+	var warm []float64
+	if opt.WarmStart {
+		warm = m0.Theta
+	}
+	mn, err := models.Train(spec, sampleN, warm, opt.Optimizer)
+	if err != nil {
+		return nil, fmt.Errorf("core: final training failed: %w", err)
+	}
+	diag.FinalTrain = time.Since(start)
+	diag.FinalIters = mn.Iters
+
+	return &Result{
+		Theta:            mn.Theta,
+		SampleSize:       n,
+		EstimatedEpsilon: opt.Epsilon,
+		UsedInitialModel: false,
+		PoolSize:         bigN,
+		Diag:             diag,
+	}, nil
+}
+
+// FullResult is a conventionally trained full model, for baselines.
+type FullResult struct {
+	Theta []float64
+	Iters int
+	Time  time.Duration
+}
+
+// TrainFull trains spec on the entire pool — the "traditional ML library"
+// path of Figure 1 that BlinkML is compared against.
+func (e *Env) TrainFull(spec models.Spec, optim optimize.Options) (*FullResult, error) {
+	start := time.Now()
+	res, err := models.Train(spec, e.Pool, nil, optim)
+	if err != nil {
+		return nil, fmt.Errorf("core: full training failed: %w", err)
+	}
+	return &FullResult{Theta: res.Theta, Iters: res.Iters, Time: time.Since(start)}, nil
+}
+
+// TrainOnSample trains spec on a fresh uniform sample of size n from the
+// pool (used by the baseline strategies of §5.4).
+func (e *Env) TrainOnSample(spec models.Spec, n int, seed int64, optim optimize.Options) (*FullResult, error) {
+	if n > e.Pool.Len() {
+		n = e.Pool.Len()
+	}
+	if n <= 0 {
+		return nil, errors.New("core: sample size must be positive")
+	}
+	rng := stat.NewRNG(seed)
+	sample := e.Pool.Subset(dataset.SampleWithoutReplacement(rng, e.Pool.Len(), n))
+	start := time.Now()
+	res, err := models.Train(spec, sample, nil, optim)
+	if err != nil {
+		return nil, err
+	}
+	return &FullResult{Theta: res.Theta, Iters: res.Iters, Time: time.Since(start)}, nil
+}

@@ -1,0 +1,190 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"blinkml/internal/datagen"
+	"blinkml/internal/models"
+	"blinkml/internal/stat"
+)
+
+// hideScores wraps a Spec so the dynamic type no longer satisfies
+// models.ScoreModel, forcing the generic Sample Size Estimator path.
+type hideScores struct{ models.Spec }
+
+func TestEstimateAccuracyZeroAlpha(t *testing.T) {
+	ds := datagen.Higgs(datagen.Config{Rows: 400, Dim: 5, Seed: 1})
+	spec := models.LogisticRegression{Reg: 0.01}
+	theta := trainOn(t, spec, ds)
+	st, err := ComputeStatistics(spec, ds, theta, Options{Epsilon: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	est := EstimateAccuracy(spec, theta, st.Factor, 0, ds, 20, 0.05, stat.NewRNG(1))
+	if est.Epsilon != 0 {
+		t.Fatalf("alpha=0 must give epsilon 0, got %v", est.Epsilon)
+	}
+}
+
+// The accuracy bound should shrink as the (hypothetical) training sample
+// grows: ε(n=500) ≥ ε(n=5000).
+func TestEstimateAccuracyShrinksWithSampleSize(t *testing.T) {
+	pool := datagen.Higgs(datagen.Config{Rows: 20000, Dim: 6, Seed: 2})
+	env := NewEnv(pool, Options{Epsilon: 0.1, Seed: 3})
+	spec := models.LogisticRegression{Reg: 0.01}
+	sample, err := env.TrainOnSample(spec, 800, 7, defaultOptim())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := ComputeStatistics(spec, env.Pool, sample.Theta, Options{Epsilon: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	N := env.Pool.Len()
+	epsSmall := EstimateAccuracy(spec, sample.Theta, st.Factor, Alpha(500, N), env.Holdout, 100, 0.05, stat.NewRNG(4)).Epsilon
+	epsBig := EstimateAccuracy(spec, sample.Theta, st.Factor, Alpha(5000, N), env.Holdout, 100, 0.05, stat.NewRNG(4)).Epsilon
+	if epsBig > epsSmall {
+		t.Fatalf("bound must shrink with n: ε(500)=%v < ε(5000)=%v", epsSmall, epsBig)
+	}
+}
+
+// End-to-end guarantee check (Lemma 2 + Corollary 1): the estimated bound
+// must cover the actual difference from a truly trained full model in the
+// vast majority of seeded trials.
+func TestAccuracyGuaranteeAgainstTrueFullModel(t *testing.T) {
+	if testing.Short() {
+		t.Skip("guarantee validation skipped in -short mode")
+	}
+	pool := datagen.Higgs(datagen.Config{Rows: 15000, Dim: 8, Seed: 5})
+	spec := models.LogisticRegression{Reg: 0.01}
+	env := NewEnv(pool, Options{Epsilon: 0.1, Seed: 6})
+	full, err := env.TrainFull(spec, defaultOptim())
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 700
+	violations, trials := 0, 12
+	for seed := int64(0); seed < int64(trials); seed++ {
+		approx, err := env.TrainOnSample(spec, n, 100+seed, defaultOptim())
+		if err != nil {
+			t.Fatal(err)
+		}
+		sampleStats, err := ComputeStatistics(spec, env.Pool, approx.Theta, Options{Epsilon: 0.1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		est := EstimateAccuracy(spec, approx.Theta, sampleStats.Factor, Alpha(n, env.Pool.Len()), env.Holdout, 150, 0.05, stat.NewRNG(200+seed))
+		actual := models.Diff(spec, approx.Theta, full.Theta, env.Holdout)
+		if actual > est.Epsilon {
+			violations++
+		}
+	}
+	// δ=0.05 tolerates ~5% violations; allow up to 2/12 for Monte-Carlo
+	// noise in this small trial count.
+	if violations > 2 {
+		t.Fatalf("guarantee violated in %d/%d trials", violations, trials)
+	}
+}
+
+// Theorem 2: the probability of satisfying the bound is increasing in n, so
+// probe fractions along an increasing n schedule must be non-decreasing (up
+// to small sampling wobble).
+func TestSearcherMonotonicity(t *testing.T) {
+	pool := datagen.Criteo(datagen.Config{Rows: 12000, Dim: 400, Seed: 7})
+	spec := models.LogisticRegression{Reg: 0.001}
+	env := NewEnv(pool, Options{Epsilon: 0.05, Seed: 8})
+	opt := Options{Epsilon: 0.05, Seed: 8}.withDefaults()
+	n0 := 500
+	approx, err := env.TrainOnSample(spec, n0, 9, defaultOptim())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sample := env.Pool.Subset(make([]int, 0)) // placeholder, stats need the sample
+	_ = sample
+	st, err := ComputeStatistics(spec, env.Pool.Subset(firstK(env.Pool.Len(), n0)), approx.Theta, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewSearcher(spec, approx.Theta, st.Factor, n0, env.Pool.Len(), env.Holdout, 0.05, 0.05, 100, stat.NewRNG(10))
+	prev := -1.0
+	for _, n := range []int{n0, 2 * n0, 4 * n0, 8 * n0, env.Pool.Len()} {
+		p := s.Probe(n)
+		if p.Fraction < prev-0.1 {
+			t.Fatalf("fraction dropped from %v to %v at n=%d", prev, p.Fraction, n)
+		}
+		if p.Fraction > prev {
+			prev = p.Fraction
+		}
+	}
+	if last := s.Probe(env.Pool.Len()); !last.Satisfied || last.Fraction != 1 {
+		t.Fatalf("probe at N must be trivially satisfied: %+v", last)
+	}
+}
+
+func firstK(n, k int) []int {
+	idx := make([]int, k)
+	for i := range idx {
+		idx[i] = i
+	}
+	return idx
+}
+
+// The search result must itself satisfy the probe criterion and be minimal
+// up to binary-search granularity.
+func TestSearcherFindsSatisfyingSize(t *testing.T) {
+	pool := datagen.Higgs(datagen.Config{Rows: 16000, Dim: 10, Seed: 11})
+	spec := models.LogisticRegression{Reg: 0.01}
+	env := NewEnv(pool, Options{Epsilon: 0.03, Seed: 12})
+	n0 := 400
+	approx, err := env.TrainOnSample(spec, n0, 13, defaultOptim())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := ComputeStatistics(spec, env.Pool.Subset(firstK(env.Pool.Len(), n0)), approx.Theta, Options{Epsilon: 0.03}.withDefaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewSearcher(spec, approx.Theta, st.Factor, n0, env.Pool.Len(), env.Holdout, 0.03, 0.05, 100, stat.NewRNG(14))
+	res := s.Search()
+	if res.N < n0 || res.N > env.Pool.Len() {
+		t.Fatalf("chosen n=%d outside [%d, %d]", res.N, n0, env.Pool.Len())
+	}
+	if !s.Probe(res.N).Satisfied {
+		t.Fatalf("chosen n=%d does not satisfy its own probe", res.N)
+	}
+	if len(res.Probes) == 0 {
+		t.Fatal("no probes recorded")
+	}
+}
+
+// The linear-score fast path and the generic path must agree.
+func TestSearcherScorePathMatchesGeneric(t *testing.T) {
+	pool := datagen.Higgs(datagen.Config{Rows: 8000, Dim: 7, Seed: 15})
+	spec := models.LogisticRegression{Reg: 0.01}
+	env := NewEnv(pool, Options{Epsilon: 0.05, Seed: 16})
+	n0 := 400
+	approx, err := env.TrainOnSample(spec, n0, 17, defaultOptim())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := ComputeStatistics(spec, env.Pool.Subset(firstK(env.Pool.Len(), n0)), approx.Theta, Options{Epsilon: 0.05}.withDefaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast := NewSearcher(spec, approx.Theta, st.Factor, n0, env.Pool.Len(), env.Holdout, 0.05, 0.05, 80, stat.NewRNG(18))
+	slow := NewSearcher(hideScores{spec}, approx.Theta, st.Factor, n0, env.Pool.Len(), env.Holdout, 0.05, 0.05, 80, stat.NewRNG(18))
+	if fast.scoreModel == nil {
+		t.Fatal("fast searcher did not take the score path")
+	}
+	if slow.scoreModel != nil {
+		t.Fatal("hideScores failed to force the generic path")
+	}
+	for _, n := range []int{n0, 3 * n0, 10 * n0} {
+		pf := fast.Probe(n)
+		ps := slow.Probe(n)
+		if math.Abs(pf.Fraction-ps.Fraction) > 0.05 {
+			t.Fatalf("n=%d: fast fraction %v, generic %v", n, pf.Fraction, ps.Fraction)
+		}
+	}
+}

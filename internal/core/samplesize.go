@@ -1,0 +1,220 @@
+package core
+
+import (
+	"math"
+
+	"blinkml/internal/dataset"
+	"blinkml/internal/models"
+	"blinkml/internal/stat"
+)
+
+// Probe records one Sample Size Estimator evaluation at a candidate n.
+type Probe struct {
+	N int
+	// Fraction of the k sampled model pairs with v ≤ ε.
+	Fraction float64
+	// Satisfied reports whether Fraction reaches the Lemma-2 conservative
+	// level.
+	Satisfied bool
+}
+
+// SampleSizeResult is the outcome of the minimum-sample-size search.
+type SampleSizeResult struct {
+	N      int
+	Probes []Probe
+}
+
+// Searcher implements the Sample Size Estimator (§4). It holds the
+// pre-drawn, pre-applied factor samples so that probing a candidate n costs
+// only scalar scaling — the paper's "sampling by scaling" optimization:
+// θ_n,i = θ₀ + √α₁·w₁ᵢ and θ_N,i = θ_n,i + √α₂·w₂ᵢ with α₁ = 1/n₀ − 1/n,
+// α₂ = 1/n − 1/N (the two-stage sampling of §4.1 / Figure 4).
+//
+// For models whose predictions factor through linear scores (ScoreModel),
+// the holdout scores of θ₀, w₁ᵢ and w₂ᵢ are precomputed once, making each
+// probe O(k·holdout) regardless of the parameter dimension.
+type Searcher struct {
+	spec    models.Spec
+	theta0  []float64
+	holdout *dataset.Dataset
+	n0, n   int // n = training-pool size N
+	eps     float64
+	delta   float64
+	k       int
+
+	// Generic path: materialized factor samples w₁ᵢ, w₂ᵢ (k x d).
+	w1, w2 [][]float64
+
+	// Score fast path (nil when unavailable): per holdout row, the scores
+	// of θ₀ and of each wᵢ.
+	scoreModel models.ScoreModel
+	nScores    int
+	base       []float64   // h*s: scores of θ₀
+	s1, s2     [][]float64 // k x (h*s): scores of w₁ᵢ, w₂ᵢ
+}
+
+// NewSearcher draws the k factor-sample pairs and precomputes holdout
+// scores where possible.
+func NewSearcher(spec models.Spec, theta0 []float64, fac Factor, n0, bigN int, holdout *dataset.Dataset, eps, delta float64, k int, rng *stat.RNG) *Searcher {
+	s := &Searcher{
+		spec:    spec,
+		theta0:  theta0,
+		holdout: holdout,
+		n0:      n0,
+		n:       bigN,
+		eps:     eps,
+		delta:   delta,
+		k:       k,
+	}
+	d := len(theta0)
+	sm, smOK := spec.(models.ScoreModel)
+	// The fast path needs a supervised holdout; PPCA (parameter-space diff)
+	// takes the generic path, which for it never touches the holdout.
+	useScores := smOK && spec.Task() != dataset.Unsupervised && holdout.Len() > 0
+
+	z := make([]float64, fac.Rank())
+	if useScores {
+		s.scoreModel = sm
+		s.nScores = sm.NumScores(d, holdout.Dim)
+		s.base = holdoutScores(sm, theta0, holdout, s.nScores)
+		s.s1 = make([][]float64, k)
+		s.s2 = make([][]float64, k)
+		w := make([]float64, d)
+		for i := 0; i < k; i++ {
+			rng.NormVec(z)
+			fac.Apply(z, w)
+			s.s1[i] = holdoutScores(sm, w, holdout, s.nScores)
+			rng.NormVec(z)
+			fac.Apply(z, w)
+			s.s2[i] = holdoutScores(sm, w, holdout, s.nScores)
+		}
+		return s
+	}
+	s.w1 = make([][]float64, k)
+	s.w2 = make([][]float64, k)
+	for i := 0; i < k; i++ {
+		rng.NormVec(z)
+		w := make([]float64, d)
+		fac.Apply(z, w)
+		s.w1[i] = w
+		rng.NormVec(z)
+		w = make([]float64, d)
+		fac.Apply(z, w)
+		s.w2[i] = w
+	}
+	return s
+}
+
+func holdoutScores(sm models.ScoreModel, theta []float64, holdout *dataset.Dataset, ns int) []float64 {
+	out := make([]float64, holdout.Len()*ns)
+	for r := 0; r < holdout.Len(); r++ {
+		sm.Scores(theta, holdout.X[r], out[r*ns:(r+1)*ns])
+	}
+	return out
+}
+
+// Probe evaluates the Equation-8 criterion at candidate sample size n.
+func (s *Searcher) Probe(n int) Probe {
+	if n >= s.n {
+		return Probe{N: n, Fraction: 1, Satisfied: true}
+	}
+	if n < s.n0 {
+		n = s.n0
+	}
+	a1 := sqrt(Alpha(s.n0, n))
+	a2 := sqrt(Alpha(n, s.n))
+	vs := make([]float64, s.k)
+	if s.scoreModel != nil {
+		for i := 0; i < s.k; i++ {
+			vs[i] = s.scoreDiff(s.s1[i], s.s2[i], a1, a2)
+		}
+	} else {
+		d := len(s.theta0)
+		thetaN := make([]float64, d)
+		thetaNN := make([]float64, d)
+		for i := 0; i < s.k; i++ {
+			for j := 0; j < d; j++ {
+				thetaN[j] = s.theta0[j] + a1*s.w1[i][j]
+				thetaNN[j] = thetaN[j] + a2*s.w2[i][j]
+			}
+			vs[i] = models.Diff(s.spec, thetaN, thetaNN, s.holdout)
+		}
+	}
+	return Probe{
+		N:         n,
+		Fraction:  stat.FractionAtMost(vs, s.eps),
+		Satisfied: stat.MeetsLevel(vs, s.eps, s.delta),
+	}
+}
+
+// scoreDiff computes v(m_n, m_N) for one sampled pair from precomputed
+// scores: scores(θ_n,i) = base + a1·s1ᵢ, scores(θ_N,i) = that + a2·s2ᵢ.
+func (s *Searcher) scoreDiff(s1, s2 []float64, a1, a2 float64) float64 {
+	h := s.holdout.Len()
+	ns := s.nScores
+	bufN := make([]float64, ns)
+	bufNN := make([]float64, ns)
+	switch s.spec.Task() {
+	case dataset.BinaryClassification, dataset.MultiClassification:
+		disagree := 0
+		for r := 0; r < h; r++ {
+			off := r * ns
+			for c := 0; c < ns; c++ {
+				bufN[c] = s.base[off+c] + a1*s1[off+c]
+				bufNN[c] = bufN[c] + a2*s2[off+c]
+			}
+			if s.scoreModel.PredictScores(bufN) != s.scoreModel.PredictScores(bufNN) {
+				disagree++
+			}
+		}
+		return float64(disagree) / float64(h)
+	default: // regression: normalized RMS prediction difference
+		var sqDiff, sqBase float64
+		for r := 0; r < h; r++ {
+			off := r * ns
+			for c := 0; c < ns; c++ {
+				bufN[c] = s.base[off+c] + a1*s1[off+c]
+				bufNN[c] = bufN[c] + a2*s2[off+c]
+			}
+			pn := s.scoreModel.PredictScores(bufN)
+			pnn := s.scoreModel.PredictScores(bufNN)
+			d := pn - pnn
+			sqDiff += d * d
+			sqBase += pn * pn
+		}
+		base := math.Sqrt(sqBase / float64(h))
+		if base < 1e-12 {
+			base = 1e-12
+		}
+		v := math.Sqrt(sqDiff/float64(h)) / base
+		if v > 1 {
+			v = 1
+		}
+		return v
+	}
+}
+
+// Search binary-searches the smallest n in [n₀, N] whose probe satisfies
+// the Lemma-2 criterion, relying on the Theorem-2 monotonicity of the
+// success probability in n. The search costs O(log₂(N − n₀)) probes.
+func (s *Searcher) Search() SampleSizeResult {
+	var probes []Probe
+	lo, hi := s.n0, s.n
+	first := s.Probe(lo)
+	probes = append(probes, first)
+	if first.Satisfied {
+		return SampleSizeResult{N: lo, Probes: probes}
+	}
+	// Invariant: lo unsatisfied, hi satisfied (n = N always satisfies).
+	for hi-lo > 1 {
+		mid := lo + (hi-lo)/2
+		p := s.Probe(mid)
+		probes = append(probes, p)
+		if p.Satisfied {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return SampleSizeResult{N: hi, Probes: probes}
+}

@@ -1,0 +1,283 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"blinkml/internal/dataset"
+	"blinkml/internal/linalg"
+	"blinkml/internal/models"
+)
+
+// Statistics packages the Theorem-1 quantities computed at a trained
+// parameter θ_n: a sampling factor for N(0, H⁻¹JH⁻¹) plus, when the method
+// materializes them (ClosedForm, InverseGradients, and the small-d
+// ObservedFisher path), the explicit H and J matrices for diagnostics.
+type Statistics struct {
+	Factor Factor
+	Method Method
+	// Rank of the factor (number of informative directions kept).
+	Rank int
+	// H and J are populated only when the method computes them densely;
+	// nil otherwise (high-dimensional ObservedFisher).
+	H, J *linalg.Dense
+	// GradsCalls counts invocations of the MCS grads primitive, the cost
+	// driver compared in Figure 9b (ObservedFisher: 1; InverseGradients:
+	// d+1).
+	GradsCalls int
+}
+
+// ComputeStatistics computes the sampling statistics for spec at theta
+// using the sample the model was trained on (paper §3.4).
+func ComputeStatistics(spec models.Spec, sample *dataset.Dataset, theta []float64, opt Options) (*Statistics, error) {
+	opt = opt.withDefaults()
+	switch opt.Method {
+	case ObservedFisher:
+		return observedFisher(spec, sample, theta, opt)
+	case InverseGradients:
+		return inverseGradients(spec, sample, theta, opt)
+	case ClosedForm:
+		return closedForm(spec, sample, theta, opt)
+	default:
+		return nil, fmt.Errorf("core: unknown statistics method %v", opt.Method)
+	}
+}
+
+// observedFisher implements §3.4 Method 3: J is the (centered) second
+// moment of the per-example gradients (information-matrix equality), H =
+// J + βI, and the factor is built from whichever Gram side is smaller —
+// the d x d covariance when d ≤ n, the n x n gradient Gram matrix when
+// d > n. Cost: O(min(n²d, nd²)), one grads call.
+func observedFisher(spec models.Spec, sample *dataset.Dataset, theta []float64, opt Options) (*Statistics, error) {
+	rows := models.PerExampleGradRows(spec, sample, theta)
+	n := len(rows)
+	if n == 0 {
+		return nil, fmt.Errorf("core: cannot compute statistics from an empty sample")
+	}
+	d := len(theta)
+	beta := spec.Beta()
+
+	mean := make([]float64, d)
+	for _, r := range rows {
+		r.AddTo(mean, 1)
+	}
+	linalg.Scale(1/float64(n), mean)
+
+	if d <= n {
+		return fisherCovarianceSide(rows, mean, d, n, beta, opt)
+	}
+	return fisherGramSide(rows, mean, d, n, beta, opt)
+}
+
+// fisherCovarianceSide eigendecomposes J = (1/n)Q_cᵀQ_c directly (d x d).
+func fisherCovarianceSide(rows []dataset.Row, mean []float64, d, n int, beta float64, opt Options) (*Statistics, error) {
+	j := linalg.NewDense(d, d)
+	for _, r := range rows {
+		addOuterRow(j, r)
+	}
+	j.ScaleInPlace(1 / float64(n))
+	j.OuterAdd(-1, mean, mean)
+	j.Symmetrize()
+
+	eig, err := linalg.NewSymEig(j)
+	if err != nil {
+		return nil, fmt.Errorf("core: ObservedFisher eigendecomposition failed: %w", err)
+	}
+	l, rank := factorFromFisherEigs(eig, beta, opt.SVDRelTol)
+	h := j.Clone()
+	h.AddDiag(beta)
+	return &Statistics{
+		Factor:     &DenseFactor{L: l},
+		Method:     ObservedFisher,
+		Rank:       rank,
+		H:          h,
+		J:          j,
+		GradsCalls: 1,
+	}, nil
+}
+
+// fisherGramSide eigendecomposes the centered Gram matrix G = Q_cQ_cᵀ
+// (n x n) and represents L = Q_cᵀ·M lazily (paper §3.4 Eq. 6 + §4.3).
+func fisherGramSide(rows []dataset.Row, mean []float64, d, n int, beta float64, opt Options) (*Statistics, error) {
+	// a_i = q_i·q̄, m̄ = q̄·q̄ give the centering correction
+	// G_ij = q_i·q_j − a_i − a_j + m̄.
+	a := make([]float64, n)
+	for i, r := range rows {
+		a[i] = r.Dot(mean)
+	}
+	mbar := linalg.Dot(mean, mean)
+	g := linalg.NewDense(n, n)
+	scratch := make([]float64, d)
+	for i := 0; i < n; i++ {
+		linalg.Fill(scratch, 0)
+		rows[i].AddTo(scratch, 1)
+		for jj := i; jj < n; jj++ {
+			v := rows[jj].Dot(scratch) - a[i] - a[jj] + mbar
+			g.Set(i, jj, v)
+			g.Set(jj, i, v)
+		}
+	}
+	eig, err := linalg.NewSymEig(g)
+	if err != nil {
+		return nil, fmt.Errorf("core: ObservedFisher Gram eigendecomposition failed: %w", err)
+	}
+	// Keep directions with singular value above tolerance; eigenvalues of G
+	// are s² = n·μ.
+	gMax := math.Max(eig.Values[0], 0)
+	cut := opt.SVDRelTol * opt.SVDRelTol * gMax
+	rank := 0
+	for rank < n && eig.Values[rank] > cut && eig.Values[rank] > 0 {
+		rank++
+	}
+	m := linalg.NewDense(n, rank)
+	sqrtN := math.Sqrt(float64(n))
+	for jj := 0; jj < rank; jj++ {
+		mu := eig.Values[jj] / float64(n)
+		c := 1 / (sqrtN * (mu + beta))
+		if beta == 0 && mu <= 0 {
+			c = 0
+		}
+		for i := 0; i < n; i++ {
+			m.Set(i, jj, c*eig.Vectors.At(i, jj))
+		}
+	}
+	return &Statistics{
+		Factor:     &GradFactor{rows: rows, mean: mean, m: m, dim: d},
+		Method:     ObservedFisher,
+		Rank:       rank,
+		GradsCalls: 1,
+	}, nil
+}
+
+// factorFromFisherEigs builds L = V·diag(√μ/(μ+β)) from the eigensystem of
+// J, dropping non-informative directions.
+func factorFromFisherEigs(eig *linalg.SymEig, beta, relTol float64) (*linalg.Dense, int) {
+	d := len(eig.Values)
+	muMax := math.Max(eig.Values[0], 0)
+	cut := relTol * relTol * muMax
+	rank := 0
+	for rank < d && eig.Values[rank] > cut && eig.Values[rank] > 0 {
+		rank++
+	}
+	l := linalg.NewDense(d, rank)
+	for j := 0; j < rank; j++ {
+		mu := eig.Values[j]
+		scale := math.Sqrt(mu) / (mu + beta)
+		for i := 0; i < d; i++ {
+			l.Set(i, j, scale*eig.Vectors.At(i, j))
+		}
+	}
+	return l, rank
+}
+
+// addOuterRow accumulates row·rowᵀ into m, exploiting sparsity.
+func addOuterRow(m *linalg.Dense, row dataset.Row) {
+	switch r := row.(type) {
+	case *dataset.SparseRow:
+		for ki, i := range r.Idx {
+			vi := r.Val[ki]
+			if vi == 0 {
+				continue
+			}
+			mrow := m.Row(int(i))
+			for kj, j := range r.Idx {
+				mrow[j] += vi * r.Val[kj]
+			}
+		}
+	case dataset.DenseRow:
+		m.OuterAdd(1, r, r)
+	default:
+		dense := make([]float64, row.Dim())
+		row.AddTo(dense, 1)
+		m.OuterAdd(1, dense, dense)
+	}
+}
+
+// closedForm implements §3.4 Method 1: the model supplies H(θ) analytically
+// and J = H − βI (the Jacobian of g − r).
+func closedForm(spec models.Spec, sample *dataset.Dataset, theta []float64, opt Options) (*Statistics, error) {
+	hs, ok := spec.(models.Hessianer)
+	if !ok {
+		return nil, ErrNoHessian
+	}
+	h := hs.Hessian(theta, sample)
+	return statsFromHessian(h, spec.Beta(), ClosedForm, 0, opt)
+}
+
+// inverseGradients implements §3.4 Method 2: H ≈ R·P⁻¹ with P = ϵI, i.e.
+// column j of H is (g(θ+ϵe_j) − g(θ))/ϵ. Needs d+1 grads calls — the cost
+// compared against ObservedFisher in Figure 9b.
+func inverseGradients(spec models.Spec, sample *dataset.Dataset, theta []float64, opt Options) (*Statistics, error) {
+	d := len(theta)
+	g0 := models.BatchGradient(spec, sample, theta)
+	h := linalg.NewDense(d, d)
+	pert := linalg.CopyVec(theta)
+	for j := 0; j < d; j++ {
+		pert[j] = theta[j] + opt.FDStep
+		gj := models.BatchGradient(spec, sample, pert)
+		pert[j] = theta[j]
+		for i := 0; i < d; i++ {
+			h.Set(i, j, (gj[i]-g0[i])/opt.FDStep)
+		}
+	}
+	h.Symmetrize()
+	return statsFromHessian(h, spec.Beta(), InverseGradients, d+1, opt)
+}
+
+// statsFromHessian turns an explicit H into a factor for H⁻¹JH⁻¹ with
+// J = H − βI, via M = H⁻¹JH⁻¹ and a symmetric eigendecomposition
+// (negative eigenvalues from sampling noise are clamped to zero — the
+// footnote-2 treatment of not-fully-converged optima).
+func statsFromHessian(h *linalg.Dense, beta float64, method Method, gradsCalls int, opt Options) (*Statistics, error) {
+	d := h.Rows
+	j := h.Clone()
+	j.AddDiag(-beta)
+	lu, err := linalg.NewLU(h)
+	if err != nil {
+		// H is singular (e.g. collinear features with β = 0): regularize
+		// minimally and retry so the estimator can still answer.
+		hj := h.Clone()
+		hj.AddDiag(1e-8 * (1 + h.FrobeniusNorm()/float64(d)))
+		lu, err = linalg.NewLU(hj)
+		if err != nil {
+			return nil, fmt.Errorf("core: Hessian is singular: %w", err)
+		}
+	}
+	hinvJ := lu.SolveMat(j)     // H⁻¹J
+	m := lu.SolveMat(hinvJ.T()) // H⁻¹(H⁻¹J)ᵀ = H⁻¹JH⁻¹ (J symmetric)
+	m.Symmetrize()
+	eig, err := linalg.NewSymEig(m)
+	if err != nil {
+		return nil, fmt.Errorf("core: covariance eigendecomposition failed: %w", err)
+	}
+	lamMax := math.Max(eig.Values[0], 0)
+	cut := opt.SVDRelTol * opt.SVDRelTol * lamMax
+	rank := 0
+	for rank < d && eig.Values[rank] > cut && eig.Values[rank] > 0 {
+		rank++
+	}
+	l := linalg.NewDense(d, rank)
+	for jj := 0; jj < rank; jj++ {
+		s := math.Sqrt(eig.Values[jj])
+		for i := 0; i < d; i++ {
+			l.Set(i, jj, s*eig.Vectors.At(i, jj))
+		}
+	}
+	return &Statistics{
+		Factor:     &DenseFactor{L: l},
+		Method:     method,
+		Rank:       rank,
+		H:          h,
+		J:          j,
+		GradsCalls: gradsCalls,
+	}, nil
+}
+
+// Alpha returns the Theorem-1 covariance scale α = 1/n − 1/N, clamped at
+// zero for n ≥ N.
+func Alpha(n, N int) float64 {
+	if n >= N {
+		return 0
+	}
+	return 1/float64(n) - 1/float64(N)
+}

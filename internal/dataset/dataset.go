@@ -1,0 +1,244 @@
+// Package dataset defines BlinkML's training-data representation: rows that
+// may be dense or sparse, labeled datasets, uniform random sampling without
+// replacement, and the train/holdout split the accuracy estimator needs.
+//
+// Sparse rows are what make the paper's high-dimensional regimes (Criteo at
+// ~10⁶ one-hot features, Yelp bag-of-words) representable in memory: row
+// storage is O(nnz), and every model computes gradients through the Row
+// interface so the cost of a gradient step is O(nnz) too.
+package dataset
+
+import (
+	"fmt"
+	"math"
+
+	"blinkml/internal/stat"
+)
+
+// Row is one feature vector. Implementations must be immutable after
+// construction; the package exposes dense and sparse implementations.
+type Row interface {
+	// Dot returns the inner product with a dense vector of length >= Dim.
+	Dot(dense []float64) float64
+	// AddTo accumulates scale * row into dst (len(dst) >= Dim).
+	AddTo(dst []float64, scale float64)
+	// Dim returns the ambient dimensionality.
+	Dim() int
+	// NNZ returns the number of stored (possibly non-zero) entries.
+	NNZ() int
+	// ForEach calls fn for every stored entry.
+	ForEach(fn func(idx int, val float64))
+}
+
+// DenseRow is a dense feature vector.
+type DenseRow []float64
+
+// Dot implements Row.
+func (r DenseRow) Dot(dense []float64) float64 {
+	var s float64
+	for i, v := range r {
+		s += v * dense[i]
+	}
+	return s
+}
+
+// AddTo implements Row.
+func (r DenseRow) AddTo(dst []float64, scale float64) {
+	for i, v := range r {
+		dst[i] += scale * v
+	}
+}
+
+// Dim implements Row.
+func (r DenseRow) Dim() int { return len(r) }
+
+// NNZ implements Row.
+func (r DenseRow) NNZ() int { return len(r) }
+
+// ForEach implements Row.
+func (r DenseRow) ForEach(fn func(idx int, val float64)) {
+	for i, v := range r {
+		fn(i, v)
+	}
+}
+
+// SparseRow is a compressed sparse feature vector with sorted indices.
+type SparseRow struct {
+	N   int // ambient dimension
+	Idx []int32
+	Val []float64
+}
+
+// NewSparseRow builds a sparse row; idx must be strictly increasing and
+// within [0, dim).
+func NewSparseRow(dim int, idx []int32, val []float64) (*SparseRow, error) {
+	if len(idx) != len(val) {
+		return nil, fmt.Errorf("dataset: index/value length mismatch %d != %d", len(idx), len(val))
+	}
+	prev := int32(-1)
+	for _, i := range idx {
+		if i <= prev || int(i) >= dim {
+			return nil, fmt.Errorf("dataset: sparse index %d out of order or out of range [0,%d)", i, dim)
+		}
+		prev = i
+	}
+	return &SparseRow{N: dim, Idx: idx, Val: val}, nil
+}
+
+// Dot implements Row.
+func (r *SparseRow) Dot(dense []float64) float64 {
+	var s float64
+	for k, i := range r.Idx {
+		s += r.Val[k] * dense[i]
+	}
+	return s
+}
+
+// AddTo implements Row.
+func (r *SparseRow) AddTo(dst []float64, scale float64) {
+	for k, i := range r.Idx {
+		dst[i] += scale * r.Val[k]
+	}
+}
+
+// Dim implements Row.
+func (r *SparseRow) Dim() int { return r.N }
+
+// NNZ implements Row.
+func (r *SparseRow) NNZ() int { return len(r.Idx) }
+
+// ForEach implements Row.
+func (r *SparseRow) ForEach(fn func(idx int, val float64)) {
+	for k, i := range r.Idx {
+		fn(int(i), r.Val[k])
+	}
+}
+
+// Task tags the label semantics of a dataset.
+type Task int
+
+const (
+	// Regression labels are real-valued targets.
+	Regression Task = iota
+	// BinaryClassification labels are 0 or 1.
+	BinaryClassification
+	// MultiClassification labels are class indices 0..K-1 stored as float64.
+	MultiClassification
+	// Unsupervised datasets (PPCA) carry no labels.
+	Unsupervised
+)
+
+// Dataset is an in-memory labeled dataset.
+type Dataset struct {
+	X          []Row
+	Y          []float64 // empty for Unsupervised
+	Dim        int
+	Task       Task
+	NumClasses int // populated for MultiClassification
+	Name       string
+}
+
+// Len returns the number of rows.
+func (d *Dataset) Len() int { return len(d.X) }
+
+// Validate checks internal consistency and finiteness of the labels.
+func (d *Dataset) Validate() error {
+	if d.Task != Unsupervised && len(d.Y) != len(d.X) {
+		return fmt.Errorf("dataset %q: %d rows but %d labels", d.Name, len(d.X), len(d.Y))
+	}
+	for i, r := range d.X {
+		if r.Dim() != d.Dim {
+			return fmt.Errorf("dataset %q: row %d has dim %d, want %d", d.Name, i, r.Dim(), d.Dim)
+		}
+	}
+	for i, y := range d.Y {
+		if math.IsNaN(y) || math.IsInf(y, 0) {
+			return fmt.Errorf("dataset %q: label %d is not finite", d.Name, i)
+		}
+		if d.Task == BinaryClassification && y != 0 && y != 1 {
+			return fmt.Errorf("dataset %q: binary label %d is %v", d.Name, i, y)
+		}
+		if d.Task == MultiClassification {
+			c := int(y)
+			if float64(c) != y || c < 0 || c >= d.NumClasses {
+				return fmt.Errorf("dataset %q: class label %d is %v (K=%d)", d.Name, i, y, d.NumClasses)
+			}
+		}
+	}
+	return nil
+}
+
+// Subset returns a view over the given row indices (rows are shared, not
+// copied).
+func (d *Dataset) Subset(idx []int) *Dataset {
+	sub := &Dataset{
+		X:          make([]Row, len(idx)),
+		Dim:        d.Dim,
+		Task:       d.Task,
+		NumClasses: d.NumClasses,
+		Name:       d.Name,
+	}
+	if d.Task != Unsupervised {
+		sub.Y = make([]float64, len(idx))
+	}
+	for j, i := range idx {
+		sub.X[j] = d.X[i]
+		if d.Task != Unsupervised {
+			sub.Y[j] = d.Y[i]
+		}
+	}
+	return sub
+}
+
+// SampleWithoutReplacement returns n distinct uniform indices into a
+// population of the given size, using a partial Fisher-Yates shuffle
+// (O(size) memory, O(n) swaps). It panics if n > size; callers are expected
+// to clamp first.
+func SampleWithoutReplacement(rng *stat.RNG, size, n int) []int {
+	if n > size {
+		panic(fmt.Sprintf("dataset: sample size %d exceeds population %d", n, size))
+	}
+	idx := make([]int, size)
+	for i := range idx {
+		idx[i] = i
+	}
+	for i := 0; i < n; i++ {
+		j := i + rng.Intn(size-i)
+		idx[i], idx[j] = idx[j], idx[i]
+	}
+	return idx[:n:n]
+}
+
+// Split holds the three index sets BlinkML works with: the training pool
+// (what "the full model" would train on), the holdout used by diff(), and a
+// test set for generalization-error reporting.
+type Split struct {
+	Train   []int
+	Holdout []int
+	Test    []int
+}
+
+// NewSplit shuffles [0, n) with the given RNG and carves off holdout and
+// test fractions (the remainder is the training pool). Fractions are
+// clamped so every part gets at least one row when n >= 3.
+func NewSplit(rng *stat.RNG, n int, holdoutFrac, testFrac float64) Split {
+	perm := rng.Perm(n)
+	h := int(float64(n) * holdoutFrac)
+	t := int(float64(n) * testFrac)
+	if n >= 3 {
+		if h < 1 {
+			h = 1
+		}
+		if t < 1 && testFrac > 0 {
+			t = 1
+		}
+	}
+	if h+t > n {
+		h, t = n/2, n-n/2
+	}
+	return Split{
+		Holdout: perm[:h:h],
+		Test:    perm[h : h+t : h+t],
+		Train:   perm[h+t:],
+	}
+}

@@ -1,0 +1,220 @@
+package dataset
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ReadCSV parses a dense labeled dataset from CSV text: one row per line,
+// the label in the given column (negative counts from the end, -1 = last),
+// every other column a float feature. A non-numeric first line is treated
+// as a header and skipped. The task tags the label semantics; NumClasses is
+// inferred for MultiClassification.
+func ReadCSV(r io.Reader, labelCol int, task Task) (*Dataset, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	ds := &Dataset{Task: task, Name: "csv"}
+	lineNo := 0
+	maxClass := -1
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Split(line, ",")
+		lc := labelCol
+		if lc < 0 {
+			lc = len(fields) + lc
+		}
+		if lc < 0 || lc >= len(fields) {
+			return nil, fmt.Errorf("dataset: line %d: label column %d out of range (%d fields)", lineNo, labelCol, len(fields))
+		}
+		vals := make([]float64, 0, len(fields)-1)
+		var label float64
+		parseErr := false
+		for i, f := range fields {
+			v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+			if err != nil {
+				parseErr = true
+				break
+			}
+			if i == lc {
+				label = v
+			} else {
+				vals = append(vals, v)
+			}
+		}
+		if parseErr {
+			if lineNo == 1 && ds.Len() == 0 {
+				continue // header line
+			}
+			return nil, fmt.Errorf("dataset: line %d: non-numeric field", lineNo)
+		}
+		if ds.Dim == 0 {
+			ds.Dim = len(vals)
+		} else if len(vals) != ds.Dim {
+			return nil, fmt.Errorf("dataset: line %d has %d features, want %d", lineNo, len(vals), ds.Dim)
+		}
+		ds.X = append(ds.X, DenseRow(vals))
+		ds.Y = append(ds.Y, label)
+		if c := int(label); task == MultiClassification && float64(c) == label && c > maxClass {
+			maxClass = c
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("dataset: reading CSV: %w", err)
+	}
+	if task == MultiClassification {
+		ds.NumClasses = maxClass + 1
+	}
+	if err := ds.Validate(); err != nil {
+		return nil, err
+	}
+	return ds, nil
+}
+
+// WriteCSV writes the dataset as CSV with the label in the last column.
+// Sparse rows are densified (CSV is a dense format; use WriteLibSVM for
+// sparse data).
+func WriteCSV(w io.Writer, ds *Dataset) error {
+	bw := bufio.NewWriter(w)
+	dense := make([]float64, ds.Dim)
+	for i := 0; i < ds.Len(); i++ {
+		for j := range dense {
+			dense[j] = 0
+		}
+		ds.X[i].AddTo(dense, 1)
+		for _, v := range dense {
+			if _, err := fmt.Fprintf(bw, "%g,", v); err != nil {
+				return err
+			}
+		}
+		label := 0.0
+		if ds.Task != Unsupervised {
+			label = ds.Y[i]
+		}
+		if _, err := fmt.Fprintf(bw, "%g\n", label); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadLibSVM parses the sparse LibSVM/SVMlight format:
+//
+//	<label> <index>:<value> <index>:<value> ...
+//
+// Indices are 1-based in the format and converted to 0-based here. dim of 0
+// infers the dimension from the largest index seen.
+func ReadLibSVM(r io.Reader, dim int, task Task) (*Dataset, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	type rawRow struct {
+		idx   []int32
+		val   []float64
+		label float64
+	}
+	var raws []rawRow
+	maxIdx := int32(-1)
+	lineNo := 0
+	maxClass := -1
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		label, err := strconv.ParseFloat(fields[0], 64)
+		if err != nil {
+			return nil, fmt.Errorf("dataset: line %d: bad label %q", lineNo, fields[0])
+		}
+		row := rawRow{label: label}
+		prev := int32(-1)
+		for _, f := range fields[1:] {
+			colon := strings.IndexByte(f, ':')
+			if colon <= 0 {
+				return nil, fmt.Errorf("dataset: line %d: bad pair %q", lineNo, f)
+			}
+			idx1, err := strconv.Atoi(f[:colon])
+			if err != nil || idx1 < 1 {
+				return nil, fmt.Errorf("dataset: line %d: bad index %q", lineNo, f[:colon])
+			}
+			v, err := strconv.ParseFloat(f[colon+1:], 64)
+			if err != nil {
+				return nil, fmt.Errorf("dataset: line %d: bad value %q", lineNo, f[colon+1:])
+			}
+			idx := int32(idx1 - 1)
+			if idx <= prev {
+				return nil, fmt.Errorf("dataset: line %d: indices not strictly increasing", lineNo)
+			}
+			prev = idx
+			row.idx = append(row.idx, idx)
+			row.val = append(row.val, v)
+			if idx > maxIdx {
+				maxIdx = idx
+			}
+		}
+		raws = append(raws, row)
+		if c := int(label); task == MultiClassification && float64(c) == label && c > maxClass {
+			maxClass = c
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("dataset: reading LibSVM: %w", err)
+	}
+	if dim <= 0 {
+		dim = int(maxIdx) + 1
+	} else if int(maxIdx) >= dim {
+		return nil, fmt.Errorf("dataset: index %d exceeds declared dim %d", maxIdx+1, dim)
+	}
+	ds := &Dataset{Dim: dim, Task: task, Name: "libsvm"}
+	for _, raw := range raws {
+		sp, err := NewSparseRow(dim, raw.idx, raw.val)
+		if err != nil {
+			return nil, err
+		}
+		ds.X = append(ds.X, sp)
+		ds.Y = append(ds.Y, raw.label)
+	}
+	if task == MultiClassification {
+		ds.NumClasses = maxClass + 1
+	}
+	if err := ds.Validate(); err != nil {
+		return nil, err
+	}
+	return ds, nil
+}
+
+// WriteLibSVM writes the dataset in LibSVM format (1-based indices,
+// zero-valued stored entries skipped).
+func WriteLibSVM(w io.Writer, ds *Dataset) error {
+	bw := bufio.NewWriter(w)
+	for i := 0; i < ds.Len(); i++ {
+		label := 0.0
+		if ds.Task != Unsupervised {
+			label = ds.Y[i]
+		}
+		if _, err := fmt.Fprintf(bw, "%g", label); err != nil {
+			return err
+		}
+		var werr error
+		ds.X[i].ForEach(func(j int, v float64) {
+			if v == 0 || werr != nil {
+				return
+			}
+			_, werr = fmt.Fprintf(bw, " %d:%g", j+1, v)
+		})
+		if werr != nil {
+			return werr
+		}
+		if _, err := fmt.Fprintln(bw); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,166 @@
+package dataset
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestReadCSVBasic(t *testing.T) {
+	in := "x1,x2,y\n1,2,0\n3,4,1\n"
+	ds, err := ReadCSV(strings.NewReader(in), -1, BinaryClassification)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Len() != 2 || ds.Dim != 2 {
+		t.Fatalf("len=%d dim=%d", ds.Len(), ds.Dim)
+	}
+	if ds.Y[0] != 0 || ds.Y[1] != 1 {
+		t.Fatalf("labels %v", ds.Y)
+	}
+	if ds.X[1].Dot([]float64{1, 1}) != 7 {
+		t.Fatal("features wrong")
+	}
+}
+
+func TestReadCSVLabelColumnVariants(t *testing.T) {
+	in := "5,1,2\n6,3,4\n"
+	ds, err := ReadCSV(strings.NewReader(in), 0, Regression)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Y[0] != 5 || ds.Y[1] != 6 {
+		t.Fatalf("labels %v", ds.Y)
+	}
+	if _, err := ReadCSV(strings.NewReader(in), 7, Regression); err == nil {
+		t.Fatal("out-of-range label column accepted")
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	if _, err := ReadCSV(strings.NewReader("1,2\n3\n"), -1, Regression); err == nil {
+		t.Fatal("ragged rows accepted")
+	}
+	if _, err := ReadCSV(strings.NewReader("1,2\nx,3\n"), -1, Regression); err == nil {
+		t.Fatal("non-numeric mid-file accepted")
+	}
+}
+
+func TestReadCSVMultiClassInference(t *testing.T) {
+	in := "1,0\n2,2\n3,1\n"
+	ds, err := ReadCSV(strings.NewReader(in), -1, MultiClassification)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.NumClasses != 3 {
+		t.Fatalf("classes=%d want 3", ds.NumClasses)
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	orig := &Dataset{Dim: 3, Task: Regression, Name: "rt"}
+	orig.X = append(orig.X, DenseRow{1, 2, 3}, DenseRow{4, 0, 6})
+	orig.Y = append(orig.Y, 0.5, -1.25)
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf, -1, Regression)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != 2 || back.Dim != 3 {
+		t.Fatalf("round trip shape %d x %d", back.Len(), back.Dim)
+	}
+	for i := range back.Y {
+		if back.Y[i] != orig.Y[i] {
+			t.Fatalf("label %d: %v != %v", i, back.Y[i], orig.Y[i])
+		}
+		a := make([]float64, 3)
+		b := make([]float64, 3)
+		back.X[i].AddTo(a, 1)
+		orig.X[i].AddTo(b, 1)
+		for j := range a {
+			if a[j] != b[j] {
+				t.Fatalf("row %d feature %d: %v != %v", i, j, a[j], b[j])
+			}
+		}
+	}
+}
+
+func TestReadLibSVMBasic(t *testing.T) {
+	in := "1 1:0.5 3:2\n0 2:1\n"
+	ds, err := ReadLibSVM(strings.NewReader(in), 0, BinaryClassification)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Dim != 3 || ds.Len() != 2 {
+		t.Fatalf("dim=%d len=%d", ds.Dim, ds.Len())
+	}
+	if ds.X[0].NNZ() != 2 || ds.X[1].NNZ() != 1 {
+		t.Fatal("sparsity wrong")
+	}
+	if got := ds.X[0].Dot([]float64{1, 1, 1}); got != 2.5 {
+		t.Fatalf("row 0 sum %v", got)
+	}
+}
+
+func TestReadLibSVMErrors(t *testing.T) {
+	cases := []string{
+		"x 1:1\n",     // bad label
+		"1 0:1\n",     // index < 1
+		"1 2:1 1:1\n", // out of order
+		"1 1:x\n",     // bad value
+		"1 nocolon\n", // missing colon
+	}
+	for _, in := range cases {
+		if _, err := ReadLibSVM(strings.NewReader(in), 0, Regression); err == nil {
+			t.Errorf("malformed input accepted: %q", in)
+		}
+	}
+	// Declared dim too small.
+	if _, err := ReadLibSVM(strings.NewReader("1 5:1\n"), 3, Regression); err == nil {
+		t.Error("index beyond declared dim accepted")
+	}
+}
+
+func TestLibSVMRoundTrip(t *testing.T) {
+	orig := &Dataset{Dim: 6, Task: MultiClassification, NumClasses: 3, Name: "rt"}
+	r1, _ := NewSparseRow(6, []int32{0, 4}, []float64{1.5, -2})
+	r2, _ := NewSparseRow(6, []int32{2}, []float64{7})
+	orig.X = append(orig.X, r1, r2)
+	orig.Y = append(orig.Y, 2, 0)
+	var buf bytes.Buffer
+	if err := WriteLibSVM(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadLibSVM(&buf, 6, MultiClassification)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumClasses != 3 {
+		t.Fatalf("classes=%d", back.NumClasses)
+	}
+	for i := range orig.X {
+		a := make([]float64, 6)
+		b := make([]float64, 6)
+		back.X[i].AddTo(a, 1)
+		orig.X[i].AddTo(b, 1)
+		for j := range a {
+			if a[j] != b[j] {
+				t.Fatalf("row %d feature %d: %v != %v", i, j, a[j], b[j])
+			}
+		}
+	}
+}
+
+func TestReadLibSVMSkipsCommentsAndBlanks(t *testing.T) {
+	in := "# comment\n\n1 1:1\n"
+	ds, err := ReadLibSVM(strings.NewReader(in), 0, Regression)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Len() != 1 {
+		t.Fatalf("len=%d", ds.Len())
+	}
+}

@@ -1,0 +1,78 @@
+package linalg
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchMatrix(n, m int) *Dense {
+	rng := rand.New(rand.NewSource(1))
+	return randDense(rng, n, m)
+}
+
+func BenchmarkMatMul64(b *testing.B) {
+	a := benchMatrix(64, 64)
+	c := benchMatrix(64, 64)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		MatMul(a, c)
+	}
+}
+
+func BenchmarkSymEig64(b *testing.B) {
+	a := benchMatrix(64, 64)
+	a.Symmetrize()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := NewSymEig(a); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSymEig256(b *testing.B) {
+	a := benchMatrix(256, 256)
+	a.Symmetrize()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := NewSymEig(a); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkThinSVDTall(b *testing.B) {
+	a := benchMatrix(512, 32)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := NewThinSVD(a, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCholesky128(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	a := randSPD(rng, 128)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := NewCholesky(a); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLUSolve128(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	a := randSPD(rng, 128)
+	rhs := randVec(rng, 128)
+	f, err := NewLU(a)
+	if err != nil {
+		b.Fatal(err)
+	}
+	dst := make([]float64, 128)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		f.Solve(rhs, dst)
+	}
+}

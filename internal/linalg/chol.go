@@ -1,0 +1,109 @@
+package linalg
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrNotPositiveDefinite is returned by NewCholesky when the input is not
+// (numerically) positive definite.
+var ErrNotPositiveDefinite = errors.New("linalg: matrix is not positive definite")
+
+// Cholesky holds the lower-triangular factor L with A = L*Lᵀ.
+type Cholesky struct {
+	L *Dense
+}
+
+// NewCholesky factors the symmetric positive-definite matrix a (only the
+// lower triangle is read). The input is not modified.
+func NewCholesky(a *Dense) (*Cholesky, error) {
+	if a.Rows != a.Cols {
+		return nil, errors.New("linalg: Cholesky of non-square matrix")
+	}
+	n := a.Rows
+	l := NewDense(n, n)
+	for j := 0; j < n; j++ {
+		d := a.At(j, j) - Dot(l.Row(j)[:j], l.Row(j)[:j])
+		if d <= 0 || math.IsNaN(d) {
+			return nil, ErrNotPositiveDefinite
+		}
+		ljj := math.Sqrt(d)
+		l.Set(j, j, ljj)
+		for i := j + 1; i < n; i++ {
+			v := (a.At(i, j) - Dot(l.Row(i)[:j], l.Row(j)[:j])) / ljj
+			l.Set(i, j, v)
+		}
+	}
+	return &Cholesky{L: l}, nil
+}
+
+// NewCholeskyJittered retries the factorization with geometrically growing
+// diagonal jitter until it succeeds (or maxTries is exhausted). It returns
+// the factor and the jitter that was finally applied. BlinkML uses this for
+// the ClosedForm and InverseGradients covariance paths, where sampling noise
+// can make an asymptotically-PSD matrix slightly indefinite.
+func NewCholeskyJittered(a *Dense, initial float64, maxTries int) (*Cholesky, float64, error) {
+	jitter := 0.0
+	work := a.Clone()
+	for try := 0; try <= maxTries; try++ {
+		c, err := NewCholesky(work)
+		if err == nil {
+			return c, jitter, nil
+		}
+		if try == maxTries {
+			break
+		}
+		add := initial
+		if jitter > 0 {
+			add = jitter * 9 // total jitter becomes 10x the previous
+		}
+		work.AddDiag(add)
+		jitter += add
+	}
+	return nil, jitter, ErrNotPositiveDefinite
+}
+
+// Solve computes x with A*x = b, writing into dst. dst may alias b.
+func (c *Cholesky) Solve(b, dst []float64) {
+	n := c.L.Rows
+	if len(b) != n || len(dst) != n {
+		panic("linalg: Cholesky.Solve dimension mismatch")
+	}
+	y := make([]float64, n)
+	// Forward: L*y = b.
+	for i := 0; i < n; i++ {
+		y[i] = (b[i] - Dot(c.L.Row(i)[:i], y[:i])) / c.L.At(i, i)
+	}
+	// Backward: Lᵀ*x = y.
+	for i := n - 1; i >= 0; i-- {
+		s := y[i]
+		for k := i + 1; k < n; k++ {
+			s -= c.L.At(k, i) * y[k]
+		}
+		y[i] = s / c.L.At(i, i)
+	}
+	copy(dst, y)
+}
+
+// MulVec computes dst = L*z, used to map standard-normal draws to draws
+// with covariance L*Lᵀ.
+func (c *Cholesky) MulVec(z, dst []float64) {
+	n := c.L.Rows
+	if len(z) != n || len(dst) != n {
+		panic("linalg: Cholesky.MulVec dimension mismatch")
+	}
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		out[i] = Dot(c.L.Row(i)[:i+1], z[:i+1])
+	}
+	copy(dst, out)
+}
+
+// LogDet returns log det(A) = 2*sum(log L_ii).
+func (c *Cholesky) LogDet() float64 {
+	var s float64
+	for i := 0; i < c.L.Rows; i++ {
+		s += math.Log(c.L.At(i, i))
+	}
+	return 2 * s
+}

@@ -1,0 +1,207 @@
+package linalg
+
+import (
+	"fmt"
+	"math"
+)
+
+// Dense is a row-major dense matrix. The zero value is an empty matrix;
+// use NewDense to allocate one with a shape.
+type Dense struct {
+	Rows, Cols int
+	Data       []float64 // len == Rows*Cols, row-major
+}
+
+// NewDense allocates a Rows x Cols zero matrix.
+func NewDense(rows, cols int) *Dense {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("linalg: negative dimension %dx%d", rows, cols))
+	}
+	return &Dense{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// NewDenseFrom wraps data (row-major) without copying. len(data) must be
+// rows*cols.
+func NewDenseFrom(rows, cols int, data []float64) *Dense {
+	if len(data) != rows*cols {
+		panic(fmt.Sprintf("linalg: data length %d != %d*%d", len(data), rows, cols))
+	}
+	return &Dense{Rows: rows, Cols: cols, Data: data}
+}
+
+// Identity returns the n x n identity matrix.
+func Identity(n int) *Dense {
+	m := NewDense(n, n)
+	for i := 0; i < n; i++ {
+		m.Data[i*n+i] = 1
+	}
+	return m
+}
+
+// At returns element (i, j).
+func (m *Dense) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m *Dense) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Row returns row i as a slice aliasing the matrix storage.
+func (m *Dense) Row(i int) []float64 { return m.Data[i*m.Cols : (i+1)*m.Cols] }
+
+// Clone returns a deep copy.
+func (m *Dense) Clone() *Dense {
+	return &Dense{Rows: m.Rows, Cols: m.Cols, Data: CopyVec(m.Data)}
+}
+
+// T returns the transpose as a new matrix.
+func (m *Dense) T() *Dense {
+	t := NewDense(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for j, v := range row {
+			t.Data[j*t.Cols+i] = v
+		}
+	}
+	return t
+}
+
+// MulVec computes dst = M * x. dst must have length M.Rows and must not
+// alias x.
+func (m *Dense) MulVec(x, dst []float64) {
+	if len(x) != m.Cols || len(dst) != m.Rows {
+		panic(fmt.Sprintf("linalg: MulVec shape mismatch (%dx%d)*%d->%d", m.Rows, m.Cols, len(x), len(dst)))
+	}
+	for i := 0; i < m.Rows; i++ {
+		dst[i] = Dot(m.Row(i), x)
+	}
+}
+
+// MulTransVec computes dst = Mᵀ * x. dst must have length M.Cols and must
+// not alias x.
+func (m *Dense) MulTransVec(x, dst []float64) {
+	if len(x) != m.Rows || len(dst) != m.Cols {
+		panic(fmt.Sprintf("linalg: MulTransVec shape mismatch (%dx%d)ᵀ*%d->%d", m.Rows, m.Cols, len(x), len(dst)))
+	}
+	Fill(dst, 0)
+	for i := 0; i < m.Rows; i++ {
+		Axpy(x[i], m.Row(i), dst)
+	}
+}
+
+// MatMul returns A * B as a new matrix.
+func MatMul(a, b *Dense) *Dense {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("linalg: MatMul shape mismatch (%dx%d)*(%dx%d)", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	c := NewDense(a.Rows, b.Cols)
+	// ikj loop order: stream rows of B, accumulate into rows of C.
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		crow := c.Row(i)
+		for k, av := range arow {
+			if av == 0 {
+				continue
+			}
+			Axpy(av, b.Row(k), crow)
+		}
+	}
+	return c
+}
+
+// MatMulTransA returns Aᵀ * B as a new matrix.
+func MatMulTransA(a, b *Dense) *Dense {
+	if a.Rows != b.Rows {
+		panic(fmt.Sprintf("linalg: MatMulTransA shape mismatch (%dx%d)ᵀ*(%dx%d)", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	c := NewDense(a.Cols, b.Cols)
+	for k := 0; k < a.Rows; k++ {
+		arow := a.Row(k)
+		brow := b.Row(k)
+		for i, av := range arow {
+			if av == 0 {
+				continue
+			}
+			Axpy(av, brow, c.Row(i))
+		}
+	}
+	return c
+}
+
+// MatMulTransB returns A * Bᵀ as a new matrix.
+func MatMulTransB(a, b *Dense) *Dense {
+	if a.Cols != b.Cols {
+		panic(fmt.Sprintf("linalg: MatMulTransB shape mismatch (%dx%d)*(%dx%d)ᵀ", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	c := NewDense(a.Rows, b.Rows)
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		crow := c.Row(i)
+		for j := 0; j < b.Rows; j++ {
+			crow[j] = Dot(arow, b.Row(j))
+		}
+	}
+	return c
+}
+
+// AddScaled computes m += a*other, in place.
+func (m *Dense) AddScaled(a float64, other *Dense) {
+	if m.Rows != other.Rows || m.Cols != other.Cols {
+		panic("linalg: AddScaled shape mismatch")
+	}
+	Axpy(a, other.Data, m.Data)
+}
+
+// ScaleInPlace multiplies every element by a.
+func (m *Dense) ScaleInPlace(a float64) { Scale(a, m.Data) }
+
+// AddDiag adds a to every diagonal element (the matrix must be square).
+func (m *Dense) AddDiag(a float64) {
+	if m.Rows != m.Cols {
+		panic("linalg: AddDiag on non-square matrix")
+	}
+	for i := 0; i < m.Rows; i++ {
+		m.Data[i*m.Cols+i] += a
+	}
+}
+
+// Symmetrize replaces m with (m + mᵀ)/2 (the matrix must be square).
+func (m *Dense) Symmetrize() {
+	if m.Rows != m.Cols {
+		panic("linalg: Symmetrize on non-square matrix")
+	}
+	for i := 0; i < m.Rows; i++ {
+		for j := i + 1; j < m.Cols; j++ {
+			v := (m.At(i, j) + m.At(j, i)) / 2
+			m.Set(i, j, v)
+			m.Set(j, i, v)
+		}
+	}
+}
+
+// FrobeniusNorm returns sqrt(sum of squared elements).
+func (m *Dense) FrobeniusNorm() float64 { return Norm2(m.Data) }
+
+// FrobeniusDistance returns ‖a - b‖_F. The matrices must share a shape.
+func FrobeniusDistance(a, b *Dense) float64 {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		panic("linalg: FrobeniusDistance shape mismatch")
+	}
+	var s float64
+	for i, v := range a.Data {
+		d := v - b.Data[i]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}
+
+// OuterAdd computes m += a * x*yᵀ, in place.
+func (m *Dense) OuterAdd(a float64, x, y []float64) {
+	if len(x) != m.Rows || len(y) != m.Cols {
+		panic("linalg: OuterAdd shape mismatch")
+	}
+	for i, xv := range x {
+		if xv == 0 {
+			continue
+		}
+		Axpy(a*xv, y, m.Row(i))
+	}
+}

@@ -1,0 +1,251 @@
+package linalg
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// SymEig holds the eigendecomposition of a symmetric matrix:
+// A = V * diag(Values) * Vᵀ, with eigenvalues sorted in descending order and
+// eigenvectors stored as the COLUMNS of V.
+type SymEig struct {
+	Values  []float64
+	Vectors *Dense // n x n, column j is the eigenvector for Values[j]
+}
+
+// NewSymEig computes the eigendecomposition of the symmetric matrix a using
+// Householder tridiagonalization followed by the implicit-shift QL
+// iteration (the classical tred2/tql2 pair). Only the symmetric part of a
+// is used. The input is not modified.
+func NewSymEig(a *Dense) (*SymEig, error) {
+	if a.Rows != a.Cols {
+		return nil, errors.New("linalg: SymEig of non-square matrix")
+	}
+	n := a.Rows
+	if n == 0 {
+		return &SymEig{Values: nil, Vectors: NewDense(0, 0)}, nil
+	}
+	v := a.Clone()
+	v.Symmetrize()
+	d := make([]float64, n)
+	e := make([]float64, n)
+	tred2(v, d, e)
+	// tql2 applies O(n²) Givens rotations to the eigenvector matrix; on the
+	// transposed copy each rotation touches two contiguous rows instead of
+	// two strided columns, which dominates the n³ cost.
+	vt := v.T()
+	if err := tql2(vt, d, e); err != nil {
+		return nil, err
+	}
+	// Sort eigenpairs by descending eigenvalue.
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(x, y int) bool { return d[idx[x]] > d[idx[y]] })
+	values := make([]float64, n)
+	vectors := NewDense(n, n)
+	for jNew, jOld := range idx {
+		values[jNew] = d[jOld]
+		row := vt.Row(jOld)
+		for i := 0; i < n; i++ {
+			vectors.Set(i, jNew, row[i])
+		}
+	}
+	return &SymEig{Values: values, Vectors: vectors}, nil
+}
+
+// tred2 reduces the symmetric matrix stored in v to tridiagonal form using
+// Householder reflections, accumulating the orthogonal transformation in v.
+// On return d holds the diagonal and e the subdiagonal (e[0] == 0).
+// This follows the EISPACK tred2 routine (as popularized by JAMA).
+func tred2(v *Dense, d, e []float64) {
+	n := v.Rows
+	for j := 0; j < n; j++ {
+		d[j] = v.At(n-1, j)
+	}
+	for i := n - 1; i > 0; i-- {
+		// Scale to avoid under/overflow.
+		scale, h := 0.0, 0.0
+		for k := 0; k < i; k++ {
+			scale += math.Abs(d[k])
+		}
+		if scale == 0 {
+			e[i] = d[i-1]
+			for j := 0; j < i; j++ {
+				d[j] = v.At(i-1, j)
+				v.Set(i, j, 0)
+				v.Set(j, i, 0)
+			}
+		} else {
+			for k := 0; k < i; k++ {
+				d[k] /= scale
+				h += d[k] * d[k]
+			}
+			f := d[i-1]
+			g := math.Sqrt(h)
+			if f > 0 {
+				g = -g
+			}
+			e[i] = scale * g
+			h -= f * g
+			d[i-1] = f - g
+			for j := 0; j < i; j++ {
+				e[j] = 0
+			}
+			// Apply the similarity transformation: e = V·d over the active
+			// lower triangle, walked row-by-row so every inner loop is
+			// contiguous (the strided column order of the textbook routine
+			// dominates the n³ cost otherwise).
+			for j := 0; j < i; j++ {
+				v.Set(j, i, d[j])
+				e[j] += v.At(j, j) * d[j]
+			}
+			for k := 1; k <= i-1; k++ {
+				row := v.Row(k)[:k]
+				dk := d[k]
+				var acc float64
+				for j, vkj := range row {
+					e[j] += vkj * dk
+					acc += vkj * d[j]
+				}
+				e[k] += acc
+			}
+			f = 0
+			for j := 0; j < i; j++ {
+				e[j] /= h
+				f += e[j] * d[j]
+			}
+			hh := f / (h + h)
+			for j := 0; j < i; j++ {
+				e[j] -= hh * d[j]
+			}
+			// Rank-two update of the active lower triangle, row-contiguous.
+			for k := 0; k <= i-1; k++ {
+				row := v.Row(k)[:k+1]
+				ek, dk := e[k], d[k]
+				for j := range row {
+					row[j] -= d[j]*ek + e[j]*dk
+				}
+			}
+			for j := 0; j < i; j++ {
+				d[j] = v.At(i-1, j)
+				v.Set(i, j, 0)
+			}
+		}
+		d[i] = h
+	}
+	// Accumulate transformations.
+	for i := 0; i < n-1; i++ {
+		v.Set(n-1, i, v.At(i, i))
+		v.Set(i, i, 1)
+		h := d[i+1]
+		if h != 0 {
+			for k := 0; k <= i; k++ {
+				d[k] = v.At(k, i+1) / h
+			}
+			// V -= d·(uᵀV) as two row-contiguous passes: w = Σ_k u_k·V[k,:]
+			// with u_k = V[k, i+1], then V[k,:] -= d[k]·w.
+			w := make([]float64, i+1)
+			for k := 0; k <= i; k++ {
+				Axpy(v.At(k, i+1), v.Row(k)[:i+1], w)
+			}
+			for k := 0; k <= i; k++ {
+				Axpy(-d[k], w, v.Row(k)[:i+1])
+			}
+		}
+		for k := 0; k <= i; k++ {
+			v.Set(k, i+1, 0)
+		}
+	}
+	for j := 0; j < n; j++ {
+		d[j] = v.At(n-1, j)
+		v.Set(n-1, j, 0)
+	}
+	v.Set(n-1, n-1, 1)
+	e[0] = 0
+}
+
+// tql2 diagonalizes the symmetric tridiagonal matrix (d, e) with the
+// implicit-shift QL method, accumulating eigenvectors into the TRANSPOSED
+// matrix vt (row j of vt ends up holding eigenvector j, so every rotation
+// works on contiguous memory). Follows the EISPACK tql2 routine.
+func tql2(vt *Dense, d, e []float64) error {
+	n := vt.Rows
+	for i := 1; i < n; i++ {
+		e[i-1] = e[i]
+	}
+	e[n-1] = 0
+
+	f, tst1 := 0.0, 0.0
+	eps := math.Pow(2, -52)
+	for l := 0; l < n; l++ {
+		tst1 = math.Max(tst1, math.Abs(d[l])+math.Abs(e[l]))
+		m := l
+		for m < n {
+			if math.Abs(e[m]) <= eps*tst1 {
+				break
+			}
+			m++
+		}
+		if m > l {
+			for iter := 0; ; iter++ {
+				if iter > 60 {
+					return errors.New("linalg: tql2 failed to converge")
+				}
+				// Compute implicit shift.
+				g := d[l]
+				p := (d[l+1] - g) / (2 * e[l])
+				r := math.Hypot(p, 1)
+				if p < 0 {
+					r = -r
+				}
+				d[l] = e[l] / (p + r)
+				d[l+1] = e[l] * (p + r)
+				dl1 := d[l+1]
+				h := g - d[l]
+				for i := l + 2; i < n; i++ {
+					d[i] -= h
+				}
+				f += h
+				// Implicit QL sweep.
+				p = d[m]
+				c, c2, c3 := 1.0, 1.0, 1.0
+				el1 := e[l+1]
+				s, s2 := 0.0, 0.0
+				for i := m - 1; i >= l; i-- {
+					c3 = c2
+					c2 = c
+					s2 = s
+					g = c * e[i]
+					h = c * p
+					r = math.Hypot(p, e[i])
+					e[i+1] = s * r
+					s = e[i] / r
+					c = p / r
+					p = c*d[i] - s*g
+					d[i+1] = h + s*(c*g+s*d[i])
+					// Accumulate eigenvectors: a Givens rotation of two
+					// contiguous rows of the transposed matrix.
+					ri := vt.Row(i)
+					ri1 := vt.Row(i + 1)
+					for k := 0; k < n; k++ {
+						h = ri1[k]
+						ri1[k] = s*ri[k] + c*h
+						ri[k] = c*ri[k] - s*h
+					}
+				}
+				p = -s * s2 * c3 * el1 * e[l] / dl1
+				e[l] = s * p
+				d[l] = c * p
+				if math.Abs(e[l]) <= eps*tst1 {
+					break
+				}
+			}
+		}
+		d[l] += f
+		e[l] = 0
+	}
+	return nil
+}

@@ -1,0 +1,143 @@
+package linalg
+
+import (
+	"errors"
+	"math"
+)
+
+// QR holds a Householder QR factorization A = Q*R of a tall matrix
+// (Rows >= Cols), stored compactly: the upper triangle of qr holds R, the
+// lower part the Householder vectors, rdiag the diagonal of R.
+type QR struct {
+	qr    *Dense
+	rdiag []float64
+}
+
+// NewQR factors a (Rows >= Cols required). The input is not modified.
+func NewQR(a *Dense) (*QR, error) {
+	if a.Rows < a.Cols {
+		return nil, errors.New("linalg: QR requires a tall matrix (rows >= cols)")
+	}
+	m, n := a.Rows, a.Cols
+	qr := a.Clone()
+	rdiag := make([]float64, n)
+	for k := 0; k < n; k++ {
+		// Householder vector for column k.
+		var nrm float64
+		for i := k; i < m; i++ {
+			nrm = math.Hypot(nrm, qr.At(i, k))
+		}
+		if nrm != 0 {
+			if qr.At(k, k) < 0 {
+				nrm = -nrm
+			}
+			for i := k; i < m; i++ {
+				qr.Set(i, k, qr.At(i, k)/nrm)
+			}
+			qr.Set(k, k, qr.At(k, k)+1)
+			// Apply the reflection to the remaining columns.
+			for j := k + 1; j < n; j++ {
+				var s float64
+				for i := k; i < m; i++ {
+					s += qr.At(i, k) * qr.At(i, j)
+				}
+				s = -s / qr.At(k, k)
+				for i := k; i < m; i++ {
+					qr.Set(i, j, qr.At(i, j)+s*qr.At(i, k))
+				}
+			}
+		}
+		rdiag[k] = -nrm
+	}
+	return &QR{qr: qr, rdiag: rdiag}, nil
+}
+
+// FullRank reports whether R has no (numerically) zero diagonal entries,
+// judged relative to the largest one (exact collinearity leaves rounding
+// residue, not exact zeros).
+func (f *QR) FullRank() bool {
+	var maxAbs float64
+	for _, d := range f.rdiag {
+		if a := math.Abs(d); a > maxAbs {
+			maxAbs = a
+		}
+	}
+	tol := 1e-12 * maxAbs
+	for _, d := range f.rdiag {
+		if math.Abs(d) <= tol {
+			return false
+		}
+	}
+	return true
+}
+
+// Solve computes the least-squares solution x minimizing ‖A·x − b‖₂,
+// writing it into dst (len = Cols). Returns ErrSingular when A is
+// rank-deficient.
+func (f *QR) Solve(b, dst []float64) error {
+	m, n := f.qr.Rows, f.qr.Cols
+	if len(b) != m || len(dst) != n {
+		return errors.New("linalg: QR.Solve dimension mismatch")
+	}
+	if !f.FullRank() {
+		return ErrSingular
+	}
+	y := CopyVec(b)
+	// Compute Qᵀb.
+	for k := 0; k < n; k++ {
+		if f.qr.At(k, k) == 0 {
+			continue
+		}
+		var s float64
+		for i := k; i < m; i++ {
+			s += f.qr.At(i, k) * y[i]
+		}
+		s = -s / f.qr.At(k, k)
+		for i := k; i < m; i++ {
+			y[i] += s * f.qr.At(i, k)
+		}
+	}
+	// Back-substitute R x = (Qᵀb)[:n].
+	for i := n - 1; i >= 0; i-- {
+		s := y[i]
+		for j := i + 1; j < n; j++ {
+			s -= f.qr.At(i, j) * dst[j]
+		}
+		dst[i] = s / f.rdiag[i]
+	}
+	return nil
+}
+
+// LeastSquares solves min ‖A·x − b‖₂ via QR, the numerically stable direct
+// method for linear regression (an alternative to the iterative trainers,
+// used by tests as an exact oracle).
+func LeastSquares(a *Dense, b []float64) ([]float64, error) {
+	f, err := NewQR(a)
+	if err != nil {
+		return nil, err
+	}
+	x := make([]float64, a.Cols)
+	if err := f.Solve(b, x); err != nil {
+		return nil, err
+	}
+	return x, nil
+}
+
+// RidgeLeastSquares solves min ‖A·x − b‖² + n·β‖x‖²/... precisely: the
+// Tikhonov system stacking √(n·β)·I below A, matching the mean-loss
+// convention f = (1/2n)‖Ax−b‖² + (β/2)‖x‖² used by the linear model.
+func RidgeLeastSquares(a *Dense, b []float64, beta float64) ([]float64, error) {
+	if beta <= 0 {
+		return LeastSquares(a, b)
+	}
+	m, n := a.Rows, a.Cols
+	stacked := NewDense(m+n, n)
+	copy(stacked.Data[:m*n], a.Data)
+	s := math.Sqrt(beta * float64(m))
+	for i := 0; i < n; i++ {
+		stacked.Set(m+i, i, s)
+	}
+	rhs := make([]float64, m+n)
+	copy(rhs, b)
+	return LeastSquares(stacked, rhs)
+}

@@ -1,0 +1,122 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestQRSolveSquare(t *testing.T) {
+	a := NewDenseFrom(2, 2, []float64{2, 1, 1, 3})
+	x, err := LeastSquares(a, []float64{5, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(x[0], 1, 1e-9) || !almostEq(x[1], 3, 1e-9) {
+		t.Fatalf("x=%v", x)
+	}
+}
+
+func TestQRRejectsWide(t *testing.T) {
+	if _, err := NewQR(NewDense(2, 3)); err == nil {
+		t.Fatal("wide matrix accepted")
+	}
+}
+
+func TestQRRankDeficient(t *testing.T) {
+	a := NewDenseFrom(3, 2, []float64{1, 2, 2, 4, 3, 6}) // col2 = 2*col1
+	f, err := NewQR(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.FullRank() {
+		t.Fatal("rank deficiency not detected")
+	}
+	if err := f.Solve([]float64{1, 2, 3}, make([]float64, 2)); err != ErrSingular {
+		t.Fatalf("want ErrSingular, got %v", err)
+	}
+}
+
+// Property: for consistent overdetermined systems, QR recovers the exact
+// solution; for noisy ones, the residual is orthogonal to the columns.
+func TestQRLeastSquaresProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m := 6 + r.Intn(20)
+		n := 1 + r.Intn(5)
+		a := randDense(r, m, n)
+		truth := randVec(r, n)
+		b := make([]float64, m)
+		a.MulVec(truth, b)
+		x, err := LeastSquares(a, b)
+		if err != nil {
+			return false
+		}
+		for i := range truth {
+			if math.Abs(x[i]-truth[i]) > 1e-7 {
+				return false
+			}
+		}
+		// Noisy system: residual must be orthogonal to range(A).
+		for i := range b {
+			b[i] += r.NormFloat64()
+		}
+		x, err = LeastSquares(a, b)
+		if err != nil {
+			return false
+		}
+		resid := make([]float64, m)
+		a.MulVec(x, resid)
+		Sub(resid, b, resid)
+		atr := make([]float64, n)
+		a.MulTransVec(resid, atr)
+		return NormInf(atr) < 1e-7*(1+Norm2(b))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Ridge least squares must match the normal-equation solution
+// (AᵀA/m + βI)x = Aᵀb/m.
+func TestRidgeLeastSquaresMatchesNormalEquations(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	m, n := 40, 5
+	a := randDense(r, m, n)
+	b := randVec(r, m)
+	beta := 0.3
+	x, err := RidgeLeastSquares(a, b, beta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lhs := MatMulTransA(a, a)
+	lhs.ScaleInPlace(1 / float64(m))
+	lhs.AddDiag(beta)
+	rhs := make([]float64, n)
+	a.MulTransVec(b, rhs)
+	Scale(1/float64(m), rhs)
+	want, err := SolveLinear(lhs, rhs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if math.Abs(x[i]-want[i]) > 1e-8 {
+			t.Fatalf("ridge x[%d]=%v want %v", i, x[i], want[i])
+		}
+	}
+	// β=0 falls back to ordinary least squares.
+	x0, err := RidgeLeastSquares(a, b, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ols, err := LeastSquares(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ols {
+		if x0[i] != ols[i] {
+			t.Fatal("β=0 ridge differs from OLS")
+		}
+	}
+}

@@ -1,0 +1,157 @@
+package models
+
+import (
+	"math"
+
+	"blinkml/internal/dataset"
+	"blinkml/internal/linalg"
+)
+
+// Diff computes the model difference v between two parameter vectors of the
+// same model class on a holdout set (the paper's diff MCS method, §2.1 and
+// Appendix C):
+//
+//   - classification: the disagreement rate E[1{m_a(x) ≠ m_b(x)}];
+//   - regression: the RMS prediction difference normalized by the RMS of
+//     the first model's predictions (substitution S6 — makes 1−v read as a
+//     relative accuracy, as the paper's plots do);
+//   - unsupervised (PPCA): 1 − cosine(θ_a, θ_b) on flattened parameters.
+//
+// The result is clamped to [0, 1] for classification and unsupervised
+// tasks; the normalized regression difference is clamped to [0, 1] as well
+// since a 100% relative deviation already means "no fidelity left".
+//
+// A spec implementing Differ overrides the default metric entirely (the
+// experiments use this to reproduce the paper's unnormalized Appendix-C
+// regression difference where the figure calls for it).
+func Diff(spec Spec, thetaA, thetaB []float64, holdout *dataset.Dataset) float64 {
+	if d, ok := spec.(Differ); ok {
+		return d.Diff(thetaA, thetaB, holdout)
+	}
+	switch spec.Task() {
+	case dataset.Unsupervised:
+		return clamp01(1 - linalg.Cosine(thetaA, thetaB))
+	case dataset.BinaryClassification, dataset.MultiClassification:
+		return classificationDiff(spec, thetaA, thetaB, holdout)
+	default:
+		return regressionDiff(spec, thetaA, thetaB, holdout)
+	}
+}
+
+// Differ lets a spec supply its own model-difference metric v(m_a, m_b).
+// Implementations must return values in [0, 1] with v(θ, θ) = 0.
+type Differ interface {
+	Diff(thetaA, thetaB []float64, holdout *dataset.Dataset) float64
+}
+
+// AbsoluteRMSDiff returns the paper's Appendix-C unnormalized regression
+// difference sqrt(E[(m_a(x) − m_b(x))²]) scaled by 1/scale and clamped to
+// [0, 1], for callers that need an absolute rather than relative tolerance.
+func AbsoluteRMSDiff(spec Spec, thetaA, thetaB []float64, holdout *dataset.Dataset, scale float64) float64 {
+	n := holdout.Len()
+	if n == 0 {
+		return 0
+	}
+	var sq float64
+	for i := 0; i < n; i++ {
+		d := spec.Predict(thetaA, holdout.X[i]) - spec.Predict(thetaB, holdout.X[i])
+		sq += d * d
+	}
+	if scale <= 0 {
+		scale = 1
+	}
+	return clamp01(math.Sqrt(sq/float64(n)) / scale)
+}
+
+func classificationDiff(spec Spec, thetaA, thetaB []float64, holdout *dataset.Dataset) float64 {
+	n := holdout.Len()
+	if n == 0 {
+		return 0
+	}
+	disagree := 0
+	for i := 0; i < n; i++ {
+		if spec.Predict(thetaA, holdout.X[i]) != spec.Predict(thetaB, holdout.X[i]) {
+			disagree++
+		}
+	}
+	return float64(disagree) / float64(n)
+}
+
+func regressionDiff(spec Spec, thetaA, thetaB []float64, holdout *dataset.Dataset) float64 {
+	n := holdout.Len()
+	if n == 0 {
+		return 0
+	}
+	var sqDiff, sqBase float64
+	for i := 0; i < n; i++ {
+		a := spec.Predict(thetaA, holdout.X[i])
+		b := spec.Predict(thetaB, holdout.X[i])
+		d := a - b
+		sqDiff += d * d
+		sqBase += a * a
+	}
+	base := math.Sqrt(sqBase / float64(n))
+	if base < 1e-12 {
+		base = 1e-12
+	}
+	return clamp01(math.Sqrt(sqDiff/float64(n)) / base)
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+// Accuracy returns the fraction of holdout rows whose predicted label
+// matches the true label (classification tasks only).
+func Accuracy(spec Spec, theta []float64, ds *dataset.Dataset) float64 {
+	n := ds.Len()
+	if n == 0 {
+		return math.NaN()
+	}
+	correct := 0
+	for i := 0; i < n; i++ {
+		if spec.Predict(theta, ds.X[i]) == ds.Y[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(n)
+}
+
+// GeneralizationError returns the test error: misclassification rate for
+// classification, normalized RMSE for regression.
+func GeneralizationError(spec Spec, theta []float64, ds *dataset.Dataset) float64 {
+	switch spec.Task() {
+	case dataset.BinaryClassification, dataset.MultiClassification:
+		return 1 - Accuracy(spec, theta, ds)
+	default:
+		n := ds.Len()
+		if n == 0 {
+			return math.NaN()
+		}
+		var sq, base float64
+		for i := 0; i < n; i++ {
+			d := spec.Predict(theta, ds.X[i]) - ds.Y[i]
+			sq += d * d
+			base += ds.Y[i] * ds.Y[i]
+		}
+		denom := math.Sqrt(base / float64(n))
+		if denom < 1e-12 {
+			denom = 1e-12
+		}
+		return math.Sqrt(sq/float64(n)) / denom
+	}
+}
+
+// GeneralizationBound is Lemma 1 of the paper: given the approximate
+// model's generalization error εg and the model-difference bound ε, the
+// full model's generalization error is at most εg + ε − εg·ε with
+// probability ≥ 1−δ.
+func GeneralizationBound(epsG, eps float64) float64 {
+	return epsG + eps - epsG*eps
+}

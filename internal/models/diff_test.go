@@ -1,0 +1,149 @@
+package models
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"blinkml/internal/dataset"
+)
+
+func TestDiffReflexivity(t *testing.T) {
+	for name, spec := range specsUnderTest() {
+		t.Run(name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(3))
+			ds := datasetFor(name, rng, 40, 5, false)
+			theta := make([]float64, spec.ParamDim(ds))
+			for i := range theta {
+				theta[i] = rng.NormFloat64()
+			}
+			if v := Diff(spec, theta, theta, ds); v != 0 {
+				t.Fatalf("Diff(θ,θ)=%v want 0", v)
+			}
+		})
+	}
+}
+
+func TestDiffSymmetryClassification(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	spec := LogisticRegression{}
+	ds := tinyBinary(rng, 60, 4, false)
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := make([]float64, 4)
+		b := make([]float64, 4)
+		for i := range a {
+			a[i], b[i] = r.NormFloat64(), r.NormFloat64()
+		}
+		return Diff(spec, a, b, ds) == Diff(spec, b, a, ds)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDiffBounds(t *testing.T) {
+	for name, spec := range specsUnderTest() {
+		t.Run(name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(11))
+			ds := datasetFor(name, rng, 30, 4, false)
+			for trial := 0; trial < 30; trial++ {
+				a := make([]float64, spec.ParamDim(ds))
+				b := make([]float64, spec.ParamDim(ds))
+				for i := range a {
+					a[i], b[i] = 5*rng.NormFloat64(), 5*rng.NormFloat64()
+				}
+				v := Diff(spec, a, b, ds)
+				if v < 0 || v > 1 || math.IsNaN(v) {
+					t.Fatalf("Diff out of [0,1]: %v", v)
+				}
+			}
+		})
+	}
+}
+
+func TestClassificationDiffCountsDisagreements(t *testing.T) {
+	spec := LogisticRegression{}
+	ds := &dataset.Dataset{Dim: 1, Task: dataset.BinaryClassification}
+	// Four points at x = -2, -1, 1, 2.
+	for _, x := range []float64{-2, -1, 1, 2} {
+		ds.X = append(ds.X, dataset.DenseRow{x})
+		ds.Y = append(ds.Y, 0)
+	}
+	// θ=+1 predicts 1 for x>=0; θ=-1 predicts 1 for x<=0 (x=0 excluded here).
+	got := Diff(spec, []float64{1}, []float64{-1}, ds)
+	if got != 1 {
+		t.Fatalf("full disagreement expected, got %v", got)
+	}
+	if got := Diff(spec, []float64{1}, []float64{2}, ds); got != 0 {
+		t.Fatalf("same decision boundary should agree, got %v", got)
+	}
+}
+
+func TestRegressionDiffNormalized(t *testing.T) {
+	spec := LinearRegression{}
+	ds := &dataset.Dataset{Dim: 1, Task: dataset.Regression}
+	ds.X = append(ds.X, dataset.DenseRow{1}, dataset.DenseRow{2})
+	ds.Y = append(ds.Y, 0, 0)
+	// Predictions a: (1,2); b: (1.1, 2.2): relative RMS diff = 10%.
+	v := Diff(spec, []float64{1}, []float64{1.1}, ds)
+	if math.Abs(v-0.1) > 1e-9 {
+		t.Fatalf("relative diff %v want 0.1", v)
+	}
+}
+
+func TestPPCADiffIsCosineBased(t *testing.T) {
+	spec := NewPPCA(2)
+	a := []float64{1, 0, 0, 1, 0, 0}
+	b := []float64{2, 0, 0, 2, 0, 0} // same direction, scaled
+	if v := Diff(spec, a, b, nil); v > 1e-12 {
+		t.Fatalf("parallel parameters should have diff 0, got %v", v)
+	}
+	c := []float64{0, 1, 1, 0, 0, 0}
+	v := Diff(spec, a, c, nil)
+	if v <= 0 || v > 1 {
+		t.Fatalf("orthogonal-ish parameters diff %v", v)
+	}
+}
+
+func TestAccuracyAndGeneralizationError(t *testing.T) {
+	spec := LogisticRegression{}
+	ds := &dataset.Dataset{Dim: 1, Task: dataset.BinaryClassification}
+	ds.X = append(ds.X, dataset.DenseRow{1}, dataset.DenseRow{-1}, dataset.DenseRow{2})
+	ds.Y = append(ds.Y, 1, 0, 0)
+	theta := []float64{1} // predicts 1, 0, 1 → 2/3 correct
+	if acc := Accuracy(spec, theta, ds); math.Abs(acc-2.0/3.0) > 1e-12 {
+		t.Fatalf("accuracy %v", acc)
+	}
+	if ge := GeneralizationError(spec, theta, ds); math.Abs(ge-1.0/3.0) > 1e-12 {
+		t.Fatalf("gen error %v", ge)
+	}
+}
+
+func TestGeneralizationBound(t *testing.T) {
+	// Lemma 1: bound = εg + ε − εg·ε; check endpoints and monotonicity.
+	if got := GeneralizationBound(0, 0); got != 0 {
+		t.Fatalf("bound(0,0)=%v", got)
+	}
+	if got := GeneralizationBound(1, 0.5); got != 1 {
+		t.Fatalf("bound(1,0.5)=%v", got)
+	}
+	f := func(a, b float64) bool {
+		eg := math.Mod(math.Abs(a), 1)
+		ep := math.Mod(math.Abs(b), 1)
+		bound := GeneralizationBound(eg, ep)
+		return bound >= eg-1e-15 && bound >= ep-1e-15 && bound <= 1+1e-15
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDiffEmptyHoldout(t *testing.T) {
+	spec := LogisticRegression{}
+	empty := &dataset.Dataset{Dim: 2, Task: dataset.BinaryClassification}
+	if v := Diff(spec, []float64{1, 0}, []float64{0, 1}, empty); v != 0 {
+		t.Fatalf("empty holdout diff %v want 0", v)
+	}
+}

@@ -1,0 +1,76 @@
+package models
+
+import (
+	"math"
+
+	"blinkml/internal/dataset"
+	"blinkml/internal/linalg"
+)
+
+// scaledRow returns c*x as a Row in a parameter space of the same
+// dimension, preserving sparsity. GLM per-example gradients all have the
+// form qᵢ = c(θᵀxᵢ, yᵢ) · xᵢ, so this is the shared "grads" kernel.
+func scaledRow(x dataset.Row, c float64) dataset.Row {
+	switch r := x.(type) {
+	case dataset.DenseRow:
+		out := make(dataset.DenseRow, len(r))
+		for i, v := range r {
+			out[i] = c * v
+		}
+		return out
+	case *dataset.SparseRow:
+		val := make([]float64, len(r.Val))
+		for i, v := range r.Val {
+			val[i] = c * v
+		}
+		return &dataset.SparseRow{N: r.N, Idx: r.Idx, Val: val}
+	default:
+		out := make(dataset.DenseRow, x.Dim())
+		x.AddTo(out, c)
+		return out
+	}
+}
+
+// glmHessian accumulates H = (1/n) Σ wᵢ xᵢxᵢᵀ + βI for per-example weights
+// w produced by weight (the GLM closed-form Hessian shared by linear,
+// logistic, and Poisson regression).
+func glmHessian(ds *dataset.Dataset, theta []float64, beta float64, weight func(z, y float64) float64) *linalg.Dense {
+	d := ds.Dim
+	h := linalg.NewDense(d, d)
+	buf := make([]float64, d)
+	for i := 0; i < ds.Len(); i++ {
+		x := ds.X[i]
+		z := x.Dot(theta)
+		w := weight(z, label(ds, i))
+		if w == 0 {
+			continue
+		}
+		linalg.Fill(buf, 0)
+		x.AddTo(buf, 1)
+		h.OuterAdd(w, buf, buf)
+	}
+	h.ScaleInPlace(1 / float64(ds.Len()))
+	h.AddDiag(beta)
+	return h
+}
+
+// sigmoid is the logistic function 1/(1+e^{-z}), computed stably for large
+// |z|.
+func sigmoid(z float64) float64 {
+	if z >= 0 {
+		return 1 / (1 + math.Exp(-z))
+	}
+	e := math.Exp(z)
+	return e / (1 + e)
+}
+
+// log1pExp computes log(1+e^z) without overflow.
+func log1pExp(z float64) float64 {
+	if z > 35 {
+		return z
+	}
+	if z < -35 {
+		return math.Exp(z)
+	}
+	return math.Log1p(math.Exp(z))
+}

@@ -1,0 +1,50 @@
+package models
+
+import (
+	"blinkml/internal/dataset"
+	"blinkml/internal/linalg"
+)
+
+// LinearRegression is the Gaussian-noise MLE linear model with L2
+// regularization ("Lin" in the paper, β = 0.001 by default in §5.1).
+// ℓᵢ = ½(θᵀxᵢ − yᵢ)², qᵢ = (θᵀxᵢ − yᵢ)xᵢ.
+type LinearRegression struct {
+	Reg float64 // L2 coefficient β
+}
+
+// Name implements Spec.
+func (LinearRegression) Name() string { return "linear" }
+
+// Task implements Spec.
+func (LinearRegression) Task() dataset.Task { return dataset.Regression }
+
+// ParamDim implements Spec.
+func (LinearRegression) ParamDim(ds *dataset.Dataset) int { return ds.Dim }
+
+// Beta implements Spec.
+func (m LinearRegression) Beta() float64 { return m.Reg }
+
+// ExampleLossGrad implements Spec.
+func (LinearRegression) ExampleLossGrad(theta []float64, x dataset.Row, y float64, gradAccum []float64) float64 {
+	r := x.Dot(theta) - y
+	if gradAccum != nil {
+		x.AddTo(gradAccum, r)
+	}
+	return 0.5 * r * r
+}
+
+// ExampleGradRow implements Spec.
+func (LinearRegression) ExampleGradRow(theta []float64, x dataset.Row, y float64) dataset.Row {
+	return scaledRow(x, x.Dot(theta)-y)
+}
+
+// Predict implements Spec: the real-valued regression estimate θᵀx.
+func (LinearRegression) Predict(theta []float64, x dataset.Row) float64 {
+	return x.Dot(theta)
+}
+
+// Hessian implements Hessianer: H = (1/n) XᵀX + βI — the ClosedForm method
+// for linear regression.
+func (m LinearRegression) Hessian(theta []float64, ds *dataset.Dataset) *linalg.Dense {
+	return glmHessian(ds, theta, m.Reg, func(z, y float64) float64 { return 1 })
+}

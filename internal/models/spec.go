@@ -1,0 +1,261 @@
+// Package models implements BlinkML's model class specifications (MCS,
+// paper §2.2): linear regression, logistic regression, the max-entropy
+// (softmax) classifier, Poisson regression, and PPCA. Each model exposes
+// the two primitives the BlinkML core needs — per-example gradients
+// ("grads") and a prediction-difference metric ("diff") — plus a training
+// objective for the optimizers.
+//
+// Scaling convention (see DESIGN.md §2): the training objective is
+//
+//	f_n(θ) = (1/n) Σᵢ ℓᵢ(θ) + (β/2)‖θ‖², ℓᵢ = −log Pr(xᵢ,yᵢ;θ)
+//
+// so per-example gradients qᵢ = ∇ℓᵢ exclude the regularizer, exactly as
+// Equation (3) of the paper separates q and r.
+package models
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"blinkml/internal/dataset"
+	"blinkml/internal/linalg"
+	"blinkml/internal/optimize"
+)
+
+// Spec is a model class specification. Implementations must be stateless
+// value types: all model state lives in the parameter vector θ.
+type Spec interface {
+	// Name identifies the model class (e.g. "logistic").
+	Name() string
+	// Task reports the label semantics the model expects.
+	Task() dataset.Task
+	// ParamDim returns the flattened parameter dimension for a dataset.
+	ParamDim(ds *dataset.Dataset) int
+	// Beta returns the L2 regularization coefficient β (r(θ) = βθ).
+	Beta() float64
+	// ExampleLossGrad returns ℓᵢ(θ) for one example and, when gradAccum is
+	// non-nil, adds qᵢ(θ) into it (without zeroing it first).
+	ExampleLossGrad(theta []float64, x dataset.Row, y float64, gradAccum []float64) float64
+	// ExampleGradRow returns qᵢ(θ) as a Row in parameter space; the row is
+	// sparse whenever x is sparse. This is the paper's "grads" MCS method:
+	// individual per-example gradients, not their average.
+	ExampleGradRow(theta []float64, x dataset.Row, y float64) dataset.Row
+	// Predict returns the model's prediction for x: a class index for
+	// classification tasks, a real value for regression.
+	Predict(theta []float64, x dataset.Row) float64
+}
+
+// Hessianer is implemented by models with a closed-form Hessian of the
+// objective (the ClosedForm statistics method, paper §3.4 Method 1).
+type Hessianer interface {
+	// Hessian returns H(θ) = ∇²f_n(θ), including the βI regularizer term.
+	Hessian(theta []float64, ds *dataset.Dataset) *linalg.Dense
+}
+
+// CustomTrainer is implemented by models whose MLE is computed directly
+// rather than by a generic convex solver (PPCA's closed form).
+type CustomTrainer interface {
+	TrainCustom(ds *dataset.Dataset) (theta []float64, iters int, err error)
+}
+
+// ErrIncompatibleTask is returned when a model is trained on a dataset
+// whose task does not match the model class.
+var ErrIncompatibleTask = errors.New("models: dataset task does not match model class")
+
+// parallelThreshold is the row count above which objective evaluation fans
+// out across goroutines. Below it the goroutine overhead dominates.
+const parallelThreshold = 4096
+
+// objective adapts a Spec and a dataset to optimize.Problem, evaluating
+// f_n(θ) = (1/n)Σ ℓᵢ + (β/2)‖θ‖² and its gradient.
+type objective struct {
+	spec Spec
+	ds   *dataset.Dataset
+	dim  int
+}
+
+// Objective returns the training problem for spec on ds.
+func Objective(spec Spec, ds *dataset.Dataset) optimize.Problem {
+	return &objective{spec: spec, ds: ds, dim: spec.ParamDim(ds)}
+}
+
+// Dim implements optimize.Problem.
+func (o *objective) Dim() int { return o.dim }
+
+// Eval implements optimize.Problem.
+func (o *objective) Eval(x, grad []float64) float64 {
+	n := o.ds.Len()
+	linalg.Fill(grad, 0)
+	var loss float64
+	if n >= parallelThreshold {
+		loss = o.evalParallel(x, grad)
+	} else {
+		for i := 0; i < n; i++ {
+			loss += o.spec.ExampleLossGrad(x, o.ds.X[i], label(o.ds, i), grad)
+		}
+	}
+	inv := 1 / float64(n)
+	loss *= inv
+	linalg.Scale(inv, grad)
+	// Regularizer (β/2)‖θ‖², gradient βθ.
+	beta := o.spec.Beta()
+	if beta > 0 {
+		loss += 0.5 * beta * linalg.Dot(x, x)
+		linalg.Axpy(beta, x, grad)
+	}
+	return loss
+}
+
+func (o *objective) evalParallel(x, grad []float64) float64 {
+	n := o.ds.Len()
+	workers := runtime.GOMAXPROCS(0)
+	if workers > 8 {
+		workers = 8
+	}
+	chunk := (n + workers - 1) / workers
+	type partial struct {
+		loss float64
+		grad []float64
+	}
+	parts := make([]partial, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo, hi := w*chunk, (w+1)*chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			g := make([]float64, o.dim)
+			var loss float64
+			for i := lo; i < hi; i++ {
+				loss += o.spec.ExampleLossGrad(x, o.ds.X[i], label(o.ds, i), g)
+			}
+			parts[w] = partial{loss: loss, grad: g}
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	var loss float64
+	for _, p := range parts {
+		if p.grad == nil {
+			continue
+		}
+		loss += p.loss
+		linalg.Add(grad, grad, p.grad)
+	}
+	return loss
+}
+
+// NumExamples implements optimize.StochasticProblem.
+func (o *objective) NumExamples() int { return o.ds.Len() }
+
+// EvalBatch implements optimize.StochasticProblem: the mean loss and
+// gradient over the given example subset, plus the regularizer.
+func (o *objective) EvalBatch(x []float64, idx []int, grad []float64) float64 {
+	linalg.Fill(grad, 0)
+	var loss float64
+	for _, i := range idx {
+		loss += o.spec.ExampleLossGrad(x, o.ds.X[i], label(o.ds, i), grad)
+	}
+	inv := 1 / float64(len(idx))
+	loss *= inv
+	linalg.Scale(inv, grad)
+	beta := o.spec.Beta()
+	if beta > 0 {
+		loss += 0.5 * beta * linalg.Dot(x, x)
+		linalg.Axpy(beta, x, grad)
+	}
+	return loss
+}
+
+// StochasticObjective returns the minibatch view of the training problem
+// for the SGD/Adam baselines.
+func StochasticObjective(spec Spec, ds *dataset.Dataset) optimize.StochasticProblem {
+	return &objective{spec: spec, ds: ds, dim: spec.ParamDim(ds)}
+}
+
+func label(ds *dataset.Dataset, i int) float64 {
+	if ds.Task == dataset.Unsupervised {
+		return 0
+	}
+	return ds.Y[i]
+}
+
+// TrainResult is the outcome of fitting a model.
+type TrainResult struct {
+	Theta     []float64
+	Loss      float64
+	Iters     int
+	Converged bool
+}
+
+// Train fits spec on ds to convergence: models with a closed-form MLE use
+// it; everything else runs BFGS/L-BFGS per the paper's §5.1 setup. theta0
+// may be nil for a zero start (a warm start is passed through unchanged).
+func Train(spec Spec, ds *dataset.Dataset, theta0 []float64, opt optimize.Options) (TrainResult, error) {
+	if err := checkTask(spec, ds); err != nil {
+		return TrainResult{}, err
+	}
+	if ds.Len() == 0 {
+		return TrainResult{}, errors.New("models: empty training set")
+	}
+	if ct, ok := spec.(CustomTrainer); ok {
+		theta, iters, err := ct.TrainCustom(ds)
+		if err != nil {
+			return TrainResult{}, err
+		}
+		return TrainResult{Theta: theta, Iters: iters, Converged: true}, nil
+	}
+	dim := spec.ParamDim(ds)
+	if theta0 == nil {
+		theta0 = make([]float64, dim)
+	} else if len(theta0) != dim {
+		return TrainResult{}, fmt.Errorf("models: warm start has dim %d, want %d", len(theta0), dim)
+	}
+	res, err := optimize.Minimize(Objective(spec, ds), theta0, opt)
+	if err != nil {
+		return TrainResult{}, err
+	}
+	if !linalg.AllFinite(res.X) {
+		return TrainResult{}, errors.New("models: training produced non-finite parameters")
+	}
+	return TrainResult{Theta: res.X, Loss: res.F, Iters: res.Iters, Converged: res.Converged}, nil
+}
+
+func checkTask(spec Spec, ds *dataset.Dataset) error {
+	want := spec.Task()
+	if want == ds.Task {
+		return nil
+	}
+	// PPCA accepts any dataset (it ignores labels).
+	if want == dataset.Unsupervised {
+		return nil
+	}
+	return fmt.Errorf("%w: model %s wants %v, dataset %q is %v", ErrIncompatibleTask, spec.Name(), want, ds.Name, ds.Task)
+}
+
+// BatchGradient returns g_n(θ) = (1/n)Σ qᵢ + βθ, used by the
+// InverseGradients statistics method and by tests.
+func BatchGradient(spec Spec, ds *dataset.Dataset, theta []float64) []float64 {
+	grad := make([]float64, len(theta))
+	p := Objective(spec, ds)
+	p.Eval(theta, grad)
+	return grad
+}
+
+// PerExampleGradRows materializes qᵢ(θ) for every row of ds. The rows stay
+// sparse for sparse inputs, which keeps the ObservedFisher path at O(nnz)
+// memory — the paper's O(d) claim (§3.4).
+func PerExampleGradRows(spec Spec, ds *dataset.Dataset, theta []float64) []dataset.Row {
+	rows := make([]dataset.Row, ds.Len())
+	for i := range rows {
+		rows[i] = spec.ExampleGradRow(theta, ds.X[i], label(ds, i))
+	}
+	return rows
+}

@@ -1,0 +1,46 @@
+package nonuniform
+
+import (
+	"testing"
+
+	"blinkml/internal/dataset"
+	"blinkml/internal/models"
+	"blinkml/internal/optimize"
+	"blinkml/internal/stat"
+)
+
+// Ablation: uniform vs leverage sampling at equal sample size on
+// heavy-tailed data (the §7 future-work direction).
+
+func BenchmarkTrainUniformSample(b *testing.B) {
+	ds, _ := skewedRegression(11, 20000, 8)
+	spec := models.LinearRegression{Reg: 1e-4}
+	rng := stat.NewRNG(12)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		idx := dataset.SampleWithoutReplacement(rng, ds.Len(), 500)
+		if _, err := models.Train(spec, ds.Subset(idx), nil, optimize.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTrainLeverageSample(b *testing.B) {
+	ds, _ := skewedRegression(11, 20000, 8)
+	spec := models.LinearRegression{Reg: 1e-4}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Train(spec, ds, 500, int64(i), optimize.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLeverageProbs(b *testing.B) {
+	ds, _ := skewedRegression(13, 20000, 8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		LeverageProbs(ds)
+	}
+}

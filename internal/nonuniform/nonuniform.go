@@ -1,0 +1,201 @@
+// Package nonuniform implements the paper's stated future-work extension
+// (§7): task-specific non-uniform sampling. BlinkML proper uses uniform
+// sampling so that J is directly the empirical gradient covariance; with
+// importance sampling the same machinery applies once every per-example
+// term is reweighted by 1/(N·pᵢ) — "even when non-uniform random sampling
+// is used, J can still be estimated if we know the sampling probabilities"
+// (§3.2).
+//
+// The package provides leverage-style inclusion probabilities (∝ ‖xᵢ‖²,
+// the classical row-norm surrogate for statistical leverage used by the
+// linear-regression sketching literature the paper cites), a weighted
+// sampler, an importance-weighted training objective, and reweighted
+// per-example gradients for the ObservedFisher pipeline.
+package nonuniform
+
+import (
+	"errors"
+	"fmt"
+
+	"blinkml/internal/dataset"
+	"blinkml/internal/linalg"
+	"blinkml/internal/models"
+	"blinkml/internal/optimize"
+	"blinkml/internal/stat"
+)
+
+// LeverageProbs returns sampling probabilities proportional to ‖xᵢ‖² + λ̄,
+// where λ̄ is a small uniform smoothing term (10% of the mass) that keeps
+// every row reachable — the standard guard against unbounded importance
+// weights.
+func LeverageProbs(ds *dataset.Dataset) []float64 {
+	n := ds.Len()
+	probs := make([]float64, n)
+	var total float64
+	for i := 0; i < n; i++ {
+		var sq float64
+		ds.X[i].ForEach(func(_ int, v float64) { sq += v * v })
+		probs[i] = sq
+		total += sq
+	}
+	if total == 0 {
+		for i := range probs {
+			probs[i] = 1 / float64(n)
+		}
+		return probs
+	}
+	smooth := 0.1 * total / float64(n)
+	total += 0.1 * total
+	for i := range probs {
+		probs[i] = (probs[i] + smooth) / total
+	}
+	return probs
+}
+
+// Sample draws n indices with replacement according to probs and returns
+// each draw's importance weight wᵢ = 1/(N·pᵢ), normalized so the weights
+// average to 1 over the sample (self-normalized importance sampling keeps
+// the objective on the same scale as uniform training).
+func Sample(rng *stat.RNG, probs []float64, n int) (idx []int, weights []float64, err error) {
+	if n <= 0 {
+		return nil, nil, errors.New("nonuniform: sample size must be positive")
+	}
+	cdf := make([]float64, len(probs))
+	var cum float64
+	for i, p := range probs {
+		if p < 0 {
+			return nil, nil, fmt.Errorf("nonuniform: negative probability at %d", i)
+		}
+		cum += p
+		cdf[i] = cum
+	}
+	if cum <= 0 {
+		return nil, nil, errors.New("nonuniform: probabilities sum to zero")
+	}
+	idx = make([]int, n)
+	weights = make([]float64, n)
+	bigN := float64(len(probs))
+	var wSum float64
+	for t := 0; t < n; t++ {
+		u := rng.Float64() * cum
+		i := searchCDF(cdf, u)
+		idx[t] = i
+		weights[t] = cum / (bigN * probs[i])
+		wSum += weights[t]
+	}
+	scale := float64(n) / wSum
+	linalg.Scale(scale, weights)
+	return idx, weights, nil
+}
+
+func searchCDF(cdf []float64, u float64) int {
+	lo, hi := 0, len(cdf)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// weightedObjective is the importance-weighted training problem:
+// f(θ) = (1/n) Σ wᵢ·ℓ(θ; x_{idx[i]}) + (β/2)‖θ‖².
+type weightedObjective struct {
+	spec    models.Spec
+	ds      *dataset.Dataset
+	idx     []int
+	weights []float64
+	dim     int
+}
+
+// Objective returns the weighted problem over the sampled rows.
+func Objective(spec models.Spec, ds *dataset.Dataset, idx []int, weights []float64) optimize.Problem {
+	return &weightedObjective{spec: spec, ds: ds, idx: idx, weights: weights, dim: spec.ParamDim(ds)}
+}
+
+// Dim implements optimize.Problem.
+func (o *weightedObjective) Dim() int { return o.dim }
+
+// Eval implements optimize.Problem.
+func (o *weightedObjective) Eval(x, grad []float64) float64 {
+	linalg.Fill(grad, 0)
+	scratch := make([]float64, o.dim)
+	var loss float64
+	for t, i := range o.idx {
+		w := o.weights[t]
+		linalg.Fill(scratch, 0)
+		l := o.spec.ExampleLossGrad(x, o.ds.X[i], labelOf(o.ds, i), scratch)
+		loss += w * l
+		linalg.Axpy(w, scratch, grad)
+	}
+	inv := 1 / float64(len(o.idx))
+	loss *= inv
+	linalg.Scale(inv, grad)
+	beta := o.spec.Beta()
+	if beta > 0 {
+		loss += 0.5 * beta * linalg.Dot(x, x)
+		linalg.Axpy(beta, x, grad)
+	}
+	return loss
+}
+
+func labelOf(ds *dataset.Dataset, i int) float64 {
+	if ds.Task == dataset.Unsupervised {
+		return 0
+	}
+	return ds.Y[i]
+}
+
+// Train fits spec on a leverage-weighted sample of size n drawn from ds.
+func Train(spec models.Spec, ds *dataset.Dataset, n int, seed int64, opt optimize.Options) (models.TrainResult, error) {
+	probs := LeverageProbs(ds)
+	idx, weights, err := Sample(stat.NewRNG(seed), probs, n)
+	if err != nil {
+		return models.TrainResult{}, err
+	}
+	x0 := make([]float64, spec.ParamDim(ds))
+	res, err := optimize.Minimize(Objective(spec, ds, idx, weights), x0, opt)
+	if err != nil {
+		return models.TrainResult{}, err
+	}
+	if !linalg.AllFinite(res.X) {
+		return models.TrainResult{}, errors.New("nonuniform: training produced non-finite parameters")
+	}
+	return models.TrainResult{Theta: res.X, Loss: res.F, Iters: res.Iters, Converged: res.Converged}, nil
+}
+
+// WeightedGradRows returns the importance-reweighted per-example gradient
+// rows wᵢ·q(θ; xᵢ, yᵢ) for the sampled indices — what the ObservedFisher
+// pipeline consumes to estimate J under non-uniform sampling (§3.2).
+func WeightedGradRows(spec models.Spec, ds *dataset.Dataset, idx []int, weights []float64, theta []float64) []dataset.Row {
+	rows := make([]dataset.Row, len(idx))
+	for t, i := range idx {
+		q := spec.ExampleGradRow(theta, ds.X[i], labelOf(ds, i))
+		rows[t] = scaleRow(q, weights[t])
+	}
+	return rows
+}
+
+func scaleRow(r dataset.Row, w float64) dataset.Row {
+	switch rr := r.(type) {
+	case dataset.DenseRow:
+		out := make(dataset.DenseRow, len(rr))
+		for i, v := range rr {
+			out[i] = w * v
+		}
+		return out
+	case *dataset.SparseRow:
+		val := make([]float64, len(rr.Val))
+		for i, v := range rr.Val {
+			val[i] = w * v
+		}
+		return &dataset.SparseRow{N: rr.N, Idx: rr.Idx, Val: val}
+	default:
+		out := make(dataset.DenseRow, r.Dim())
+		r.AddTo(out, w)
+		return out
+	}
+}

@@ -1,0 +1,198 @@
+package nonuniform
+
+import (
+	"math"
+	"testing"
+
+	"blinkml/internal/dataset"
+	"blinkml/internal/linalg"
+	"blinkml/internal/models"
+	"blinkml/internal/optimize"
+	"blinkml/internal/stat"
+)
+
+// skewedRegression builds a regression dataset where a few rows carry most
+// of the signal energy (heavy-tailed row norms), the regime where leverage
+// sampling beats uniform sampling.
+func skewedRegression(seed int64, n, d int) (*dataset.Dataset, []float64) {
+	rng := stat.NewRNG(seed)
+	truth := make([]float64, d)
+	for i := range truth {
+		truth[i] = rng.Norm()
+	}
+	ds := &dataset.Dataset{Dim: d, Task: dataset.Regression, Name: "skewed"}
+	for i := 0; i < n; i++ {
+		scale := 0.3
+		if rng.Float64() < 0.05 {
+			scale = 6 // 5% of rows are high-leverage
+		}
+		row := make(dataset.DenseRow, d)
+		for j := range row {
+			row[j] = scale * rng.Norm()
+		}
+		ds.X = append(ds.X, row)
+		ds.Y = append(ds.Y, row.Dot(truth)+0.1*rng.Norm())
+	}
+	return ds, truth
+}
+
+func TestLeverageProbsProportionalToRowNorm(t *testing.T) {
+	ds := &dataset.Dataset{Dim: 2, Task: dataset.Regression}
+	ds.X = append(ds.X, dataset.DenseRow{3, 4}, dataset.DenseRow{0, 1})
+	ds.Y = append(ds.Y, 0, 0)
+	probs := LeverageProbs(ds)
+	if math.Abs(probs[0]+probs[1]-1) > 1e-12 {
+		t.Fatalf("probabilities do not sum to 1: %v", probs)
+	}
+	if probs[0] <= probs[1] {
+		t.Fatalf("high-norm row not favoured: %v", probs)
+	}
+	// With smoothing, even a zero row keeps positive probability.
+	zero := &dataset.Dataset{Dim: 1, Task: dataset.Regression}
+	zero.X = append(zero.X, dataset.DenseRow{0}, dataset.DenseRow{5})
+	zero.Y = append(zero.Y, 0, 0)
+	pz := LeverageProbs(zero)
+	if pz[0] <= 0 {
+		t.Fatalf("zero row starved: %v", pz)
+	}
+}
+
+func TestLeverageProbsAllZeroRows(t *testing.T) {
+	ds := &dataset.Dataset{Dim: 1, Task: dataset.Regression}
+	ds.X = append(ds.X, dataset.DenseRow{0}, dataset.DenseRow{0})
+	ds.Y = append(ds.Y, 0, 0)
+	probs := LeverageProbs(ds)
+	if probs[0] != 0.5 || probs[1] != 0.5 {
+		t.Fatalf("degenerate case not uniform: %v", probs)
+	}
+}
+
+func TestSampleWeightsSelfNormalized(t *testing.T) {
+	probs := []float64{0.7, 0.1, 0.1, 0.1}
+	idx, weights, err := Sample(stat.NewRNG(1), probs, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(idx) != 200 || len(weights) != 200 {
+		t.Fatal("wrong sample shape")
+	}
+	var sum float64
+	for t2, i := range idx {
+		if i < 0 || i >= 4 {
+			t.Fatalf("index %d out of range", i)
+		}
+		sum += weights[t2]
+	}
+	if math.Abs(sum/200-1) > 1e-9 {
+		t.Fatalf("weights not self-normalized: mean %v", sum/200)
+	}
+	// High-probability rows must receive low weights.
+	for t2, i := range idx {
+		if i == 0 && weights[t2] > 1 {
+			t.Fatalf("head row overweighted: %v", weights[t2])
+		}
+	}
+}
+
+func TestSampleErrors(t *testing.T) {
+	if _, _, err := Sample(stat.NewRNG(1), []float64{0.5, 0.5}, 0); err == nil {
+		t.Fatal("n=0 accepted")
+	}
+	if _, _, err := Sample(stat.NewRNG(1), []float64{-1, 2}, 5); err == nil {
+		t.Fatal("negative probability accepted")
+	}
+	if _, _, err := Sample(stat.NewRNG(1), []float64{0, 0}, 5); err == nil {
+		t.Fatal("zero-mass distribution accepted")
+	}
+}
+
+// The weighted objective at uniform weights must match the plain objective.
+func TestWeightedObjectiveReducesToUniform(t *testing.T) {
+	ds, _ := skewedRegression(3, 200, 4)
+	spec := models.LinearRegression{Reg: 0.01}
+	idx := make([]int, ds.Len())
+	weights := make([]float64, ds.Len())
+	for i := range idx {
+		idx[i] = i
+		weights[i] = 1
+	}
+	wobj := Objective(spec, ds, idx, weights)
+	uobj := models.Objective(spec, ds)
+	theta := []float64{0.3, -0.2, 0.5, 0.1}
+	g1 := make([]float64, 4)
+	g2 := make([]float64, 4)
+	f1 := wobj.Eval(theta, g1)
+	f2 := uobj.Eval(theta, g2)
+	if math.Abs(f1-f2) > 1e-12 {
+		t.Fatalf("losses differ: %v vs %v", f1, f2)
+	}
+	for i := range g1 {
+		if math.Abs(g1[i]-g2[i]) > 1e-12 {
+			t.Fatalf("gradients differ at %d", i)
+		}
+	}
+}
+
+// On heavy-tailed data, leverage sampling should recover the full model at
+// least as well as uniform sampling of the same size (averaged over seeds).
+func TestLeverageBeatsUniformOnSkewedData(t *testing.T) {
+	ds, _ := skewedRegression(5, 8000, 5)
+	spec := models.LinearRegression{Reg: 1e-4}
+	full, err := models.Train(spec, ds, nil, optimize.Options{GradTol: 1e-10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 300
+	var levErr, uniErr float64
+	trials := 8
+	for seed := int64(0); seed < int64(trials); seed++ {
+		lev, err := Train(spec, ds, n, 100+seed, optimize.Options{GradTol: 1e-10})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := stat.NewRNG(200 + seed)
+		uniIdx := dataset.SampleWithoutReplacement(rng, ds.Len(), n)
+		uni, err := models.Train(spec, ds.Subset(uniIdx), nil, optimize.Options{GradTol: 1e-10})
+		if err != nil {
+			t.Fatal(err)
+		}
+		levErr += paramDist(lev.Theta, full.Theta)
+		uniErr += paramDist(uni.Theta, full.Theta)
+	}
+	if levErr > uniErr*1.1 {
+		t.Fatalf("leverage sampling (%v) materially worse than uniform (%v)", levErr/float64(trials), uniErr/float64(trials))
+	}
+}
+
+func paramDist(a, b []float64) float64 {
+	d := make([]float64, len(a))
+	linalg.Sub(d, a, b)
+	return linalg.Norm2(d)
+}
+
+// The reweighted gradient rows must average (approximately) to the full
+// gradient — the unbiasedness that lets ObservedFisher estimate J under
+// non-uniform sampling.
+func TestWeightedGradRowsApproximateFullGradient(t *testing.T) {
+	ds, _ := skewedRegression(7, 4000, 4)
+	spec := models.LinearRegression{Reg: 0}
+	theta := []float64{0.2, -0.1, 0.4, 0.3}
+	fullGrad := models.BatchGradient(spec, ds, theta)
+
+	probs := LeverageProbs(ds)
+	idx, weights, err := Sample(stat.NewRNG(9), probs, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := WeightedGradRows(spec, ds, idx, weights, theta)
+	mean := make([]float64, 4)
+	for _, r := range rows {
+		r.AddTo(mean, 1)
+	}
+	linalg.Scale(1/float64(len(rows)), mean)
+	for i := range mean {
+		if math.Abs(mean[i]-fullGrad[i]) > 0.15*(1+math.Abs(fullGrad[i])) {
+			t.Fatalf("weighted mean gradient [%d]=%v, full %v", i, mean[i], fullGrad[i])
+		}
+	}
+}

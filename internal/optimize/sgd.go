@@ -1,0 +1,143 @@
+package optimize
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+
+	"blinkml/internal/linalg"
+)
+
+// StochasticProblem is an objective decomposable over examples, for
+// minibatch methods. EvalBatch evaluates the mean loss and gradient over
+// the given example indices (plus any regularizer).
+type StochasticProblem interface {
+	Dim() int
+	NumExamples() int
+	EvalBatch(x []float64, idx []int, grad []float64) float64
+}
+
+// SGDOptions configures the stochastic optimizers. Zero values pick the
+// defaults noted per field.
+type SGDOptions struct {
+	BatchSize    int     // default 64
+	Epochs       int     // default 10
+	LearningRate float64 // default 0.1 (SGD) / 0.001 (Adam)
+	Momentum     float64 // SGD only; default 0.9
+	Beta1, Beta2 float64 // Adam; defaults 0.9, 0.999
+	Epsilon      float64 // Adam; default 1e-8
+	Seed         int64
+}
+
+func (o SGDOptions) withDefaults(adam bool) SGDOptions {
+	if o.BatchSize <= 0 {
+		o.BatchSize = 64
+	}
+	if o.Epochs <= 0 {
+		o.Epochs = 10
+	}
+	if o.LearningRate <= 0 {
+		if adam {
+			o.LearningRate = 0.001
+		} else {
+			o.LearningRate = 0.1
+		}
+	}
+	if o.Momentum <= 0 {
+		o.Momentum = 0.9
+	}
+	if o.Beta1 <= 0 {
+		o.Beta1 = 0.9
+	}
+	if o.Beta2 <= 0 {
+		o.Beta2 = 0.999
+	}
+	if o.Epsilon <= 0 {
+		o.Epsilon = 1e-8
+	}
+	return o
+}
+
+// SGD minimizes p with minibatch stochastic gradient descent plus
+// momentum. It exists as the baseline the related-work discussion compares
+// quasi-Newton training against (the paper trains with BFGS/L-BFGS; see
+// the ablation benchmarks). Returns the final iterate; convergence is not
+// certified.
+func SGD(p StochasticProblem, x0 []float64, opt SGDOptions) (Result, error) {
+	opt = opt.withDefaults(false)
+	n := p.NumExamples()
+	if n == 0 {
+		return Result{}, errors.New("optimize: SGD on empty problem")
+	}
+	d := p.Dim()
+	x := linalg.CopyVec(x0)
+	vel := make([]float64, d)
+	grad := make([]float64, d)
+	rng := rand.New(rand.NewSource(opt.Seed))
+	perm := rng.Perm(n)
+	evals := 0
+	var lastF float64
+	for epoch := 0; epoch < opt.Epochs; epoch++ {
+		rng.Shuffle(n, func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+		// Step-size decay 1/sqrt(epoch) keeps late epochs stable.
+		lr := opt.LearningRate / math.Sqrt(float64(epoch+1))
+		for lo := 0; lo < n; lo += opt.BatchSize {
+			hi := lo + opt.BatchSize
+			if hi > n {
+				hi = n
+			}
+			lastF = p.EvalBatch(x, perm[lo:hi], grad)
+			evals++
+			for i := 0; i < d; i++ {
+				vel[i] = opt.Momentum*vel[i] - lr*grad[i]
+				x[i] += vel[i]
+			}
+		}
+	}
+	if !linalg.AllFinite(x) {
+		return Result{X: x}, errors.New("optimize: SGD diverged (non-finite parameters); lower the learning rate")
+	}
+	return Result{X: x, F: lastF, Iters: opt.Epochs, FuncEvals: evals, Converged: true, Status: "epoch budget exhausted"}, nil
+}
+
+// Adam minimizes p with the Adam update rule (adaptive per-coordinate
+// step sizes), included alongside SGD as a standard stochastic baseline.
+func Adam(p StochasticProblem, x0 []float64, opt SGDOptions) (Result, error) {
+	opt = opt.withDefaults(true)
+	n := p.NumExamples()
+	if n == 0 {
+		return Result{}, errors.New("optimize: Adam on empty problem")
+	}
+	d := p.Dim()
+	x := linalg.CopyVec(x0)
+	m := make([]float64, d)
+	v := make([]float64, d)
+	grad := make([]float64, d)
+	rng := rand.New(rand.NewSource(opt.Seed))
+	perm := rng.Perm(n)
+	evals, step := 0, 0
+	var lastF float64
+	for epoch := 0; epoch < opt.Epochs; epoch++ {
+		rng.Shuffle(n, func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+		for lo := 0; lo < n; lo += opt.BatchSize {
+			hi := lo + opt.BatchSize
+			if hi > n {
+				hi = n
+			}
+			lastF = p.EvalBatch(x, perm[lo:hi], grad)
+			evals++
+			step++
+			c1 := 1 - math.Pow(opt.Beta1, float64(step))
+			c2 := 1 - math.Pow(opt.Beta2, float64(step))
+			for i := 0; i < d; i++ {
+				m[i] = opt.Beta1*m[i] + (1-opt.Beta1)*grad[i]
+				v[i] = opt.Beta2*v[i] + (1-opt.Beta2)*grad[i]*grad[i]
+				x[i] -= opt.LearningRate * (m[i] / c1) / (math.Sqrt(v[i]/c2) + opt.Epsilon)
+			}
+		}
+	}
+	if !linalg.AllFinite(x) {
+		return Result{X: x}, errors.New("optimize: Adam diverged (non-finite parameters)")
+	}
+	return Result{X: x, F: lastF, Iters: opt.Epochs, FuncEvals: evals, Converged: true, Status: "epoch budget exhausted"}, nil
+}

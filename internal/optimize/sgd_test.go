@@ -1,0 +1,106 @@
+package optimize
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"blinkml/internal/linalg"
+)
+
+// leastSquares is a simple stochastic problem: ½ mean (aᵢᵀx − bᵢ)².
+type leastSquares struct {
+	a *linalg.Dense
+	b []float64
+}
+
+func (p *leastSquares) Dim() int         { return p.a.Cols }
+func (p *leastSquares) NumExamples() int { return p.a.Rows }
+func (p *leastSquares) EvalBatch(x []float64, idx []int, grad []float64) float64 {
+	linalg.Fill(grad, 0)
+	var f float64
+	for _, i := range idx {
+		row := p.a.Row(i)
+		r := linalg.Dot(row, x) - p.b[i]
+		f += 0.5 * r * r
+		linalg.Axpy(r, row, grad)
+	}
+	inv := 1 / float64(len(idx))
+	linalg.Scale(inv, grad)
+	return f * inv
+}
+
+func newLeastSquares(seed int64, n, d int) (*leastSquares, []float64) {
+	rng := rand.New(rand.NewSource(seed))
+	a := linalg.NewDense(n, d)
+	for i := range a.Data {
+		a.Data[i] = rng.NormFloat64()
+	}
+	truth := make([]float64, d)
+	for i := range truth {
+		truth[i] = rng.NormFloat64()
+	}
+	b := make([]float64, n)
+	a.MulVec(truth, b)
+	return &leastSquares{a: a, b: b}, truth
+}
+
+func TestSGDConvergesOnLeastSquares(t *testing.T) {
+	p, truth := newLeastSquares(1, 2000, 6)
+	res, err := SGD(p, make([]float64, 6), SGDOptions{Epochs: 40, LearningRate: 0.05, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range truth {
+		if math.Abs(res.X[i]-truth[i]) > 0.05 {
+			t.Fatalf("SGD x[%d]=%v want %v", i, res.X[i], truth[i])
+		}
+	}
+}
+
+func TestAdamConvergesOnLeastSquares(t *testing.T) {
+	p, truth := newLeastSquares(3, 2000, 6)
+	res, err := Adam(p, make([]float64, 6), SGDOptions{Epochs: 60, LearningRate: 0.05, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range truth {
+		if math.Abs(res.X[i]-truth[i]) > 0.05 {
+			t.Fatalf("Adam x[%d]=%v want %v", i, res.X[i], truth[i])
+		}
+	}
+}
+
+func TestSGDDivergenceDetected(t *testing.T) {
+	p, _ := newLeastSquares(5, 500, 4)
+	if _, err := SGD(p, make([]float64, 4), SGDOptions{Epochs: 30, LearningRate: 1e6, Momentum: 0.99, Seed: 6}); err == nil {
+		t.Fatal("divergence not reported")
+	}
+}
+
+func TestSGDEmptyProblem(t *testing.T) {
+	p := &leastSquares{a: linalg.NewDense(0, 3), b: nil}
+	if _, err := SGD(p, make([]float64, 3), SGDOptions{}); err == nil {
+		t.Fatal("empty problem accepted")
+	}
+	if _, err := Adam(p, make([]float64, 3), SGDOptions{}); err == nil {
+		t.Fatal("empty problem accepted by Adam")
+	}
+}
+
+func TestSGDDeterministicGivenSeed(t *testing.T) {
+	p, _ := newLeastSquares(7, 500, 4)
+	r1, err := SGD(p, make([]float64, 4), SGDOptions{Epochs: 3, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := SGD(p, make([]float64, 4), SGDOptions{Epochs: 3, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range r1.X {
+		if r1.X[i] != r2.X[i] {
+			t.Fatal("same seed gave different iterates")
+		}
+	}
+}

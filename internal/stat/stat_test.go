@@ -1,0 +1,195 @@
+package stat
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatal("same seed must produce same stream")
+		}
+	}
+	c := NewRNG(43)
+	same := true
+	a2 := NewRNG(42)
+	for i := 0; i < 10; i++ {
+		if a2.Float64() != c.Float64() {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical streams")
+	}
+}
+
+func TestNormMoments(t *testing.T) {
+	g := NewRNG(7)
+	n := 200000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		v := g.Norm()
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / float64(n)
+	variance := sumSq/float64(n) - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Errorf("normal mean %v too far from 0", mean)
+	}
+	if math.Abs(variance-1) > 0.02 {
+		t.Errorf("normal variance %v too far from 1", variance)
+	}
+}
+
+func TestNormVec(t *testing.T) {
+	g := NewRNG(1)
+	v := make([]float64, 8)
+	g.NormVec(v)
+	allZero := true
+	for _, x := range v {
+		if x != 0 {
+			allZero = false
+		}
+	}
+	if allZero {
+		t.Fatal("NormVec left dst zeroed")
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	g := NewRNG(9)
+	s := g.Split()
+	// The split stream must not be the same as the parent's continued stream.
+	same := true
+	for i := 0; i < 10; i++ {
+		if g.Float64() != s.Float64() {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("split stream mirrors parent")
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	g := NewRNG(3)
+	z := NewZipf(g, 1000, 1.2)
+	counts := make([]int, 1000)
+	for i := 0; i < 50000; i++ {
+		counts[z.Draw()]++
+	}
+	if counts[0] <= counts[99] {
+		t.Errorf("Zipf head (%d) not more popular than rank 100 (%d)", counts[0], counts[99])
+	}
+	if counts[0] < 2000 {
+		t.Errorf("Zipf head too light: %d", counts[0])
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{5, 1, 4, 2, 3}
+	cases := []struct {
+		q, want float64
+	}{
+		{0, 1}, {0.2, 1}, {0.4, 2}, {0.6, 3}, {0.8, 4}, {1.0, 5}, {0.5, 3},
+	}
+	for _, c := range cases {
+		if got := Quantile(xs, c.q); got != c.want {
+			t.Errorf("Quantile(%v)=%v want %v", c.q, got, c.want)
+		}
+	}
+	if !math.IsNaN(Quantile(nil, 0.5)) {
+		t.Error("empty quantile should be NaN")
+	}
+}
+
+func TestMeanVariance(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Mean(xs); got != 5 {
+		t.Errorf("Mean=%v", got)
+	}
+	if got := Variance(xs); math.Abs(got-32.0/7.0) > 1e-12 {
+		t.Errorf("Variance=%v want %v", got, 32.0/7.0)
+	}
+	if !math.IsNaN(Variance([]float64{1})) {
+		t.Error("variance of single value should be NaN")
+	}
+}
+
+func TestConservativeLevelClampsAtPaperOperatingPoint(t *testing.T) {
+	// δ = 0.05 → (1-δ)/0.95 = 1 exactly; the Hoeffding term pushes τ past 1,
+	// so the level clamps to 1 (take the sample maximum).
+	if got := ConservativeLevel(0.05, 100); got != 1 {
+		t.Errorf("level(δ=0.05)=%v want 1", got)
+	}
+	// Larger δ leaves room below 1.
+	got := ConservativeLevel(0.30, 1000)
+	if got >= 1 || got <= (1-0.30)/0.95 {
+		t.Errorf("level(δ=0.30)=%v out of expected range", got)
+	}
+}
+
+// Property: the conservative level is non-increasing in δ and
+// non-increasing in k (more samples → smaller Hoeffding correction).
+func TestConservativeLevelMonotonicity(t *testing.T) {
+	f := func(rawDelta float64, rawK int) bool {
+		delta := math.Mod(math.Abs(rawDelta), 0.5) // δ in [0, 0.5)
+		k := 10 + (abs(rawK) % 10000)
+		l1 := ConservativeLevel(delta, k)
+		l2 := ConservativeLevel(delta+0.05, k)
+		if l2 > l1 {
+			return false
+		}
+		l3 := ConservativeLevel(delta, k*2)
+		return l3 <= l1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func TestConservativeQuantileIsUpperBoundForMostSamples(t *testing.T) {
+	g := NewRNG(21)
+	vs := make([]float64, 500)
+	for i := range vs {
+		vs[i] = g.Float64()
+	}
+	eps := ConservativeQuantile(vs, 0.2)
+	frac := FractionAtMost(vs, eps)
+	if frac < ConservativeLevel(0.2, len(vs)) {
+		t.Errorf("quantile %v covers only %v of samples", eps, frac)
+	}
+}
+
+func TestMeetsLevel(t *testing.T) {
+	vs := []float64{0.01, 0.02, 0.03, 0.9}
+	if !MeetsLevel(vs, 0.95, 0.05) {
+		t.Error("bound above max must meet any level")
+	}
+	if MeetsLevel(vs, 0.05, 0.05) {
+		t.Error("δ=0.05 requires all samples below the bound")
+	}
+	if !MeetsLevel(vs, 0.05, 0.40) {
+		t.Error("δ=0.40 should accept 3/4 coverage")
+	}
+}
+
+func TestFractionAtMost(t *testing.T) {
+	if got := FractionAtMost([]float64{1, 2, 3, 4}, 2.5); got != 0.5 {
+		t.Errorf("FractionAtMost=%v", got)
+	}
+	if !math.IsNaN(FractionAtMost(nil, 1)) {
+		t.Error("empty input should be NaN")
+	}
+}
