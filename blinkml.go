@@ -26,11 +26,13 @@
 package blinkml
 
 import (
+	"context"
 	"io"
 
 	"blinkml/internal/core"
 	"blinkml/internal/datagen"
 	"blinkml/internal/dataset"
+	"blinkml/internal/modelio"
 	"blinkml/internal/models"
 )
 
@@ -138,12 +140,53 @@ func (m *Model) Diff(other *Model, holdout *Dataset) float64 {
 	return models.Diff(m.Spec, m.Theta, other.Theta, holdout)
 }
 
+// EncodeModel writes m to w in the versioned blinkml-model JSON format:
+// spec (including derived quantities such as PPCA's σ²), parameters, and
+// contract metadata round-trip exactly, so a decoded model predicts
+// identically. This is the format the serving layer's registry persists.
+func EncodeModel(w io.Writer, m *Model) error {
+	return modelio.Encode(w, &modelio.Model{
+		Spec:             m.Spec,
+		Theta:            m.Theta,
+		SampleSize:       m.SampleSize,
+		PoolSize:         m.PoolSize,
+		EstimatedEpsilon: m.EstimatedEpsilon,
+		UsedInitialModel: m.UsedInitialModel,
+		Diag:             m.Diag,
+	})
+}
+
+// DecodeModel reads a model written by EncodeModel.
+func DecodeModel(r io.Reader) (*Model, error) {
+	rec, err := modelio.Decode(r)
+	if err != nil {
+		return nil, err
+	}
+	return &Model{
+		Spec:             rec.Spec,
+		Theta:            rec.Theta,
+		SampleSize:       rec.SampleSize,
+		PoolSize:         rec.PoolSize,
+		EstimatedEpsilon: rec.EstimatedEpsilon,
+		UsedInitialModel: rec.UsedInitialModel,
+		Diag:             rec.Diag,
+	}, nil
+}
+
 // Train runs the BlinkML workflow: train an initial model on a small
 // sample, estimate its accuracy against the unknown full model, and — only
 // if needed — train one more model on an automatically sized sample that
 // meets the (ε, δ) contract.
 func Train(spec ModelSpec, ds *Dataset, cfg Config) (*Model, error) {
-	res, err := core.Train(spec, ds, cfg)
+	return TrainContext(context.Background(), spec, ds, cfg)
+}
+
+// TrainContext is Train with cancellation: ctx is checked at every phase
+// boundary and between optimizer iterations, so cancelling it stops the
+// training promptly with ctx.Err() (wrapped). This is what makes killed
+// server-side training jobs cheap.
+func TrainContext(ctx context.Context, spec ModelSpec, ds *Dataset, cfg Config) (*Model, error) {
+	res, err := core.TrainContext(ctx, spec, ds, cfg)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,87 @@
+// Command blinkml-serve runs the BlinkML training-and-inference HTTP
+// service: an async training job queue with a bounded worker pool, a model
+// registry persisted to disk (so models survive restarts), and batched
+// prediction.
+//
+// Usage:
+//
+//	blinkml-serve -addr :8080 -dir ./blinkml-models -workers 4
+//
+// Quick walkthrough:
+//
+//	curl -s localhost:8080/v1/train -d '{
+//	  "model":   {"name":"logistic","reg":0.001},
+//	  "dataset": {"synthetic":{"name":"criteo","rows":20000}},
+//	  "epsilon": 0.05, "delta": 0.05
+//	}'
+//	curl -s localhost:8080/v1/jobs/j-000001
+//	curl -s localhost:8080/v1/models/m-000001
+//	curl -s localhost:8080/v1/models/m-000001/predict -d '{"rows":[[...]]}'
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"blinkml/internal/serve"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8080", "listen address")
+		dir     = flag.String("dir", "./blinkml-models", "model registry directory")
+		workers = flag.Int("workers", 2, "training worker pool size")
+		depth   = flag.Int("queue", 64, "max queued training jobs (backpressure beyond this)")
+	)
+	flag.Parse()
+	if err := run(*addr, *dir, *workers, *depth); err != nil {
+		fmt.Fprintln(os.Stderr, "blinkml-serve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr, dir string, workers, depth int) error {
+	s, err := serve.New(serve.Config{Dir: dir, Workers: workers, QueueDepth: depth})
+	if err != nil {
+		return err
+	}
+	httpServer := &http.Server{
+		Addr:              addr,
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("blinkml-serve listening on %s (registry %s, %d models, %d workers)",
+			addr, dir, s.Registry().Len(), workers)
+		errc <- httpServer.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		s.Close()
+		return err
+	case <-ctx.Done():
+		log.Print("shutting down: draining HTTP, cancelling training jobs")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		err := httpServer.Shutdown(shutdownCtx)
+		s.Close() // cancels running jobs; their contexts stop the optimizers
+		if err != nil && !errors.Is(err, context.DeadlineExceeded) {
+			return err
+		}
+		return nil
+	}
+}

@@ -6,15 +6,21 @@
 // Usage:
 //
 //	blinkml -model logistic -data criteo -rows 20000 -dim 500 -accuracy 0.95 -delta 0.05
+//
+// With -json the result is emitted as a single machine-readable JSON
+// document using the same response structs blinkml-serve returns.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 
 	"blinkml"
+	"blinkml/internal/modelio"
+	"blinkml/internal/serve"
 )
 
 func main() {
@@ -31,15 +37,16 @@ func main() {
 		n0        = flag.Int("n0", 1000, "initial sample size")
 		seed      = flag.Int64("seed", 1, "random seed")
 		compare   = flag.Bool("compare-full", true, "also train the full model and report the realized difference")
+		jsonOut   = flag.Bool("json", false, "emit the result as JSON (blinkml-serve response structs)")
 	)
 	flag.Parse()
-	if err := run(*modelName, *dataName, *rows, *dim, *accuracy, *delta, *reg, *classes, *factors, *n0, *seed, *compare); err != nil {
+	if err := run(*modelName, *dataName, *rows, *dim, *accuracy, *delta, *reg, *classes, *factors, *n0, *seed, *compare, *jsonOut); err != nil {
 		fmt.Fprintln(os.Stderr, "blinkml:", err)
 		os.Exit(1)
 	}
 }
 
-func run(modelName, dataName string, rows, dim int, accuracy, delta, reg float64, classes, factors, n0 int, seed int64, compare bool) error {
+func run(modelName, dataName string, rows, dim int, accuracy, delta, reg float64, classes, factors, n0 int, seed int64, compare, jsonOut bool) error {
 	var spec blinkml.ModelSpec
 	switch strings.ToLower(modelName) {
 	case "linear":
@@ -66,34 +73,69 @@ func run(modelName, dataName string, rows, dim int, accuracy, delta, reg float64
 		Seed:              seed,
 		InitialSampleSize: n0,
 	}
-	fmt.Printf("dataset %s: %d rows, %d features\n", dataName, ds.Len(), ds.Dim)
-	fmt.Printf("contract: accuracy >= %.4g%% with probability >= %.4g%%\n", 100*accuracy, 100*(1-delta))
+	if !jsonOut {
+		fmt.Printf("dataset %s: %d rows, %d features\n", dataName, ds.Len(), ds.Dim)
+		fmt.Printf("contract: accuracy >= %.4g%% with probability >= %.4g%%\n", 100*accuracy, 100*(1-delta))
+	}
 
 	model, err := blinkml.Train(spec, ds, cfg)
 	if err != nil {
 		return err
 	}
 	d := model.Diag
-	fmt.Printf("\napproximate model (%s):\n", spec.Name())
-	fmt.Printf("  sample size        %d of %d (%.2f%%)\n", model.SampleSize, model.PoolSize, 100*float64(model.SampleSize)/float64(model.PoolSize))
-	fmt.Printf("  estimated epsilon  %.5f\n", model.EstimatedEpsilon)
-	fmt.Printf("  initial model used %v\n", model.UsedInitialModel)
-	fmt.Printf("  phases             init %v | stats %v | search %v | final %v\n",
-		d.InitialTrain.Round(1e6), d.Statistics.Round(1e6), d.SampleSearch.Round(1e6), d.FinalTrain.Round(1e6))
-	fmt.Printf("  total              %v\n", d.Total().Round(1e6))
 
-	if !compare {
-		return nil
+	// In text mode the approximate results print before the (slow) full
+	// comparison train — the whole point is that the user sees them early.
+	if !jsonOut {
+		fmt.Printf("\napproximate model (%s):\n", spec.Name())
+		fmt.Printf("  sample size        %d of %d (%.2f%%)\n", model.SampleSize, model.PoolSize, 100*float64(model.SampleSize)/float64(model.PoolSize))
+		fmt.Printf("  estimated epsilon  %.5f\n", model.EstimatedEpsilon)
+		fmt.Printf("  initial model used %v\n", model.UsedInitialModel)
+		fmt.Printf("  phases             init %v | stats %v | search %v | final %v\n",
+			d.InitialTrain.Round(1e6), d.Statistics.Round(1e6), d.SampleSearch.Round(1e6), d.FinalTrain.Round(1e6))
+		fmt.Printf("  total              %v\n", d.Total().Round(1e6))
 	}
-	full, err := blinkml.TrainFull(spec, ds, cfg)
-	if err != nil {
-		return err
+
+	var full *serve.FullComparison
+	if compare {
+		fullModel, err := blinkml.TrainFull(spec, ds, cfg)
+		if err != nil {
+			return err
+		}
+		env := blinkml.NewEnv(ds, cfg)
+		v := model.Diff(fullModel, env.Holdout)
+		full = &serve.FullComparison{RealizedDiff: v, ContractMet: v <= cfg.Epsilon}
 	}
-	env := blinkml.NewEnv(ds, cfg)
-	v := model.Diff(full, env.Holdout)
-	fmt.Printf("\nfull model (for comparison):\n")
-	fmt.Printf("  realized difference v = %.5f (contract ε = %.5f) — %s\n",
-		v, cfg.Epsilon, verdict(v <= cfg.Epsilon))
+
+	if jsonOut {
+		sj, err := modelio.SpecToJSON(model.Spec)
+		if err != nil {
+			return err
+		}
+		report := serve.RunReport{
+			Dataset:  serve.DatasetInfo{Name: dataName, Rows: ds.Len(), Dim: ds.Dim},
+			Contract: serve.Contract{Epsilon: cfg.Epsilon, Delta: delta},
+			Model: serve.ModelInfo{
+				Spec:             sj,
+				Dim:              ds.Dim,
+				SampleSize:       model.SampleSize,
+				PoolSize:         model.PoolSize,
+				EstimatedEpsilon: model.EstimatedEpsilon,
+				UsedInitialModel: model.UsedInitialModel,
+			},
+			Phases: serve.NewPhaseBreakdown(d),
+			Full:   full,
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(report)
+	}
+
+	if full != nil {
+		fmt.Printf("\nfull model (for comparison):\n")
+		fmt.Printf("  realized difference v = %.5f (contract ε = %.5f) — %s\n",
+			full.RealizedDiff, cfg.Epsilon, verdict(full.ContractMet))
+	}
 	return nil
 }
 

@@ -1,0 +1,3 @@
+module blinkml
+
+go 1.24

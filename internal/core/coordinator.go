@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
@@ -80,19 +81,33 @@ func NewEnv(ds *dataset.Dataset, opt Options) *Env {
 // estimate misses the requested ε — size and train one final model. At most
 // two approximate models are ever trained.
 func Train(spec models.Spec, ds *dataset.Dataset, opt Options) (*Result, error) {
+	return TrainContext(context.Background(), spec, ds, opt)
+}
+
+// TrainContext is Train with cancellation: the coordinator checks ctx at
+// every phase boundary and the optimizers poll it between iterations, so a
+// cancelled training job stops burning CPU promptly and returns ctx.Err()
+// (wrapped).
+func TrainContext(ctx context.Context, spec models.Spec, ds *dataset.Dataset, opt Options) (*Result, error) {
 	opt = opt.withDefaults()
 	if err := opt.validate(); err != nil {
 		return nil, err
 	}
-	return NewEnv(ds, opt).TrainApprox(spec, opt)
+	return NewEnv(ds, opt).TrainApproxContext(ctx, spec, opt)
 }
 
 // TrainApprox runs the BlinkML coordinator inside a prepared environment.
 func (e *Env) TrainApprox(spec models.Spec, opt Options) (*Result, error) {
+	return e.TrainApproxContext(context.Background(), spec, opt)
+}
+
+// TrainApproxContext is TrainApprox with cancellation (see TrainContext).
+func (e *Env) TrainApproxContext(ctx context.Context, spec models.Spec, opt Options) (*Result, error) {
 	opt = opt.withDefaults()
 	if err := opt.validate(); err != nil {
 		return nil, err
 	}
+	opt.Optimizer = withCancel(ctx, opt.Optimizer)
 	bigN := e.Pool.Len()
 	if bigN == 0 {
 		return nil, errors.New("core: empty training pool")
@@ -106,6 +121,9 @@ func (e *Env) TrainApprox(spec models.Spec, opt Options) (*Result, error) {
 	}
 
 	// Phase 1: initial model m₀ on a uniform sample of size n₀.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	start := time.Now()
 	sample0 := e.Pool.Subset(dataset.SampleWithoutReplacement(rng, bigN, n0))
 	m0, err := models.Train(spec, sample0, nil, opt.Optimizer)
@@ -128,6 +146,9 @@ func (e *Env) TrainApprox(spec models.Spec, opt Options) (*Result, error) {
 	}
 
 	// Phase 2: statistics (H, J → sampling factor) at θ₀.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	start = time.Now()
 	stats, err := ComputeStatistics(spec, sample0, m0.Theta, opt)
 	if err != nil {
@@ -168,6 +189,9 @@ func (e *Env) TrainApprox(spec models.Spec, opt Options) (*Result, error) {
 	}
 
 	// Phase 4: final model m_n on a fresh uniform sample of size n.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	start = time.Now()
 	sampleN := e.Pool.Subset(dataset.SampleWithoutReplacement(rng, bigN, n))
 	var warm []float64
@@ -189,6 +213,25 @@ func (e *Env) TrainApprox(spec models.Spec, opt Options) (*Result, error) {
 		PoolSize:         bigN,
 		Diag:             diag,
 	}, nil
+}
+
+// withCancel chains ctx into the optimizer's per-iteration Stop poll,
+// preserving any Stop the caller already installed.
+func withCancel(ctx context.Context, opt optimize.Options) optimize.Options {
+	if ctx == nil || ctx.Done() == nil {
+		return opt // context.Background(): nothing to poll
+	}
+	prev := opt.Stop
+	opt.Stop = func() error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if prev != nil {
+			return prev()
+		}
+		return nil
+	}
+	return opt
 }
 
 // FullResult is a conventionally trained full model, for baselines.

@@ -1,0 +1,240 @@
+// Package modelio serializes trained BlinkML models to a versioned,
+// round-trippable JSON format. A persisted model carries everything needed
+// to reconstruct predictions byte-for-byte: the model class specification
+// (including derived quantities such as PPCA's σ²), the flattened
+// parameter vector θ, and the accuracy-contract metadata of the run that
+// produced it. The format is what lets the serving layer's model registry
+// survive restarts.
+//
+// Floating-point fidelity: Go's encoding/json emits the shortest decimal
+// representation that round-trips each float64 exactly, so encode→decode
+// reproduces θ bit-for-bit (non-finite parameters are rejected at encode
+// time, as they are by training).
+package modelio
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"time"
+
+	"blinkml/internal/core"
+	"blinkml/internal/models"
+)
+
+// FormatName identifies the envelope; Version is bumped on incompatible
+// layout changes so old registries fail loudly instead of silently
+// misreading.
+const (
+	FormatName = "blinkml-model"
+	Version    = 1
+)
+
+// Model is the persistable view of a trained model: spec, parameters, and
+// contract metadata (a superset of what the public blinkml.Model carries).
+type Model struct {
+	Spec             models.Spec
+	Theta            []float64
+	Dim              int // feature dimension; inferred from Spec+Theta if 0
+	SampleSize       int
+	PoolSize         int
+	EstimatedEpsilon float64
+	UsedInitialModel bool
+	Diag             core.Diagnostics
+	CreatedAt        time.Time
+}
+
+// SpecJSON is the wire form of a model class specification. It doubles as
+// the model selector in serving-layer train requests, which is why every
+// field is optional with per-model defaults.
+type SpecJSON struct {
+	// Name is the model class: "linear", "logistic", "maxent", "poisson",
+	// or "ppca".
+	Name string `json:"name"`
+	// Reg is the L2 coefficient β (GLM classes; default 0.001).
+	Reg float64 `json:"reg,omitempty"`
+	// Classes is the class count for maxent (0 = infer from the dataset).
+	Classes int `json:"classes,omitempty"`
+	// Factors is q for ppca (0 = the paper's default of 10).
+	Factors int `json:"factors,omitempty"`
+	// SigmaSq is ppca's derived noise variance; populated when encoding a
+	// trained model, ignored in train requests.
+	SigmaSq float64 `json:"sigma_sq,omitempty"`
+}
+
+// DefaultReg is applied when a train request leaves Reg unset (the paper's
+// §5.1 default).
+const DefaultReg = 0.001
+
+// SpecToJSON converts a concrete spec to its wire form.
+func SpecToJSON(s models.Spec) (SpecJSON, error) {
+	switch m := s.(type) {
+	case models.LinearRegression:
+		return SpecJSON{Name: m.Name(), Reg: m.Reg}, nil
+	case models.LogisticRegression:
+		return SpecJSON{Name: m.Name(), Reg: m.Reg}, nil
+	case models.MaxEntropy:
+		return SpecJSON{Name: m.Name(), Reg: m.Reg, Classes: m.Classes}, nil
+	case models.PoissonRegression:
+		return SpecJSON{Name: m.Name(), Reg: m.Reg}, nil
+	case *models.PPCA:
+		return SpecJSON{Name: m.Name(), Factors: m.Factors, SigmaSq: m.SigmaSq()}, nil
+	default:
+		return SpecJSON{}, fmt.Errorf("modelio: unsupported spec type %T", s)
+	}
+}
+
+// Spec reconstructs the concrete spec. Defaults are filled in (Reg for the
+// GLM classes) so the same type also validates serving-layer requests.
+func (sj SpecJSON) Spec() (models.Spec, error) {
+	reg := sj.Reg
+	if reg == 0 {
+		reg = DefaultReg
+	}
+	if reg < 0 {
+		return nil, fmt.Errorf("modelio: negative regularization %v", reg)
+	}
+	switch sj.Name {
+	case "linear":
+		return models.LinearRegression{Reg: reg}, nil
+	case "logistic":
+		return models.LogisticRegression{Reg: reg}, nil
+	case "maxent":
+		if sj.Classes < 0 {
+			return nil, fmt.Errorf("modelio: negative class count %d", sj.Classes)
+		}
+		return models.MaxEntropy{Reg: reg, Classes: sj.Classes}, nil
+	case "poisson":
+		return models.PoissonRegression{Reg: reg}, nil
+	case "ppca":
+		if sj.Factors < 0 {
+			return nil, fmt.Errorf("modelio: negative factor count %d", sj.Factors)
+		}
+		p := models.NewPPCA(sj.Factors)
+		p.RestoreSigmaSq(sj.SigmaSq)
+		return p, nil
+	case "":
+		return nil, errors.New("modelio: missing model name")
+	default:
+		return nil, fmt.Errorf("modelio: unknown model %q (want linear|logistic|maxent|poisson|ppca)", sj.Name)
+	}
+}
+
+// envelope is the on-disk layout.
+type envelope struct {
+	Format           string           `json:"format"`
+	Version          int              `json:"version"`
+	Spec             SpecJSON         `json:"spec"`
+	Theta            []float64        `json:"theta"`
+	Dim              int              `json:"dim"`
+	SampleSize       int              `json:"sample_size,omitempty"`
+	PoolSize         int              `json:"pool_size,omitempty"`
+	EstimatedEpsilon float64          `json:"estimated_epsilon,omitempty"`
+	UsedInitialModel bool             `json:"used_initial_model,omitempty"`
+	Diag             core.Diagnostics `json:"diag"`
+	CreatedAt        time.Time        `json:"created_at,omitzero"`
+}
+
+// InferDim recovers the feature dimension from a spec and its flattened
+// parameter vector (the inverse of Spec.ParamDim).
+func InferDim(spec models.Spec, theta []float64) int {
+	switch m := spec.(type) {
+	case models.MaxEntropy:
+		if m.Classes > 0 {
+			return len(theta) / m.Classes
+		}
+		return 0
+	case *models.PPCA:
+		f := m.Factors
+		if f <= 0 {
+			f = 10
+		}
+		return len(theta) / f
+	default:
+		return len(theta)
+	}
+}
+
+// Encode writes m to w. Non-finite parameters are rejected: they cannot
+// have come from successful training and would not survive JSON anyway.
+func Encode(w io.Writer, m *Model) error {
+	if m == nil || m.Spec == nil {
+		return errors.New("modelio: nil model or spec")
+	}
+	if len(m.Theta) == 0 {
+		return errors.New("modelio: empty parameter vector")
+	}
+	for i, v := range m.Theta {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("modelio: theta[%d] is not finite", i)
+		}
+	}
+	sj, err := SpecToJSON(m.Spec)
+	if err != nil {
+		return err
+	}
+	dim := m.Dim
+	if dim == 0 {
+		dim = InferDim(m.Spec, m.Theta)
+	}
+	env := envelope{
+		Format:           FormatName,
+		Version:          Version,
+		Spec:             sj,
+		Theta:            m.Theta,
+		Dim:              dim,
+		SampleSize:       m.SampleSize,
+		PoolSize:         m.PoolSize,
+		EstimatedEpsilon: m.EstimatedEpsilon,
+		UsedInitialModel: m.UsedInitialModel,
+		Diag:             m.Diag,
+		CreatedAt:        m.CreatedAt,
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(&env)
+}
+
+// Decode reads a model written by Encode, validating the envelope and
+// reconstructing the concrete spec.
+func Decode(r io.Reader) (*Model, error) {
+	var env envelope
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&env); err != nil {
+		return nil, fmt.Errorf("modelio: decode: %w", err)
+	}
+	if env.Format != FormatName {
+		return nil, fmt.Errorf("modelio: not a %s file (format %q)", FormatName, env.Format)
+	}
+	if env.Version != Version {
+		return nil, fmt.Errorf("modelio: unsupported version %d (have %d)", env.Version, Version)
+	}
+	spec, err := env.Spec.Spec()
+	if err != nil {
+		return nil, err
+	}
+	if len(env.Theta) == 0 {
+		return nil, errors.New("modelio: empty parameter vector")
+	}
+	for i, v := range env.Theta {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, fmt.Errorf("modelio: theta[%d] is not finite", i)
+		}
+	}
+	dim := env.Dim
+	if dim == 0 {
+		dim = InferDim(spec, env.Theta)
+	}
+	return &Model{
+		Spec:             spec,
+		Theta:            env.Theta,
+		Dim:              dim,
+		SampleSize:       env.SampleSize,
+		PoolSize:         env.PoolSize,
+		EstimatedEpsilon: env.EstimatedEpsilon,
+		UsedInitialModel: env.UsedInitialModel,
+		Diag:             env.Diag,
+		CreatedAt:        env.CreatedAt,
+	}, nil
+}

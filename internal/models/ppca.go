@@ -65,6 +65,20 @@ func (m *PPCA) SigmaSq() float64 {
 	return m.sigmaSq
 }
 
+// RestoreSigmaSq reinstates a previously recorded noise variance on the
+// spec (deserialization support): gradient and likelihood evaluations at a
+// stored θ need the σ² that TrainCustom originally found. Non-positive
+// values are ignored.
+func (m *PPCA) RestoreSigmaSq(s float64) {
+	if s <= 0 {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.sigmaSq = s
+	m.cacheTheta = nil
+}
+
 // TrainCustom implements CustomTrainer with the closed-form PPCA MLE: the
 // top-q eigenpairs of the sample second-moment matrix S = (1/n)Σ xᵢxᵢᵀ give
 // W = V_q(Λ_q − σ²I)^{1/2} and σ² = mean of the discarded eigenvalues.

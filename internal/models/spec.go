@@ -206,6 +206,14 @@ func Train(spec Spec, ds *dataset.Dataset, theta0 []float64, opt optimize.Option
 		return TrainResult{}, errors.New("models: empty training set")
 	}
 	if ct, ok := spec.(CustomTrainer); ok {
+		// Closed-form trainers have no iteration boundaries to poll, so
+		// cancellation is only honored before they start (and again at the
+		// coordinator's next phase boundary).
+		if opt.Stop != nil {
+			if err := opt.Stop(); err != nil {
+				return TrainResult{}, err
+			}
+		}
 		theta, iters, err := ct.TrainCustom(ds)
 		if err != nil {
 			return TrainResult{}, err

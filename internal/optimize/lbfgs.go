@@ -33,6 +33,9 @@ func LBFGS(p Problem, x0 []float64, opt Options) (Result, error) {
 
 	res := Result{X: x, F: f, GradNorm: linalg.NormInf(g)}
 	for iter := 0; iter < opt.MaxIters; iter++ {
+		if err := checkStop(opt, &res, ec); err != nil {
+			return res, err
+		}
 		if res.GradNorm <= opt.GradTol {
 			res.Converged = true
 			res.Status = "gradient tolerance reached"
@@ -152,6 +155,9 @@ func BFGS(p Problem, x0 []float64, opt Options) (Result, error) {
 
 	res := Result{X: x, F: f, GradNorm: linalg.NormInf(g)}
 	for iter := 0; iter < opt.MaxIters; iter++ {
+		if err := checkStop(opt, &res, ec); err != nil {
+			return res, err
+		}
 		if res.GradNorm <= opt.GradTol {
 			res.Converged = true
 			res.Status = "gradient tolerance reached"
@@ -241,6 +247,9 @@ func GradientDescent(p Problem, x0 []float64, opt Options) (Result, error) {
 	gNew := make([]float64, n)
 	res := Result{X: x, F: f, GradNorm: linalg.NormInf(g)}
 	for iter := 0; iter < opt.MaxIters; iter++ {
+		if err := checkStop(opt, &res, ec); err != nil {
+			return res, err
+		}
 		if res.GradNorm <= opt.GradTol {
 			res.Converged = true
 			res.Status = "gradient tolerance reached"
@@ -285,6 +294,20 @@ func GradientDescent(p Problem, x0 []float64, opt Options) (Result, error) {
 	res.X = x
 	res.FuncEvals = ec.count
 	return res, nil
+}
+
+// checkStop polls opt.Stop and, on a non-nil error, finalizes res so the
+// caller can return the best iterate found so far alongside the error.
+func checkStop(opt Options, res *Result, ec *evalCounter) error {
+	if opt.Stop == nil {
+		return nil
+	}
+	err := opt.Stop()
+	if err != nil {
+		res.FuncEvals = ec.count
+		res.Status = "stopped: " + err.Error()
+	}
+	return err
 }
 
 // Minimize picks the solver the paper's setup prescribes: BFGS when the

@@ -42,6 +42,11 @@ type Options struct {
 	MaxEvals  int     // cap on objective evaluations; default 10*MaxIters
 	FtolRel   float64 // stop when relative objective decrease < FtolRel; default 1e-12
 	OnIterate func(iter int, f float64, gradNorm float64)
+	// Stop, when non-nil, is polled once per iteration; a non-nil return
+	// aborts the solve immediately with that error. This is how context
+	// cancellation reaches the inner loops: a killed training job stops
+	// burning CPU at the next iteration boundary.
+	Stop func() error
 }
 
 func (o Options) withDefaults() Options {

@@ -1,0 +1,353 @@
+// Package serve implements blinkml-serve: an HTTP training-and-inference
+// service over the BlinkML library. It has three pieces — an async training
+// job queue with a bounded worker pool and per-job context cancellation, a
+// model registry with versioned persistence to disk (via modelio), and the
+// JSON HTTP API that ties them together:
+//
+//	POST   /v1/train               enqueue a training job, returns a job id
+//	GET    /v1/jobs/{id}           job status + Figure-8 phase breakdown
+//	DELETE /v1/jobs/{id}           cancel a queued or running job
+//	GET    /v1/models              list stored models
+//	GET    /v1/models/{id}         model metadata (?theta=1 adds parameters)
+//	DELETE /v1/models/{id}         evict a model from registry and disk
+//	POST   /v1/models/{id}/predict batched prediction over many rows
+//	GET    /healthz                liveness + registry/queue snapshot
+//	GET    /metrics                expvar counters
+//
+// This file defines the wire types. They are also reused by the blinkml CLI
+// for its -json output, so one set of structs describes a training result
+// everywhere.
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"blinkml/internal/core"
+	"blinkml/internal/dataset"
+	"blinkml/internal/modelio"
+)
+
+// TrainRequest is the body of POST /v1/train: a model spec, a dataset
+// reference, and the (ε, δ) accuracy contract.
+type TrainRequest struct {
+	Model   modelio.SpecJSON `json:"model"`
+	Dataset DatasetRef       `json:"dataset"`
+	// Epsilon is the requested error bound ε in (0, 1].
+	Epsilon float64 `json:"epsilon"`
+	// Delta is the allowed violation probability δ (default 0.05).
+	Delta   float64      `json:"delta,omitempty"`
+	Options TrainOptions `json:"options,omitzero"`
+}
+
+// TrainOptions exposes the tuning knobs of core.Options that make sense
+// per-request; everything omitted keeps the library default.
+type TrainOptions struct {
+	Seed              int64 `json:"seed,omitempty"`
+	InitialSampleSize int   `json:"initial_sample_size,omitempty"`
+	MinSampleSize     int   `json:"min_sample_size,omitempty"`
+	MaxIters          int   `json:"max_iters,omitempty"`
+	WarmStart         bool  `json:"warm_start,omitempty"`
+}
+
+// Validate checks the request before it is admitted to the queue, so a
+// malformed request fails at submit time rather than inside a worker.
+func (r *TrainRequest) Validate() error {
+	if _, err := r.Model.Spec(); err != nil {
+		return err
+	}
+	if r.Epsilon <= 0 || r.Epsilon > 1 {
+		return fmt.Errorf("serve: epsilon must be in (0,1], got %v", r.Epsilon)
+	}
+	if r.Delta < 0 || r.Delta >= 1 {
+		return fmt.Errorf("serve: delta must be in [0,1), got %v", r.Delta)
+	}
+	return r.Dataset.Validate()
+}
+
+// DatasetRef names the training data: exactly one of Synthetic (a
+// paper-shaped generated workload) or Inline (rows uploaded in the request)
+// must be set.
+type DatasetRef struct {
+	Synthetic *SyntheticRef `json:"synthetic,omitempty"`
+	Inline    *InlineData   `json:"inline,omitempty"`
+}
+
+// Validate checks that exactly one source is present and well-formed.
+func (r *DatasetRef) Validate() error {
+	switch {
+	case r.Synthetic != nil && r.Inline != nil:
+		return errors.New("serve: dataset must name either synthetic or inline, not both")
+	case r.Synthetic != nil:
+		if r.Synthetic.Name == "" {
+			return errors.New("serve: synthetic dataset needs a name")
+		}
+		return nil
+	case r.Inline != nil:
+		return r.Inline.validate()
+	default:
+		return errors.New("serve: missing dataset (set synthetic or inline)")
+	}
+}
+
+// SyntheticRef selects one of the generated workloads ("gas", "power",
+// "criteo", "higgs", "mnist", "yelp", "counts"); zero Rows/Dim use the
+// per-dataset defaults.
+type SyntheticRef struct {
+	Name string `json:"name"`
+	Rows int    `json:"rows,omitempty"`
+	Dim  int    `json:"dim,omitempty"`
+	Seed int64  `json:"seed,omitempty"`
+}
+
+// InlineData is a dense dataset shipped in the request body.
+type InlineData struct {
+	// Task is "regression", "binary", "multiclass", or "unsupervised".
+	Task string      `json:"task"`
+	X    [][]float64 `json:"x"`
+	// Y holds labels (empty for unsupervised).
+	Y []float64 `json:"y,omitempty"`
+	// Classes is K for multiclass (0 = infer from the labels).
+	Classes int `json:"classes,omitempty"`
+}
+
+// ParseTask maps a wire task name to the dataset constant.
+func ParseTask(s string) (dataset.Task, error) {
+	switch s {
+	case "regression":
+		return dataset.Regression, nil
+	case "binary":
+		return dataset.BinaryClassification, nil
+	case "multiclass":
+		return dataset.MultiClassification, nil
+	case "unsupervised":
+		return dataset.Unsupervised, nil
+	default:
+		return 0, fmt.Errorf("serve: unknown task %q (want regression|binary|multiclass|unsupervised)", s)
+	}
+}
+
+func (d *InlineData) validate() error {
+	if len(d.X) == 0 {
+		return errors.New("serve: inline dataset has no rows")
+	}
+	if _, err := ParseTask(d.Task); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Build materializes the inline data as a Dataset (rows are dense).
+func (d *InlineData) Build() (*dataset.Dataset, error) {
+	task, err := ParseTask(d.Task)
+	if err != nil {
+		return nil, err
+	}
+	if len(d.X) == 0 {
+		return nil, errors.New("serve: inline dataset has no rows")
+	}
+	dim := len(d.X[0])
+	if dim == 0 {
+		return nil, errors.New("serve: inline rows are empty")
+	}
+	ds := &dataset.Dataset{Dim: dim, Task: task, Name: "inline"}
+	ds.X = make([]dataset.Row, len(d.X))
+	for i, row := range d.X {
+		if len(row) != dim {
+			return nil, fmt.Errorf("serve: inline row %d has %d features, want %d", i, len(row), dim)
+		}
+		ds.X[i] = dataset.DenseRow(row)
+	}
+	if task != dataset.Unsupervised {
+		if len(d.Y) != len(d.X) {
+			return nil, fmt.Errorf("serve: %d rows but %d labels", len(d.X), len(d.Y))
+		}
+		ds.Y = d.Y
+	}
+	if task == dataset.MultiClassification {
+		k := d.Classes
+		if k == 0 {
+			for _, y := range d.Y {
+				if c := int(y) + 1; c > k {
+					k = c
+				}
+			}
+		}
+		ds.NumClasses = k
+	}
+	if err := ds.Validate(); err != nil {
+		return nil, err
+	}
+	return ds, nil
+}
+
+// TrainResponse acknowledges an enqueued job.
+type TrainResponse struct {
+	JobID string `json:"job_id"`
+	// State is the state at admission ("queued").
+	State string `json:"state"`
+}
+
+// JobStatus is the body of GET /v1/jobs/{id}.
+type JobStatus struct {
+	ID    string `json:"id"`
+	State string `json:"state"` // queued | running | succeeded | failed | cancelled
+	// ModelID is set once the job succeeds.
+	ModelID string `json:"model_id,omitempty"`
+	Error   string `json:"error,omitempty"`
+	// Diagnostics carries the Figure-8 phase breakdown once the job is done.
+	Diagnostics *PhaseBreakdown `json:"diagnostics,omitempty"`
+	EnqueuedAt  time.Time       `json:"enqueued_at"`
+	StartedAt   time.Time       `json:"started_at,omitzero"`
+	FinishedAt  time.Time       `json:"finished_at,omitzero"`
+}
+
+// Done reports whether the job has reached a terminal state.
+func (s JobStatus) Done() bool {
+	return s.State == JobSucceeded || s.State == JobFailed || s.State == JobCancelled
+}
+
+// PhaseBreakdown is the paper's Figure-8a decomposition of where training
+// time went, in milliseconds, plus the headline estimator internals.
+type PhaseBreakdown struct {
+	InitialTrainMs float64 `json:"initial_train_ms"`
+	StatisticsMs   float64 `json:"statistics_ms"`
+	SampleSearchMs float64 `json:"sample_search_ms"`
+	FinalTrainMs   float64 `json:"final_train_ms"`
+	TotalMs        float64 `json:"total_ms"`
+	InitialEpsilon float64 `json:"initial_epsilon"`
+	InitialIters   int     `json:"initial_iters"`
+	FinalIters     int     `json:"final_iters,omitempty"`
+	Method         string  `json:"method"`
+}
+
+// NewPhaseBreakdown converts core diagnostics to the wire form.
+func NewPhaseBreakdown(d core.Diagnostics) *PhaseBreakdown {
+	ms := func(t time.Duration) float64 { return float64(t) / float64(time.Millisecond) }
+	return &PhaseBreakdown{
+		InitialTrainMs: ms(d.InitialTrain),
+		StatisticsMs:   ms(d.Statistics),
+		SampleSearchMs: ms(d.SampleSearch),
+		FinalTrainMs:   ms(d.FinalTrain),
+		TotalMs:        ms(d.Total()),
+		InitialEpsilon: d.InitialEpsilon,
+		InitialIters:   d.InitialIters,
+		FinalIters:     d.FinalIters,
+		Method:         d.Method.String(),
+	}
+}
+
+// ModelInfo is the metadata view of a stored model (GET /v1/models/{id});
+// Theta is included only when explicitly requested.
+type ModelInfo struct {
+	ID               string           `json:"id,omitempty"`
+	Spec             modelio.SpecJSON `json:"spec"`
+	Dim              int              `json:"dim"`
+	SampleSize       int              `json:"sample_size"`
+	PoolSize         int              `json:"pool_size"`
+	EstimatedEpsilon float64          `json:"estimated_epsilon"`
+	UsedInitialModel bool             `json:"used_initial_model"`
+	CreatedAt        time.Time        `json:"created_at,omitzero"`
+	Theta            []float64        `json:"theta,omitempty"`
+}
+
+// NewModelInfo builds the wire view of a stored model.
+func NewModelInfo(id string, m *modelio.Model) (ModelInfo, error) {
+	sj, err := modelio.SpecToJSON(m.Spec)
+	if err != nil {
+		return ModelInfo{}, err
+	}
+	return ModelInfo{
+		ID:               id,
+		Spec:             sj,
+		Dim:              m.Dim,
+		SampleSize:       m.SampleSize,
+		PoolSize:         m.PoolSize,
+		EstimatedEpsilon: m.EstimatedEpsilon,
+		UsedInitialModel: m.UsedInitialModel,
+		CreatedAt:        m.CreatedAt,
+	}, nil
+}
+
+// ModelList is the body of GET /v1/models.
+type ModelList struct {
+	Models []ModelInfo `json:"models"`
+}
+
+// PredictRequest is the body of POST /v1/models/{id}/predict: many rows,
+// one round trip.
+type PredictRequest struct {
+	Rows [][]float64 `json:"rows"`
+}
+
+// Validate checks shape and finiteness against the model's dimension.
+func (r *PredictRequest) Validate(dim int) error {
+	if len(r.Rows) == 0 {
+		return errors.New("serve: predict needs at least one row")
+	}
+	for i, row := range r.Rows {
+		if len(row) != dim {
+			return fmt.Errorf("serve: row %d has %d features, model wants %d", i, len(row), dim)
+		}
+		for j, v := range row {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return fmt.Errorf("serve: row %d feature %d is not finite", i, j)
+			}
+		}
+	}
+	return nil
+}
+
+// PredictResponse returns one prediction per input row, in order.
+type PredictResponse struct {
+	ModelID     string    `json:"model_id"`
+	Predictions []float64 `json:"predictions"`
+}
+
+// Health is the body of GET /healthz.
+type Health struct {
+	Status  string `json:"status"`
+	Models  int    `json:"models"`
+	Jobs    int    `json:"jobs"`
+	Workers int    `json:"workers"`
+	// UptimeSeconds is time since the server was constructed.
+	UptimeSeconds float64 `json:"uptime_seconds"`
+}
+
+// ErrorResponse is the uniform error body.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
+// RunReport is the machine-readable result of a one-shot blinkml CLI run
+// (-json). It reuses ModelInfo and PhaseBreakdown so scripted consumers see
+// the same shapes the server produces.
+type RunReport struct {
+	Dataset  DatasetInfo     `json:"dataset"`
+	Contract Contract        `json:"contract"`
+	Model    ModelInfo       `json:"model"`
+	Phases   *PhaseBreakdown `json:"phases,omitempty"`
+	Full     *FullComparison `json:"full_comparison,omitempty"`
+}
+
+// DatasetInfo describes the workload a CLI run trained on.
+type DatasetInfo struct {
+	Name string `json:"name"`
+	Rows int    `json:"rows"`
+	Dim  int    `json:"dim"`
+}
+
+// Contract is the requested (ε, δ) pair.
+type Contract struct {
+	Epsilon float64 `json:"epsilon"`
+	Delta   float64 `json:"delta"`
+}
+
+// FullComparison reports the realized difference against a fully trained
+// model (the CLI's -compare-full path).
+type FullComparison struct {
+	RealizedDiff float64 `json:"realized_diff"`
+	ContractMet  bool    `json:"contract_met"`
+}

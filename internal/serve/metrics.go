@@ -1,0 +1,64 @@
+package serve
+
+import (
+	"expvar"
+	"sync"
+)
+
+// Metrics are the service's expvar counters, published once under the
+// "blinkml" map so repeated server construction (tests, restarts in one
+// process) reuses the same vars instead of panicking on re-publish.
+type Metrics struct {
+	JobsQueued    *expvar.Int // total jobs admitted
+	JobsRunning   *expvar.Int // gauge: jobs currently training
+	JobsSucceeded *expvar.Int
+	JobsFailed    *expvar.Int
+	JobsCancelled *expvar.Int
+
+	TrainRuns         *expvar.Int   // completed training runs
+	TrainLatencyMsSum *expvar.Float // sum of wall-clock train latencies (ms)
+	SampleSizeSum     *expvar.Int   // sum of chosen sample sizes n
+	SampleSizeLast    *expvar.Int   // most recent chosen n
+
+	PredictRequests   *expvar.Int // predict calls
+	PredictionsServed *expvar.Int // individual rows predicted
+	ModelsStored      *expvar.Int // gauge: models in the registry
+}
+
+var (
+	metricsOnce sync.Once
+	metrics     *Metrics
+)
+
+// sharedMetrics returns the process-wide metrics, publishing them on first
+// use.
+func sharedMetrics() *Metrics {
+	metricsOnce.Do(func() {
+		m := expvar.NewMap("blinkml")
+		newInt := func(name string) *expvar.Int {
+			v := new(expvar.Int)
+			m.Set(name, v)
+			return v
+		}
+		newFloat := func(name string) *expvar.Float {
+			v := new(expvar.Float)
+			m.Set(name, v)
+			return v
+		}
+		metrics = &Metrics{
+			JobsQueued:        newInt("jobs_queued"),
+			JobsRunning:       newInt("jobs_running"),
+			JobsSucceeded:     newInt("jobs_succeeded"),
+			JobsFailed:        newInt("jobs_failed"),
+			JobsCancelled:     newInt("jobs_cancelled"),
+			TrainRuns:         newInt("train_runs"),
+			TrainLatencyMsSum: newFloat("train_latency_ms_sum"),
+			SampleSizeSum:     newInt("sample_size_sum"),
+			SampleSizeLast:    newInt("sample_size_last"),
+			PredictRequests:   newInt("predict_requests"),
+			PredictionsServed: newInt("predictions_served"),
+			ModelsStored:      newInt("models_stored"),
+		}
+	})
+	return metrics
+}

@@ -1,0 +1,288 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Job states (wire values of JobStatus.State).
+const (
+	JobQueued    = "queued"
+	JobRunning   = "running"
+	JobSucceeded = "succeeded"
+	JobFailed    = "failed"
+	JobCancelled = "cancelled"
+)
+
+// Queue admission errors.
+var (
+	ErrQueueFull   = errors.New("serve: training queue is full")
+	ErrQueueClosed = errors.New("serve: queue is closed")
+	ErrJobNotFound = errors.New("serve: job not found")
+)
+
+// RunFunc executes one training job. It must honor ctx: when the job is
+// cancelled, ctx is cancelled and the function should return promptly
+// (core.TrainContext already does). On success it returns the registry id
+// of the stored model plus the phase breakdown.
+type RunFunc func(ctx context.Context, req TrainRequest) (modelID string, diag *PhaseBreakdown, err error)
+
+// Job is one queued or running training request. All mutable state is
+// behind mu; handlers read consistent snapshots via Status.
+type Job struct {
+	ID  string
+	req TrainRequest
+
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	mu         sync.Mutex
+	state      string
+	modelID    string
+	errMsg     string
+	diag       *PhaseBreakdown
+	enqueuedAt time.Time
+	startedAt  time.Time
+	finishedAt time.Time
+}
+
+// Status returns a consistent snapshot.
+func (j *Job) Status() JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return JobStatus{
+		ID:          j.ID,
+		State:       j.state,
+		ModelID:     j.modelID,
+		Error:       j.errMsg,
+		Diagnostics: j.diag,
+		EnqueuedAt:  j.enqueuedAt,
+		StartedAt:   j.startedAt,
+		FinishedAt:  j.finishedAt,
+	}
+}
+
+// markRunning transitions queued → running; it reports false when the job
+// was cancelled while still waiting, in which case the worker must skip it.
+func (j *Job) markRunning() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != JobQueued {
+		return false
+	}
+	j.state = JobRunning
+	j.startedAt = time.Now()
+	return true
+}
+
+// finish records a terminal state. The request payload is dropped so a
+// finished job does not pin its (possibly inline, possibly huge) dataset
+// in memory for the rest of the process lifetime.
+func (j *Job) finish(state, modelID, errMsg string, diag *PhaseBreakdown) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.state = state
+	j.modelID = modelID
+	j.errMsg = errMsg
+	j.diag = diag
+	j.finishedAt = time.Now()
+	j.req = TrainRequest{}
+}
+
+// Queue is the async training queue: a bounded channel feeding a fixed
+// worker pool. Admission is non-blocking — a full queue rejects with
+// ErrQueueFull so clients get backpressure instead of hung requests. Every
+// job carries its own context derived from the queue's base context, so
+// individual jobs can be cancelled and Close cancels everything at once.
+type Queue struct {
+	run     RunFunc
+	m       *Metrics
+	workers int
+
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+
+	mu     sync.Mutex
+	jobs   map[string]*Job
+	done   []string // terminal job ids, oldest first, for history eviction
+	seq    uint64
+	closed bool
+	ch     chan *Job
+	wg     sync.WaitGroup
+}
+
+// maxFinishedJobs bounds how many terminal jobs are kept queryable; older
+// ones are evicted so the job map cannot grow without bound on a
+// long-running server.
+const maxFinishedJobs = 1024
+
+// NewQueue starts a queue with the given worker count and backlog depth
+// (both floored at 1).
+func NewQueue(workers, depth int, run RunFunc, m *Metrics) *Queue {
+	if workers < 1 {
+		workers = 1
+	}
+	if depth < 1 {
+		depth = 1
+	}
+	if m == nil {
+		m = sharedMetrics()
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	q := &Queue{
+		run:        run,
+		m:          m,
+		workers:    workers,
+		baseCtx:    ctx,
+		baseCancel: cancel,
+		jobs:       make(map[string]*Job),
+		ch:         make(chan *Job, depth),
+	}
+	q.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go q.worker()
+	}
+	return q
+}
+
+// Workers returns the worker-pool size.
+func (q *Queue) Workers() int { return q.workers }
+
+// Enqueue admits a request, returning the new job or ErrQueueFull /
+// ErrQueueClosed.
+func (q *Queue) Enqueue(req TrainRequest) (*Job, error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return nil, ErrQueueClosed
+	}
+	q.seq++
+	ctx, cancel := context.WithCancel(q.baseCtx)
+	job := &Job{
+		ID:         fmt.Sprintf("j-%06d", q.seq),
+		req:        req,
+		ctx:        ctx,
+		cancel:     cancel,
+		state:      JobQueued,
+		enqueuedAt: time.Now(),
+	}
+	select {
+	case q.ch <- job:
+	default:
+		cancel()
+		q.seq--
+		return nil, ErrQueueFull
+	}
+	q.jobs[job.ID] = job
+	for len(q.done) > maxFinishedJobs {
+		delete(q.jobs, q.done[0])
+		q.done = q.done[1:]
+	}
+	q.m.JobsQueued.Add(1)
+	return job, nil
+}
+
+// recordDone registers a terminal job for history eviction.
+func (q *Queue) recordDone(id string) {
+	q.mu.Lock()
+	q.done = append(q.done, id)
+	q.mu.Unlock()
+}
+
+// Get looks up a job by id.
+func (q *Queue) Get(id string) (*Job, error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	job, ok := q.jobs[id]
+	if !ok {
+		return nil, ErrJobNotFound
+	}
+	return job, nil
+}
+
+// Len returns the number of known jobs (any state).
+func (q *Queue) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.jobs)
+}
+
+// Cancel stops a job: a queued job is marked cancelled immediately (the
+// worker will skip it), a running job has its context cancelled and reaches
+// the cancelled state as soon as the training loop notices — between
+// optimizer iterations, not at the end of the run. (The exception is a
+// closed-form trainer like PPCA's, which has no iterations: it stops only
+// at the coordinator's phase boundaries.) Cancelling a finished job is a
+// harmless no-op.
+func (q *Queue) Cancel(id string) (JobStatus, error) {
+	job, err := q.Get(id)
+	if err != nil {
+		return JobStatus{}, err
+	}
+	job.mu.Lock()
+	switch job.state {
+	case JobQueued:
+		job.state = JobCancelled
+		job.errMsg = "cancelled before start"
+		job.finishedAt = time.Now()
+		job.req = TrainRequest{}
+		job.mu.Unlock()
+		job.cancel()
+		q.m.JobsCancelled.Add(1)
+		q.recordDone(job.ID)
+	case JobRunning:
+		job.mu.Unlock()
+		job.cancel()
+	default:
+		job.mu.Unlock()
+	}
+	return job.Status(), nil
+}
+
+// Close stops accepting work, cancels every outstanding job context, and
+// waits for the workers to drain.
+func (q *Queue) Close() {
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		q.wg.Wait()
+		return
+	}
+	q.closed = true
+	close(q.ch)
+	q.mu.Unlock()
+	q.baseCancel()
+	q.wg.Wait()
+}
+
+func (q *Queue) worker() {
+	defer q.wg.Done()
+	for job := range q.ch {
+		q.runJob(job)
+	}
+}
+
+func (q *Queue) runJob(job *Job) {
+	if !job.markRunning() {
+		return // cancelled while queued
+	}
+	q.m.JobsRunning.Add(1)
+	modelID, diag, err := q.run(job.ctx, job.req)
+	q.m.JobsRunning.Add(-1)
+	switch {
+	case err == nil:
+		job.finish(JobSucceeded, modelID, "", diag)
+		q.m.JobsSucceeded.Add(1)
+	case errors.Is(err, context.Canceled) || job.ctx.Err() != nil:
+		job.finish(JobCancelled, "", "cancelled: "+err.Error(), diag)
+		q.m.JobsCancelled.Add(1)
+	default:
+		job.finish(JobFailed, "", err.Error(), diag)
+		q.m.JobsFailed.Add(1)
+	}
+	job.cancel() // release the context's resources
+	q.recordDone(job.ID)
+}

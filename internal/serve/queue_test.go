@@ -1,0 +1,168 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// waitState polls until the job reaches a terminal state or the deadline
+// passes, returning the final snapshot.
+func waitState(t *testing.T, q *Queue, id string, timeout time.Duration) JobStatus {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		job, err := q.Get(id)
+		if err != nil {
+			t.Fatalf("get job %s: %v", id, err)
+		}
+		st := job.Status()
+		if st.Done() {
+			return st
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s still %s after %v", id, st.State, timeout)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+func req() TrainRequest {
+	return TrainRequest{Epsilon: 0.1, Model: modelSpec("logistic")}
+}
+
+func TestQueueRunsJobs(t *testing.T) {
+	run := func(ctx context.Context, _ TrainRequest) (string, *PhaseBreakdown, error) {
+		return "m-000001", &PhaseBreakdown{TotalMs: 1}, nil
+	}
+	q := NewQueue(2, 8, run, nil)
+	defer q.Close()
+	job, err := q.Enqueue(req())
+	if err != nil {
+		t.Fatalf("enqueue: %v", err)
+	}
+	st := waitState(t, q, job.ID, 5*time.Second)
+	if st.State != JobSucceeded || st.ModelID != "m-000001" {
+		t.Fatalf("got %+v, want succeeded with model id", st)
+	}
+	if st.Diagnostics == nil || st.Diagnostics.TotalMs != 1 {
+		t.Fatalf("diagnostics not propagated: %+v", st.Diagnostics)
+	}
+	if st.FinishedAt.Before(st.StartedAt) || st.StartedAt.Before(st.EnqueuedAt) {
+		t.Fatalf("timestamps out of order: %+v", st)
+	}
+}
+
+func TestQueueFailurePropagates(t *testing.T) {
+	boom := errors.New("synthetic failure")
+	run := func(ctx context.Context, _ TrainRequest) (string, *PhaseBreakdown, error) {
+		return "", nil, boom
+	}
+	q := NewQueue(1, 4, run, nil)
+	defer q.Close()
+	job, _ := q.Enqueue(req())
+	st := waitState(t, q, job.ID, 5*time.Second)
+	if st.State != JobFailed || st.Error != boom.Error() {
+		t.Fatalf("got %+v, want failed with error message", st)
+	}
+}
+
+// TestQueueCancelRunning injects a run function that blocks until its
+// context is cancelled — a deterministic stand-in for a long training loop.
+func TestQueueCancelRunning(t *testing.T) {
+	started := make(chan struct{})
+	run := func(ctx context.Context, _ TrainRequest) (string, *PhaseBreakdown, error) {
+		close(started)
+		<-ctx.Done() // "training" stops only when the job context says so
+		return "", nil, ctx.Err()
+	}
+	q := NewQueue(1, 4, run, nil)
+	defer q.Close()
+	job, _ := q.Enqueue(req())
+	select {
+	case <-started:
+	case <-time.After(5 * time.Second):
+		t.Fatal("job never started")
+	}
+	if _, err := q.Cancel(job.ID); err != nil {
+		t.Fatalf("cancel: %v", err)
+	}
+	st := waitState(t, q, job.ID, 5*time.Second)
+	if st.State != JobCancelled {
+		t.Fatalf("state %s, want cancelled", st.State)
+	}
+}
+
+// TestQueueCancelQueued cancels a job that is still waiting behind a
+// blocked worker: it must be marked cancelled without ever running.
+func TestQueueCancelQueued(t *testing.T) {
+	release := make(chan struct{})
+	ran := make(chan string, 8)
+	run := func(ctx context.Context, r TrainRequest) (string, *PhaseBreakdown, error) {
+		<-release
+		ran <- "ran"
+		return "m-000001", nil, nil
+	}
+	q := NewQueue(1, 4, run, nil)
+	defer q.Close()
+	blocker, _ := q.Enqueue(req())
+	waiting, err := q.Enqueue(req())
+	if err != nil {
+		t.Fatalf("enqueue waiting job: %v", err)
+	}
+	if _, err := q.Cancel(waiting.ID); err != nil {
+		t.Fatalf("cancel queued: %v", err)
+	}
+	if st := waiting.Status(); st.State != JobCancelled || st.StartedAt != (time.Time{}) {
+		t.Fatalf("queued job %+v, want cancelled and never started", st)
+	}
+	close(release)
+	if st := waitState(t, q, blocker.ID, 5*time.Second); st.State != JobSucceeded {
+		t.Fatalf("blocker %+v, want succeeded", st)
+	}
+	// Only the blocker may have run.
+	if n := len(ran); n != 1 {
+		t.Fatalf("%d jobs ran, want 1", n)
+	}
+}
+
+func TestQueueBackpressure(t *testing.T) {
+	release := make(chan struct{})
+	run := func(ctx context.Context, _ TrainRequest) (string, *PhaseBreakdown, error) {
+		select {
+		case <-release:
+		case <-ctx.Done():
+		}
+		return "", nil, ctx.Err()
+	}
+	q := NewQueue(1, 1, run, nil)
+	defer q.Close()
+	defer close(release)
+	// One running + one queued fit; give the worker a moment to pick up the
+	// first so the single buffer slot frees.
+	first, _ := q.Enqueue(req())
+	deadline := time.Now().Add(5 * time.Second)
+	for first.Status().State != JobRunning {
+		if time.Now().After(deadline) {
+			t.Fatal("first job never started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if _, err := q.Enqueue(req()); err != nil {
+		t.Fatalf("second enqueue should fit in the buffer: %v", err)
+	}
+	if _, err := q.Enqueue(req()); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("third enqueue err = %v, want ErrQueueFull", err)
+	}
+}
+
+func TestQueueClosedRejects(t *testing.T) {
+	q := NewQueue(1, 1, func(ctx context.Context, _ TrainRequest) (string, *PhaseBreakdown, error) {
+		return "", nil, nil
+	}, nil)
+	q.Close()
+	if _, err := q.Enqueue(req()); !errors.Is(err, ErrQueueClosed) {
+		t.Fatalf("err = %v, want ErrQueueClosed", err)
+	}
+}

@@ -1,0 +1,347 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"expvar"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync"
+	"time"
+
+	"blinkml/internal/core"
+	"blinkml/internal/datagen"
+	"blinkml/internal/dataset"
+	"blinkml/internal/modelio"
+	"blinkml/internal/models"
+	"blinkml/internal/optimize"
+)
+
+// Config sizes a Server. Dir is required; everything else has defaults.
+type Config struct {
+	// Dir is the model registry directory (created if missing).
+	Dir string
+	// Workers is the training worker-pool size (default 2).
+	Workers int
+	// QueueDepth bounds the training backlog; a full queue returns 503
+	// (default 64).
+	QueueDepth int
+	// MaxBodyBytes caps request bodies (default 64 MiB — inline datasets
+	// can be large).
+	MaxBodyBytes int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = 2
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 64 << 20
+	}
+	return c
+}
+
+// Server is the blinkml-serve HTTP service: an async training job queue in
+// front of the BlinkML coordinator, plus a persistent model registry for
+// the models it produces.
+type Server struct {
+	cfg     Config
+	reg     *Registry
+	queue   *Queue
+	mux     *http.ServeMux
+	m       *Metrics
+	started time.Time
+}
+
+// New opens the registry at cfg.Dir (recovering any persisted models) and
+// starts the worker pool. Call Close to stop it.
+func New(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	reg, err := OpenRegistry(cfg.Dir)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		cfg:     cfg,
+		reg:     reg,
+		m:       sharedMetrics(),
+		started: time.Now(),
+	}
+	s.m.ModelsStored.Set(int64(reg.Len()))
+	s.queue = NewQueue(cfg.Workers, cfg.QueueDepth, s.runTrain, s.m)
+	s.mux = http.NewServeMux()
+	s.routes()
+	return s, nil
+}
+
+// Handler returns the HTTP handler for the whole API.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Registry exposes the model store (used by the CLI and tests).
+func (s *Server) Registry() *Registry { return s.reg }
+
+// Close cancels all outstanding jobs and waits for the workers to drain.
+func (s *Server) Close() { s.queue.Close() }
+
+func (s *Server) routes() {
+	s.mux.HandleFunc("POST /v1/train", s.handleTrain)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
+	s.mux.HandleFunc("GET /v1/models", s.handleModelList)
+	s.mux.HandleFunc("GET /v1/models/{id}", s.handleModelGet)
+	s.mux.HandleFunc("DELETE /v1/models/{id}", s.handleModelDelete)
+	s.mux.HandleFunc("POST /v1/models/{id}/predict", s.handlePredict)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.Handle("GET /metrics", expvar.Handler())
+}
+
+// runTrain is the queue's RunFunc: materialize the dataset, run the BlinkML
+// coordinator under the job's context, and persist the result.
+func (s *Server) runTrain(ctx context.Context, req TrainRequest) (string, *PhaseBreakdown, error) {
+	spec, err := req.Model.Spec()
+	if err != nil {
+		return "", nil, err
+	}
+	ds, err := s.buildDataset(req.Dataset)
+	if err != nil {
+		return "", nil, err
+	}
+	cfg := core.Options{
+		Epsilon:           req.Epsilon,
+		Delta:             req.Delta,
+		Seed:              req.Options.Seed,
+		InitialSampleSize: req.Options.InitialSampleSize,
+		MinSampleSize:     req.Options.MinSampleSize,
+		WarmStart:         req.Options.WarmStart,
+		Optimizer:         optimize.Options{MaxIters: req.Options.MaxIters},
+	}
+	start := time.Now()
+	res, err := core.TrainContext(ctx, spec, ds, cfg)
+	if err != nil {
+		return "", nil, err
+	}
+	s.m.TrainRuns.Add(1)
+	s.m.TrainLatencyMsSum.Add(float64(time.Since(start)) / float64(time.Millisecond))
+	s.m.SampleSizeSum.Add(int64(res.SampleSize))
+	s.m.SampleSizeLast.Set(int64(res.SampleSize))
+	id, err := s.reg.Put(&modelio.Model{
+		Spec:             spec,
+		Theta:            res.Theta,
+		Dim:              ds.Dim,
+		SampleSize:       res.SampleSize,
+		PoolSize:         res.PoolSize,
+		EstimatedEpsilon: res.EstimatedEpsilon,
+		UsedInitialModel: res.UsedInitialModel,
+		Diag:             res.Diag,
+		CreatedAt:        time.Now().UTC(),
+	})
+	if err != nil {
+		return "", nil, err
+	}
+	s.m.ModelsStored.Set(int64(s.reg.Len()))
+	return id, NewPhaseBreakdown(res.Diag), nil
+}
+
+func (s *Server) buildDataset(ref DatasetRef) (*dataset.Dataset, error) {
+	switch {
+	case ref.Synthetic != nil:
+		r := ref.Synthetic
+		return datagen.Generate(r.Name, datagen.Config{Rows: r.Rows, Dim: r.Dim, Seed: r.Seed})
+	case ref.Inline != nil:
+		return ref.Inline.Build()
+	default:
+		return nil, errors.New("serve: missing dataset")
+	}
+}
+
+func (s *Server) handleTrain(w http.ResponseWriter, r *http.Request) {
+	var req TrainRequest
+	if !s.readJSON(w, r, &req) {
+		return
+	}
+	if err := req.Validate(); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	job, err := s.queue.Enqueue(req)
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	case err != nil:
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	}
+	w.Header().Set("Location", "/v1/jobs/"+job.ID)
+	writeJSON(w, http.StatusAccepted, TrainResponse{JobID: job.ID, State: JobQueued})
+}
+
+func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
+	job, err := s.queue.Get(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, job.Status())
+}
+
+func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
+	st, err := s.queue.Cancel(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handleModelList(w http.ResponseWriter, r *http.Request) {
+	ids := s.reg.List()
+	list := ModelList{Models: make([]ModelInfo, 0, len(ids))}
+	for _, id := range ids {
+		m, err := s.reg.Get(id)
+		if err != nil {
+			continue // deleted between List and Get
+		}
+		info, err := NewModelInfo(id, m)
+		if err != nil {
+			continue
+		}
+		list.Models = append(list.Models, info)
+	}
+	writeJSON(w, http.StatusOK, list)
+}
+
+func (s *Server) handleModelGet(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	m, err := s.reg.Get(id)
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	info, err := NewModelInfo(id, m)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	if r.URL.Query().Get("theta") == "1" {
+		info.Theta = m.Theta
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+func (s *Server) handleModelDelete(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if err := s.reg.Delete(id); err != nil {
+		status := http.StatusNotFound
+		if !errors.Is(err, ErrModelNotFound) {
+			status = http.StatusInternalServerError
+		}
+		writeError(w, status, err)
+		return
+	}
+	s.m.ModelsStored.Set(int64(s.reg.Len()))
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// predictParallelThreshold is the batch size above which prediction fans
+// out across goroutines; below it the scatter/gather overhead dominates.
+const predictParallelThreshold = 512
+
+func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	m, err := s.reg.Get(id)
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	var req PredictRequest
+	if !s.readJSON(w, r, &req) {
+		return
+	}
+	if err := req.Validate(m.Dim); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	s.m.PredictRequests.Add(1)
+	preds := predictBatch(m.Spec, m.Theta, req.Rows)
+	s.m.PredictionsServed.Add(int64(len(preds)))
+	writeJSON(w, http.StatusOK, PredictResponse{ModelID: id, Predictions: preds})
+}
+
+// predictBatch evaluates the model on every row, fanning out over
+// goroutines for large batches (predictions are independent and specs are
+// safe for concurrent Predict).
+func predictBatch(spec models.Spec, theta []float64, rows [][]float64) []float64 {
+	preds := make([]float64, len(rows))
+	if len(rows) < predictParallelThreshold {
+		for i, row := range rows {
+			preds[i] = spec.Predict(theta, dataset.DenseRow(row))
+		}
+		return preds
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > 8 {
+		workers = 8
+	}
+	chunk := (len(rows) + workers - 1) / workers
+	var wg sync.WaitGroup
+	for lo := 0; lo < len(rows); lo += chunk {
+		hi := lo + chunk
+		if hi > len(rows) {
+			hi = len(rows)
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				preds[i] = spec.Predict(theta, dataset.DenseRow(rows[i]))
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	return preds
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, Health{
+		Status:        "ok",
+		Models:        s.reg.Len(),
+		Jobs:          s.queue.Len(),
+		Workers:       s.queue.Workers(),
+		UptimeSeconds: time.Since(s.started).Seconds(),
+	})
+}
+
+// readJSON decodes the request body into v, writing a 400 on failure.
+func (s *Server) readJSON(w http.ResponseWriter, r *http.Request, v any) bool {
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("serve: request body exceeds %d bytes", tooBig.Limit))
+			return false
+		}
+		writeError(w, http.StatusBadRequest, fmt.Errorf("serve: bad request body: %w", err))
+		return false
+	}
+	return true
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v) // the status line is already out; nothing to recover
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, ErrorResponse{Error: err.Error()})
+}
