@@ -28,12 +28,14 @@ package blinkml
 import (
 	"context"
 	"io"
+	"time"
 
 	"blinkml/internal/core"
 	"blinkml/internal/datagen"
 	"blinkml/internal/dataset"
 	"blinkml/internal/modelio"
 	"blinkml/internal/models"
+	"blinkml/internal/tune"
 )
 
 // Re-exported data model: a Dataset holds rows (dense or sparse) and
@@ -217,6 +219,69 @@ func TrainFull(spec ModelSpec, ds *Dataset, cfg Config) (*Model, error) {
 		Theta:      res.Theta,
 		SampleSize: env.Pool.Len(),
 		PoolSize:   env.Pool.Len(),
+	}, nil
+}
+
+// Hyperparameter search (the paper's §5.7 scenario as a subsystem): a
+// TuneSpace names candidate model specs — an explicit grid, seeded random
+// draws over regularization and similar knobs, or both — and Tune evaluates
+// them concurrently over one shared train/holdout/test split, optionally
+// with successive-halving early pruning. See the tune package docs.
+type (
+	// TuneSpace is the candidate space (grid and/or random draws).
+	TuneSpace = tune.Space
+	// TuneRandomSpace draws seeded candidates from parameter ranges
+	// (log-uniform over regularization, uniform over PPCA factors).
+	TuneRandomSpace = tune.RandomSpace
+	// TuneConfig sizes a search: per-candidate contract, worker pool, and
+	// successive-halving knobs.
+	TuneConfig = tune.Config
+	// TuneEntry is one ranked leaderboard row.
+	TuneEntry = tune.Entry
+)
+
+// TuneResult pairs the winning contract-trained model with the ranked
+// leaderboard of every candidate evaluated.
+type TuneResult struct {
+	// Best is the winner — trained under the requested (ε, δ) contract, so
+	// its ranking transfers to full training with high probability.
+	Best *Model
+	// Leaderboard ranks every candidate best-first (test metric, estimated
+	// epsilon, sample size, wall time per candidate).
+	Leaderboard []TuneEntry
+	// Evaluated and Pruned count candidates entered and halving-pruned.
+	Evaluated, Pruned int
+	// PoolSize is N, the shared training pool all candidates drew from.
+	PoolSize int
+	// Elapsed is the whole search's wall-clock time.
+	Elapsed time.Duration
+}
+
+// Tune searches space over ds: every candidate trains on the same shared
+// split under cfg.Train's (ε, δ) contract, on a bounded worker pool, with
+// optional successive-halving pruning (cfg.Halving). Cancelling ctx stops
+// the search promptly — queued candidates are never started and running
+// ones stop between optimizer iterations.
+func Tune(ctx context.Context, space TuneSpace, ds *Dataset, cfg TuneConfig) (*TuneResult, error) {
+	res, err := tune.Run(ctx, space, ds, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &TuneResult{
+		Best: &Model{
+			Spec:             res.Best.Spec,
+			Theta:            res.Best.Theta,
+			SampleSize:       res.Best.SampleSize,
+			PoolSize:         res.Best.PoolSize,
+			EstimatedEpsilon: res.Best.EstimatedEpsilon,
+			UsedInitialModel: res.Best.UsedInitialModel,
+			Diag:             res.Best.Diag,
+		},
+		Leaderboard: res.Entries,
+		Evaluated:   res.Evaluated,
+		Pruned:      res.Pruned,
+		PoolSize:    res.PoolSize,
+		Elapsed:     res.Elapsed,
 	}, nil
 }
 

@@ -1,8 +1,59 @@
 package blinkml
 
 import (
+	"context"
+	"math"
 	"testing"
 )
+
+// TestPublicAPITune drives the hyperparameter-search subsystem through the
+// public surface: a mixed grid+random space with successive halving, a
+// ranked leaderboard, and a contract-carrying winner that predicts.
+func TestPublicAPITune(t *testing.T) {
+	ds, err := SyntheticDataset("higgs", 6000, 10, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	space := TuneSpace{
+		Grid: []ModelSpec{LogisticRegression(0.001)},
+		Random: &TuneRandomSpace{
+			Model: "logistic", N: 7, RegMin: 1e-6, RegMax: 1,
+		},
+	}
+	cfg := TuneConfig{
+		Train: Config{
+			Epsilon: 0.1, Delta: 0.05, Seed: 3,
+			InitialSampleSize: 300, K: 60, TestFraction: 0.15,
+		},
+		Halving: true,
+		Rungs:   2,
+		Eta:     2,
+	}
+	res, err := Tune(context.Background(), space, ds, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Evaluated != 8 || len(res.Leaderboard) != 8 {
+		t.Fatalf("evaluated %d, want 8", res.Evaluated)
+	}
+	if res.Pruned == 0 {
+		t.Fatal("halving pruned nothing")
+	}
+	if math.IsNaN(res.Leaderboard[0].TestError) {
+		t.Fatal("winner has no test metric")
+	}
+	best := res.Best
+	if best == nil || best.EstimatedEpsilon <= 0 || best.EstimatedEpsilon > cfg.Train.Epsilon {
+		t.Fatalf("winner %+v, want contract ε in (0, %v]", best, cfg.Train.Epsilon)
+	}
+	env := NewEnv(ds, cfg.Train)
+	if p := best.Predict(env.Holdout.X[0]); p != 0 && p != 1 {
+		t.Fatalf("winner prediction %v, want a class in {0,1}", p)
+	}
+	if acc := best.Accuracy(env.Test); acc < 0.5 {
+		t.Fatalf("winner test accuracy %v, want > 0.5", acc)
+	}
+}
 
 func TestPublicAPIEndToEnd(t *testing.T) {
 	ds, err := SyntheticDataset("higgs", 12000, 8, 42)

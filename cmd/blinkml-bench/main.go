@@ -1,11 +1,16 @@
 // Command blinkml-bench regenerates the paper's evaluation tables and
-// figures (Figures 5–11, Tables 4–9) on the synthetic workloads.
+// figures (Figures 5–11, Tables 4–9) on the synthetic workloads, and — with
+// -json — writes a machine-readable benchmark summary (one seeded BlinkML
+// training per workload: ns/op, chosen sample size, estimated ε), seeding
+// the repo's BENCH_*.json performance trajectory.
 //
 // Usage:
 //
 //	blinkml-bench -list
 //	blinkml-bench -experiment fig5-lr-criteo -scale medium
 //	blinkml-bench -all -scale small
+//	blinkml-bench -json BENCH_small.json -scale small
+//	blinkml-bench -json - -scale medium     # summary to stdout
 package main
 
 import (
@@ -18,11 +23,12 @@ import (
 
 func main() {
 	var (
-		list  = flag.Bool("list", false, "list available experiments")
-		exp   = flag.String("experiment", "", "experiment id (see -list)")
-		all   = flag.Bool("all", false, "run every experiment")
-		scale = flag.String("scale", "small", "small | medium | large")
-		seed  = flag.Int64("seed", 1, "random seed")
+		list    = flag.Bool("list", false, "list available experiments")
+		exp     = flag.String("experiment", "", "experiment id (see -list)")
+		all     = flag.Bool("all", false, "run every experiment")
+		scale   = flag.String("scale", "small", "small | medium | large")
+		seed    = flag.Int64("seed", 1, "random seed")
+		jsonOut = flag.String("json", "", "run the benchmark suite and write the JSON summary to this path (\"-\" = stdout)")
 	)
 	flag.Parse()
 
@@ -37,6 +43,10 @@ func main() {
 		fatal(err)
 	}
 	switch {
+	case *jsonOut != "":
+		if err := writeBench(s, *seed, *jsonOut); err != nil {
+			fatal(err)
+		}
 	case *all:
 		if err := experiments.RunAll(s, *seed, os.Stdout); err != nil {
 			fatal(err)
@@ -54,9 +64,36 @@ func main() {
 			t.Fprint(os.Stdout)
 		}
 	default:
-		fmt.Fprintln(os.Stderr, "blinkml-bench: pass -list, -all, or -experiment <id>")
+		fmt.Fprintln(os.Stderr, "blinkml-bench: pass -list, -all, -experiment <id>, or -json <path>")
 		os.Exit(2)
 	}
+}
+
+// writeBench runs the benchmark suite and writes the JSON summary to path
+// ("-" for stdout). Progress goes to stderr so a piped stdout stays pure
+// JSON.
+func writeBench(s experiments.Scale, seed int64, path string) error {
+	fmt.Fprintf(os.Stderr, "blinkml-bench: running %s-scale benchmark suite (seed %d)\n", s, seed)
+	sum, err := experiments.RunBench(s, seed)
+	if err != nil {
+		return err
+	}
+	if path == "-" {
+		return sum.WriteJSON(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := sum.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "blinkml-bench: wrote %s (%d workloads)\n", path, len(sum.Results))
+	return nil
 }
 
 func fatal(err error) {

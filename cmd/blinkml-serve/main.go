@@ -1,7 +1,7 @@
 // Command blinkml-serve runs the BlinkML training-and-inference HTTP
-// service: an async training job queue with a bounded worker pool, a model
-// registry persisted to disk (so models survive restarts), and batched
-// prediction.
+// service: an async job queue (training runs and POST /v1/tune
+// hyperparameter searches) with a bounded worker pool, a model registry
+// persisted to disk (so models survive restarts), and batched prediction.
 //
 // Usage:
 //

@@ -1,17 +1,19 @@
 // Hyperparameter search with approximate models (the paper's §5.7
-// scenario): random-search over regularization coefficients, training a
-// 95%-accurate BlinkML model per configuration instead of a full model.
-// Each BlinkML evaluation costs a fraction of full training, so many more
-// configurations fit in the same time budget.
+// scenario): a seeded random search over regularization coefficients
+// through the blinkml.Tune subsystem. Every candidate trains a
+// 95%-accurate BlinkML model on the same shared train/holdout/test split —
+// a fraction of full training per configuration — and successive halving
+// prunes weak configurations on small nested subsamples before they ever
+// cost a contract-grade training.
 //
 //	go run ./examples/hyperparam
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
-	"math/rand"
 	"time"
 
 	"blinkml"
@@ -22,30 +24,53 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	cfg := blinkml.Config{Epsilon: 0.05, Delta: 0.05, Seed: 11, TestFraction: 0.15}
-	env := blinkml.NewEnv(data, cfg)
 
-	rng := rand.New(rand.NewSource(11))
-	bestAcc, bestReg := 0.0, 0.0
-	var elapsed time.Duration
-	const configs = 12
-
-	fmt.Printf("%-6s %-10s %-10s %-10s\n", "step", "reg", "test acc", "cum time")
-	for step := 1; step <= configs; step++ {
-		reg := math.Pow(10, -6+6*rng.Float64()) // log-uniform in [1e-6, 1]
-		start := time.Now()
-		model, err := blinkml.Train(blinkml.LogisticRegression(reg), data, cfg)
-		if err != nil {
-			log.Fatal(err)
-		}
-		elapsed += time.Since(start)
-		acc := model.Accuracy(env.Test)
-		if acc > bestAcc {
-			bestAcc, bestReg = acc, reg
-		}
-		fmt.Printf("%-6d %-10.2e %-10.4f %-10v\n", step, reg, acc, elapsed.Round(1e6))
+	space := blinkml.TuneSpace{
+		Random: &blinkml.TuneRandomSpace{
+			Model:  "logistic",
+			N:      12,
+			RegMin: 1e-6, // log-uniform in [1e-6, 1]
+			RegMax: 1,
+		},
 	}
-	fmt.Printf("\nbest configuration: reg=%.2e with test accuracy %.2f%%\n", bestReg, 100*bestAcc)
-	fmt.Println("every model above carries the (ε=0.05, δ=0.05) fidelity contract,")
+	cfg := blinkml.TuneConfig{
+		Train: blinkml.Config{
+			Epsilon:      0.05, // "95% accurate, 95% confident" per candidate
+			Delta:        0.05,
+			Seed:         11,
+			TestFraction: 0.15,
+		},
+		Halving: true, // prune weak configs on small shared subsamples
+		Rungs:   2,
+		Eta:     2,
+	}
+
+	res, err := blinkml.Tune(context.Background(), space, data, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%-6s %-10s %-10s %-8s %-10s %s\n", "rank", "reg", "test err", "rung", "n", "time")
+	for _, e := range res.Leaderboard {
+		testErr := "-"
+		if !math.IsNaN(e.TestError) {
+			testErr = fmt.Sprintf("%.4f", e.TestError)
+		}
+		status := ""
+		if e.Pruned {
+			status = "  (pruned)"
+		}
+		fmt.Printf("%-6d %-10.2e %-10s %-8d %-10d %v%s\n",
+			e.Rank, e.Spec.Beta(), testErr, e.Rung, e.SampleSize,
+			e.Wall.Round(time.Millisecond), status)
+	}
+
+	best := res.Best
+	fmt.Printf("\nbest configuration: reg=%.2e with test accuracy %.2f%%\n",
+		best.Spec.Beta(), 100*(1-res.Leaderboard[0].TestError))
+	fmt.Printf("search: %d candidates (%d pruned early) in %v, sample %d of %d rows\n",
+		res.Evaluated, res.Pruned, res.Elapsed.Round(time.Millisecond),
+		best.SampleSize, best.PoolSize)
+	fmt.Println("every surviving model carries the (ε=0.05, δ=0.05) fidelity contract,")
 	fmt.Println("so the winner's ranking transfers to full training with high probability.")
 }

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync"
 	"time"
 
 	"blinkml/internal/dataset"
@@ -50,12 +51,21 @@ type Result struct {
 // Env is a prepared training environment: the train/holdout/test split that
 // both BlinkML and the full-model baseline must share so their predictions
 // are comparable (the experiments in §5 measure v(m_n, m_N) on the same
-// holdout).
+// holdout). An Env is read-only after construction, so concurrent
+// TrainApprox/TrainFull calls on one Env are safe — the hyperparameter-
+// search subsystem relies on this to evaluate many candidates over a single
+// data preparation.
 type Env struct {
 	Pool    *dataset.Dataset // the full model's training set (size N)
 	Holdout *dataset.Dataset // diff() evaluation set, never trained on
 	Test    *dataset.Dataset // generalization-error reporting (may be empty)
 	seed    int64
+
+	// Shared-sample cache (see SharedSample): one pool permutation plus the
+	// materialized nested prefixes, built lazily under mu.
+	mu      sync.Mutex
+	perm    []int
+	samples map[int]*dataset.Dataset
 }
 
 // NewEnv splits ds according to opt (deterministic in opt.Seed).
@@ -74,6 +84,42 @@ func NewEnv(ds *dataset.Dataset, opt Options) *Env {
 		Test:    ds.Subset(split.Test),
 		seed:    opt.Seed,
 	}
+}
+
+// Seed returns the seed the environment was split with; derived per-
+// candidate seeds should be built from it so a whole search stays
+// deterministic in one number.
+func (e *Env) Seed() int64 { return e.seed }
+
+// SharedSample returns the subset formed by the first n rows of a fixed,
+// seed-deterministic permutation of the pool (n is clamped to the pool
+// size). Successive calls share one permutation, so samples are nested —
+// SharedSample(m) is a prefix of SharedSample(n) for m ≤ n — and each size
+// is materialized once and memoized. This is the sample-reuse hook for
+// workloads that train many models on increasing subsamples (successive-
+// halving hyperparameter search): candidates probing the same size share
+// one subset, and a candidate promoted to a larger rung trains on a strict
+// superset of the rows it has already seen, which makes warm starts honest.
+// Safe for concurrent use.
+func (e *Env) SharedSample(n int) *dataset.Dataset {
+	if n >= e.Pool.Len() {
+		return e.Pool
+	}
+	if n < 1 {
+		n = 1
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.perm == nil {
+		e.perm = stat.NewRNG(e.seed + 0x5A3D).Perm(e.Pool.Len())
+		e.samples = make(map[int]*dataset.Dataset)
+	}
+	if ds, ok := e.samples[n]; ok {
+		return ds
+	}
+	ds := e.Pool.Subset(e.perm[:n:n])
+	e.samples[n] = ds
+	return ds
 }
 
 // Train runs the full BlinkML workflow (§2.3) on ds: split, train the
@@ -213,6 +259,14 @@ func (e *Env) TrainApproxContext(ctx context.Context, spec models.Spec, opt Opti
 		PoolSize:         bigN,
 		Diag:             diag,
 	}, nil
+}
+
+// WithCancel chains ctx into the optimizer's per-iteration Stop poll,
+// preserving any Stop the caller already installed. The coordinator applies
+// it automatically; callers driving models.Train directly under a context
+// (the tune subsystem's pruning rungs) apply it themselves.
+func WithCancel(ctx context.Context, opt optimize.Options) optimize.Options {
+	return withCancel(ctx, opt)
 }
 
 // withCancel chains ctx into the optimizer's per-iteration Stop poll,

@@ -1,0 +1,82 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"blinkml/internal/datagen"
+)
+
+// TestSharedSampleNestingAndReuse checks the tune subsystem's sample-reuse
+// contract: SharedSample(m) is a prefix of SharedSample(n) for m ≤ n, sizes
+// are memoized (same *Dataset back), the draw is deterministic in the env
+// seed, and n clamps to the pool.
+func TestSharedSampleNestingAndReuse(t *testing.T) {
+	ds, err := datagen.Generate("higgs", datagen.Config{Rows: 2000, Dim: 8, Seed: 3})
+	if err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	opt := Options{Epsilon: 0.1, Seed: 9}
+	env := NewEnv(ds, opt)
+
+	small := env.SharedSample(100)
+	big := env.SharedSample(400)
+	if small.Len() != 100 || big.Len() != 400 {
+		t.Fatalf("sizes %d/%d, want 100/400", small.Len(), big.Len())
+	}
+	for i := 0; i < small.Len(); i++ {
+		a := make([]float64, ds.Dim)
+		b := make([]float64, ds.Dim)
+		small.X[i].AddTo(a, 1)
+		big.X[i].AddTo(b, 1)
+		for j := range a {
+			if a[j] != b[j] {
+				t.Fatalf("row %d: samples are not nested", i)
+			}
+		}
+		if small.Y[i] != big.Y[i] {
+			t.Fatalf("row %d: labels are not nested", i)
+		}
+	}
+	if again := env.SharedSample(100); again != small {
+		t.Fatal("same size not memoized")
+	}
+	if full := env.SharedSample(env.Pool.Len() + 50); full != env.Pool {
+		t.Fatal("oversized request should return the pool itself")
+	}
+
+	// Deterministic in the env seed.
+	env2 := NewEnv(ds, opt)
+	other := env2.SharedSample(100)
+	for i := 0; i < 100; i++ {
+		if small.Y[i] != other.Y[i] {
+			t.Fatalf("row %d differs across identically seeded envs", i)
+		}
+	}
+}
+
+// TestSharedSampleConcurrent hammers the memoizing cache from many
+// goroutines (the halving worker pool's access pattern).
+func TestSharedSampleConcurrent(t *testing.T) {
+	ds, err := datagen.Generate("higgs", datagen.Config{Rows: 3000, Dim: 5, Seed: 1})
+	if err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	env := NewEnv(ds, Options{Epsilon: 0.1, Seed: 2})
+	sizes := []int{50, 100, 200, 400, 800}
+	var wg sync.WaitGroup
+	for w := 0; w < 16; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				n := sizes[(w+i)%len(sizes)]
+				if got := env.SharedSample(n); got.Len() != n {
+					t.Errorf("size %d, want %d", got.Len(), n)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,95 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"blinkml/internal/core"
+)
+
+// BenchResult is one machine-readable benchmark row: a seeded BlinkML
+// training run on one of the paper's eight workloads. The JSON shape is
+// stable so successive files (the repo's BENCH_*.json trajectory) can be
+// diffed across commits.
+type BenchResult struct {
+	// Name is the workload id (e.g. "lr-higgs").
+	Name string `json:"name"`
+	// Scale is the workload scale the run used.
+	Scale string `json:"scale"`
+	// Rows and Dim describe the generated dataset.
+	Rows int `json:"rows"`
+	Dim  int `json:"dim"`
+	// NsPerOp is the end-to-end BlinkML training time in nanoseconds.
+	NsPerOp int64 `json:"ns_per_op"`
+	// SampleSize is the number of rows the returned model trained on, out
+	// of PoolSize.
+	SampleSize int `json:"sample_size"`
+	PoolSize   int `json:"pool_size"`
+	// Epsilon is the model's estimated ε bound; RequestedEpsilon is the
+	// contract it was asked for.
+	Epsilon          float64 `json:"epsilon"`
+	RequestedEpsilon float64 `json:"requested_epsilon"`
+	// UsedInitialModel reports the §2.3 early exit (the n₀ model already
+	// met the contract).
+	UsedInitialModel bool `json:"used_initial_model"`
+}
+
+// BenchSummary is the envelope written by blinkml-bench -json.
+type BenchSummary struct {
+	Scale   string        `json:"scale"`
+	Seed    int64         `json:"seed"`
+	Results []BenchResult `json:"results"`
+}
+
+// RunBench trains one contract-grade BlinkML model per workload at the
+// given scale (ε = 0.05, the paper's 95% operating point) and reports the
+// timing/sample-size summary. Deterministic in seed.
+func RunBench(scale Scale, seed int64) (*BenchSummary, error) {
+	sum := &BenchSummary{Scale: scale.String(), Seed: seed}
+	for _, w := range Workloads() {
+		r, err := benchWorkload(w, scale, seed)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: bench %s: %w", w.ID, err)
+		}
+		sum.Results = append(sum.Results, r)
+	}
+	return sum, nil
+}
+
+func benchWorkload(w Workload, scale Scale, seed int64) (BenchResult, error) {
+	ds := w.Data(scale, seed)
+	opt := core.Options{
+		Epsilon:           0.05,
+		Delta:             0.05,
+		Seed:              seed,
+		InitialSampleSize: initialSampleSize(scale),
+		K:                 paramSamples(scale),
+	}
+	start := time.Now()
+	res, err := core.Train(w.Spec(scale), ds, opt)
+	if err != nil {
+		return BenchResult{}, err
+	}
+	elapsed := time.Since(start)
+	return BenchResult{
+		Name:             w.ID,
+		Scale:            scale.String(),
+		Rows:             ds.Len(),
+		Dim:              ds.Dim,
+		NsPerOp:          elapsed.Nanoseconds(),
+		SampleSize:       res.SampleSize,
+		PoolSize:         res.PoolSize,
+		Epsilon:          res.EstimatedEpsilon,
+		RequestedEpsilon: opt.Epsilon,
+		UsedInitialModel: res.UsedInitialModel,
+	}, nil
+}
+
+// WriteJSON emits the summary as indented JSON.
+func (s *BenchSummary) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}

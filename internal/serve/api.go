@@ -1,11 +1,13 @@
 // Package serve implements blinkml-serve: an HTTP training-and-inference
-// service over the BlinkML library. It has three pieces — an async training
-// job queue with a bounded worker pool and per-job context cancellation, a
-// model registry with versioned persistence to disk (via modelio), and the
-// JSON HTTP API that ties them together:
+// service over the BlinkML library. It has three pieces — an async job
+// queue (training runs and hyperparameter searches) with a bounded worker
+// pool and per-job context cancellation, a model registry with versioned
+// persistence to disk (via modelio), and the JSON HTTP API that ties them
+// together:
 //
 //	POST   /v1/train               enqueue a training job, returns a job id
-//	GET    /v1/jobs/{id}           job status + Figure-8 phase breakdown
+//	POST   /v1/tune                enqueue a hyperparameter search, returns a job id
+//	GET    /v1/jobs/{id}           job status + Figure-8 phase breakdown (+ tune leaderboard)
 //	DELETE /v1/jobs/{id}           cancel a queued or running job
 //	GET    /v1/models              list stored models
 //	GET    /v1/models/{id}         model metadata (?theta=1 adds parameters)
@@ -192,16 +194,22 @@ type TrainResponse struct {
 
 // JobStatus is the body of GET /v1/jobs/{id}.
 type JobStatus struct {
-	ID    string `json:"id"`
+	ID string `json:"id"`
+	// Kind is the job type: "train" or "tune".
+	Kind  string `json:"kind,omitempty"`
 	State string `json:"state"` // queued | running | succeeded | failed | cancelled
-	// ModelID is set once the job succeeds.
+	// ModelID is set once the job succeeds (for tune jobs, the winning
+	// model).
 	ModelID string `json:"model_id,omitempty"`
 	Error   string `json:"error,omitempty"`
-	// Diagnostics carries the Figure-8 phase breakdown once the job is done.
+	// Diagnostics carries the Figure-8 phase breakdown once the job is done
+	// (for tune jobs, the winning candidate's breakdown).
 	Diagnostics *PhaseBreakdown `json:"diagnostics,omitempty"`
-	EnqueuedAt  time.Time       `json:"enqueued_at"`
-	StartedAt   time.Time       `json:"started_at,omitzero"`
-	FinishedAt  time.Time       `json:"finished_at,omitzero"`
+	// Tune carries the search leaderboard for finished tune jobs.
+	Tune       *TuneReport `json:"tune,omitempty"`
+	EnqueuedAt time.Time   `json:"enqueued_at"`
+	StartedAt  time.Time   `json:"started_at,omitzero"`
+	FinishedAt time.Time   `json:"finished_at,omitzero"`
 }
 
 // Done reports whether the job has reached a terminal state.

@@ -20,6 +20,11 @@ type Metrics struct {
 	SampleSizeSum     *expvar.Int   // sum of chosen sample sizes n
 	SampleSizeLast    *expvar.Int   // most recent chosen n
 
+	TuneRuns             *expvar.Int   // completed hyperparameter searches
+	TuneLatencyMsSum     *expvar.Float // sum of wall-clock search latencies (ms)
+	TuneCandidates       *expvar.Int   // candidates entered across searches
+	TuneCandidatesPruned *expvar.Int   // candidates dropped by successive halving
+
 	PredictRequests   *expvar.Int // predict calls
 	PredictionsServed *expvar.Int // individual rows predicted
 	ModelsStored      *expvar.Int // gauge: models in the registry
@@ -46,18 +51,22 @@ func sharedMetrics() *Metrics {
 			return v
 		}
 		metrics = &Metrics{
-			JobsQueued:        newInt("jobs_queued"),
-			JobsRunning:       newInt("jobs_running"),
-			JobsSucceeded:     newInt("jobs_succeeded"),
-			JobsFailed:        newInt("jobs_failed"),
-			JobsCancelled:     newInt("jobs_cancelled"),
-			TrainRuns:         newInt("train_runs"),
-			TrainLatencyMsSum: newFloat("train_latency_ms_sum"),
-			SampleSizeSum:     newInt("sample_size_sum"),
-			SampleSizeLast:    newInt("sample_size_last"),
-			PredictRequests:   newInt("predict_requests"),
-			PredictionsServed: newInt("predictions_served"),
-			ModelsStored:      newInt("models_stored"),
+			JobsQueued:           newInt("jobs_queued"),
+			JobsRunning:          newInt("jobs_running"),
+			JobsSucceeded:        newInt("jobs_succeeded"),
+			JobsFailed:           newInt("jobs_failed"),
+			JobsCancelled:        newInt("jobs_cancelled"),
+			TrainRuns:            newInt("train_runs"),
+			TrainLatencyMsSum:    newFloat("train_latency_ms_sum"),
+			SampleSizeSum:        newInt("sample_size_sum"),
+			SampleSizeLast:       newInt("sample_size_last"),
+			TuneRuns:             newInt("tune_runs"),
+			TuneLatencyMsSum:     newFloat("tune_latency_ms_sum"),
+			TuneCandidates:       newInt("tune_candidates"),
+			TuneCandidatesPruned: newInt("tune_candidates_pruned"),
+			PredictRequests:      newInt("predict_requests"),
+			PredictionsServed:    newInt("predictions_served"),
+			ModelsStored:         newInt("models_stored"),
 		}
 	})
 	return metrics

@@ -24,26 +24,43 @@ var (
 	ErrJobNotFound = errors.New("serve: job not found")
 )
 
-// RunFunc executes one training job. It must honor ctx: when the job is
-// cancelled, ctx is cancelled and the function should return promptly
-// (core.TrainContext already does). On success it returns the registry id
-// of the stored model plus the phase breakdown.
-type RunFunc func(ctx context.Context, req TrainRequest) (modelID string, diag *PhaseBreakdown, err error)
+// Task is one unit of queued work — a training run or a hyperparameter
+// search. Run must honor ctx: when the job is cancelled, ctx is cancelled
+// and Run should return promptly (core.TrainContext and tune.Run already
+// do). On success it returns the registry id of the stored model plus
+// whatever kind-specific report it produced.
+type Task interface {
+	// Kind tags the job on the wire ("train" or "tune").
+	Kind() string
+	// Run executes the work under the job's context.
+	Run(ctx context.Context) (TaskResult, error)
+}
 
-// Job is one queued or running training request. All mutable state is
-// behind mu; handlers read consistent snapshots via Status.
+// TaskResult is what a finished task reports back through the job status.
+type TaskResult struct {
+	// ModelID is the registry id of the stored model.
+	ModelID string
+	// Diagnostics is the Figure-8 phase breakdown (training jobs, and the
+	// winning candidate of tune jobs).
+	Diagnostics *PhaseBreakdown
+	// Tune is the search report (tune jobs only).
+	Tune *TuneReport
+}
+
+// Job is one queued or running task. All mutable state is behind mu;
+// handlers read consistent snapshots via Status.
 type Job struct {
-	ID  string
-	req TrainRequest
+	ID   string
+	kind string
+	task Task
 
 	ctx    context.Context
 	cancel context.CancelFunc
 
 	mu         sync.Mutex
 	state      string
-	modelID    string
 	errMsg     string
-	diag       *PhaseBreakdown
+	result     TaskResult
 	enqueuedAt time.Time
 	startedAt  time.Time
 	finishedAt time.Time
@@ -55,10 +72,12 @@ func (j *Job) Status() JobStatus {
 	defer j.mu.Unlock()
 	return JobStatus{
 		ID:          j.ID,
+		Kind:        j.kind,
 		State:       j.state,
-		ModelID:     j.modelID,
+		ModelID:     j.result.ModelID,
 		Error:       j.errMsg,
-		Diagnostics: j.diag,
+		Diagnostics: j.result.Diagnostics,
+		Tune:        j.result.Tune,
 		EnqueuedAt:  j.enqueuedAt,
 		StartedAt:   j.startedAt,
 		FinishedAt:  j.finishedAt,
@@ -78,27 +97,26 @@ func (j *Job) markRunning() bool {
 	return true
 }
 
-// finish records a terminal state. The request payload is dropped so a
-// finished job does not pin its (possibly inline, possibly huge) dataset
-// in memory for the rest of the process lifetime.
-func (j *Job) finish(state, modelID, errMsg string, diag *PhaseBreakdown) {
+// finish records a terminal state. The task is dropped so a finished job
+// does not pin its (possibly inline, possibly huge) dataset in memory for
+// the rest of the process lifetime.
+func (j *Job) finish(state, errMsg string, result TaskResult) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	j.state = state
-	j.modelID = modelID
 	j.errMsg = errMsg
-	j.diag = diag
+	j.result = result
 	j.finishedAt = time.Now()
-	j.req = TrainRequest{}
+	j.task = nil
 }
 
-// Queue is the async training queue: a bounded channel feeding a fixed
-// worker pool. Admission is non-blocking — a full queue rejects with
-// ErrQueueFull so clients get backpressure instead of hung requests. Every
-// job carries its own context derived from the queue's base context, so
-// individual jobs can be cancelled and Close cancels everything at once.
+// Queue is the async job queue: a bounded channel feeding a fixed worker
+// pool, shared by training and tune jobs. Admission is non-blocking — a
+// full queue rejects with ErrQueueFull so clients get backpressure instead
+// of hung requests. Every job carries its own context derived from the
+// queue's base context, so individual jobs can be cancelled and Close
+// cancels everything at once.
 type Queue struct {
-	run     RunFunc
 	m       *Metrics
 	workers int
 
@@ -121,7 +139,7 @@ const maxFinishedJobs = 1024
 
 // NewQueue starts a queue with the given worker count and backlog depth
 // (both floored at 1).
-func NewQueue(workers, depth int, run RunFunc, m *Metrics) *Queue {
+func NewQueue(workers, depth int, m *Metrics) *Queue {
 	if workers < 1 {
 		workers = 1
 	}
@@ -133,7 +151,6 @@ func NewQueue(workers, depth int, run RunFunc, m *Metrics) *Queue {
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	q := &Queue{
-		run:        run,
 		m:          m,
 		workers:    workers,
 		baseCtx:    ctx,
@@ -151,9 +168,9 @@ func NewQueue(workers, depth int, run RunFunc, m *Metrics) *Queue {
 // Workers returns the worker-pool size.
 func (q *Queue) Workers() int { return q.workers }
 
-// Enqueue admits a request, returning the new job or ErrQueueFull /
+// Enqueue admits a task, returning the new job or ErrQueueFull /
 // ErrQueueClosed.
-func (q *Queue) Enqueue(req TrainRequest) (*Job, error) {
+func (q *Queue) Enqueue(task Task) (*Job, error) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	if q.closed {
@@ -163,7 +180,8 @@ func (q *Queue) Enqueue(req TrainRequest) (*Job, error) {
 	ctx, cancel := context.WithCancel(q.baseCtx)
 	job := &Job{
 		ID:         fmt.Sprintf("j-%06d", q.seq),
-		req:        req,
+		kind:       task.Kind(),
+		task:       task,
 		ctx:        ctx,
 		cancel:     cancel,
 		state:      JobQueued,
@@ -228,7 +246,7 @@ func (q *Queue) Cancel(id string) (JobStatus, error) {
 		job.state = JobCancelled
 		job.errMsg = "cancelled before start"
 		job.finishedAt = time.Now()
-		job.req = TrainRequest{}
+		job.task = nil
 		job.mu.Unlock()
 		job.cancel()
 		q.m.JobsCancelled.Add(1)
@@ -270,17 +288,17 @@ func (q *Queue) runJob(job *Job) {
 		return // cancelled while queued
 	}
 	q.m.JobsRunning.Add(1)
-	modelID, diag, err := q.run(job.ctx, job.req)
+	result, err := job.task.Run(job.ctx)
 	q.m.JobsRunning.Add(-1)
 	switch {
 	case err == nil:
-		job.finish(JobSucceeded, modelID, "", diag)
+		job.finish(JobSucceeded, "", result)
 		q.m.JobsSucceeded.Add(1)
 	case errors.Is(err, context.Canceled) || job.ctx.Err() != nil:
-		job.finish(JobCancelled, "", "cancelled: "+err.Error(), diag)
+		job.finish(JobCancelled, "cancelled: "+err.Error(), TaskResult{Diagnostics: result.Diagnostics})
 		q.m.JobsCancelled.Add(1)
 	default:
-		job.finish(JobFailed, "", err.Error(), diag)
+		job.finish(JobFailed, err.Error(), TaskResult{Diagnostics: result.Diagnostics})
 		q.m.JobsFailed.Add(1)
 	}
 	job.cancel() // release the context's resources

@@ -28,17 +28,19 @@ func waitState(t *testing.T, q *Queue, id string, timeout time.Duration) JobStat
 	}
 }
 
-func req() TrainRequest {
-	return TrainRequest{Epsilon: 0.1, Model: modelSpec("logistic")}
-}
+// fnTask adapts a closure to the Task interface for queue tests.
+type fnTask func(ctx context.Context) (TaskResult, error)
+
+func (fnTask) Kind() string                                  { return "train" }
+func (t fnTask) Run(ctx context.Context) (TaskResult, error) { return t(ctx) }
 
 func TestQueueRunsJobs(t *testing.T) {
-	run := func(ctx context.Context, _ TrainRequest) (string, *PhaseBreakdown, error) {
-		return "m-000001", &PhaseBreakdown{TotalMs: 1}, nil
-	}
-	q := NewQueue(2, 8, run, nil)
+	run := fnTask(func(ctx context.Context) (TaskResult, error) {
+		return TaskResult{ModelID: "m-000001", Diagnostics: &PhaseBreakdown{TotalMs: 1}}, nil
+	})
+	q := NewQueue(2, 8, nil)
 	defer q.Close()
-	job, err := q.Enqueue(req())
+	job, err := q.Enqueue(run)
 	if err != nil {
 		t.Fatalf("enqueue: %v", err)
 	}
@@ -56,12 +58,12 @@ func TestQueueRunsJobs(t *testing.T) {
 
 func TestQueueFailurePropagates(t *testing.T) {
 	boom := errors.New("synthetic failure")
-	run := func(ctx context.Context, _ TrainRequest) (string, *PhaseBreakdown, error) {
-		return "", nil, boom
-	}
-	q := NewQueue(1, 4, run, nil)
+	run := fnTask(func(ctx context.Context) (TaskResult, error) {
+		return TaskResult{}, boom
+	})
+	q := NewQueue(1, 4, nil)
 	defer q.Close()
-	job, _ := q.Enqueue(req())
+	job, _ := q.Enqueue(run)
 	st := waitState(t, q, job.ID, 5*time.Second)
 	if st.State != JobFailed || st.Error != boom.Error() {
 		t.Fatalf("got %+v, want failed with error message", st)
@@ -72,14 +74,14 @@ func TestQueueFailurePropagates(t *testing.T) {
 // context is cancelled — a deterministic stand-in for a long training loop.
 func TestQueueCancelRunning(t *testing.T) {
 	started := make(chan struct{})
-	run := func(ctx context.Context, _ TrainRequest) (string, *PhaseBreakdown, error) {
+	run := fnTask(func(ctx context.Context) (TaskResult, error) {
 		close(started)
 		<-ctx.Done() // "training" stops only when the job context says so
-		return "", nil, ctx.Err()
-	}
-	q := NewQueue(1, 4, run, nil)
+		return TaskResult{}, ctx.Err()
+	})
+	q := NewQueue(1, 4, nil)
 	defer q.Close()
-	job, _ := q.Enqueue(req())
+	job, _ := q.Enqueue(run)
 	select {
 	case <-started:
 	case <-time.After(5 * time.Second):
@@ -99,15 +101,15 @@ func TestQueueCancelRunning(t *testing.T) {
 func TestQueueCancelQueued(t *testing.T) {
 	release := make(chan struct{})
 	ran := make(chan string, 8)
-	run := func(ctx context.Context, r TrainRequest) (string, *PhaseBreakdown, error) {
+	run := fnTask(func(ctx context.Context) (TaskResult, error) {
 		<-release
 		ran <- "ran"
-		return "m-000001", nil, nil
-	}
-	q := NewQueue(1, 4, run, nil)
+		return TaskResult{ModelID: "m-000001"}, nil
+	})
+	q := NewQueue(1, 4, nil)
 	defer q.Close()
-	blocker, _ := q.Enqueue(req())
-	waiting, err := q.Enqueue(req())
+	blocker, _ := q.Enqueue(run)
+	waiting, err := q.Enqueue(run)
 	if err != nil {
 		t.Fatalf("enqueue waiting job: %v", err)
 	}
@@ -129,19 +131,19 @@ func TestQueueCancelQueued(t *testing.T) {
 
 func TestQueueBackpressure(t *testing.T) {
 	release := make(chan struct{})
-	run := func(ctx context.Context, _ TrainRequest) (string, *PhaseBreakdown, error) {
+	run := fnTask(func(ctx context.Context) (TaskResult, error) {
 		select {
 		case <-release:
 		case <-ctx.Done():
 		}
-		return "", nil, ctx.Err()
-	}
-	q := NewQueue(1, 1, run, nil)
+		return TaskResult{}, ctx.Err()
+	})
+	q := NewQueue(1, 1, nil)
 	defer q.Close()
 	defer close(release)
 	// One running + one queued fit; give the worker a moment to pick up the
 	// first so the single buffer slot frees.
-	first, _ := q.Enqueue(req())
+	first, _ := q.Enqueue(run)
 	deadline := time.Now().Add(5 * time.Second)
 	for first.Status().State != JobRunning {
 		if time.Now().After(deadline) {
@@ -149,20 +151,19 @@ func TestQueueBackpressure(t *testing.T) {
 		}
 		time.Sleep(time.Millisecond)
 	}
-	if _, err := q.Enqueue(req()); err != nil {
+	if _, err := q.Enqueue(run); err != nil {
 		t.Fatalf("second enqueue should fit in the buffer: %v", err)
 	}
-	if _, err := q.Enqueue(req()); !errors.Is(err, ErrQueueFull) {
+	if _, err := q.Enqueue(run); !errors.Is(err, ErrQueueFull) {
 		t.Fatalf("third enqueue err = %v, want ErrQueueFull", err)
 	}
 }
 
 func TestQueueClosedRejects(t *testing.T) {
-	q := NewQueue(1, 1, func(ctx context.Context, _ TrainRequest) (string, *PhaseBreakdown, error) {
-		return "", nil, nil
-	}, nil)
+	q := NewQueue(1, 1, nil)
 	q.Close()
-	if _, err := q.Enqueue(req()); !errors.Is(err, ErrQueueClosed) {
+	noop := fnTask(func(ctx context.Context) (TaskResult, error) { return TaskResult{}, nil })
+	if _, err := q.Enqueue(noop); !errors.Is(err, ErrQueueClosed) {
 		t.Fatalf("err = %v, want ErrQueueClosed", err)
 	}
 }

@@ -321,6 +321,85 @@ func TestServeRequestValidation(t *testing.T) {
 	}
 }
 
+// TestServeStructuredErrors checks every error path returns a structured
+// JSON body ({"error": ...}) with the right status code — malformed
+// payloads, wrong feature dimensions, and unknown model/job ids alike.
+func TestServeStructuredErrors(t *testing.T) {
+	s, err := New(Config{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatalf("new server: %v", err)
+	}
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	client := ts.Client()
+
+	// Train one tiny model so predict paths have a real target.
+	inline, _ := inlineHiggs(t, 600)
+	var tr TrainResponse
+	doJSON(t, client, http.MethodPost, ts.URL+"/v1/train", TrainRequest{
+		Model:   modelSpec("logistic"),
+		Dataset: DatasetRef{Inline: inline},
+		Epsilon: 0.2,
+		Options: TrainOptions{Seed: 1, InitialSampleSize: 200},
+	}, &tr)
+	st := waitJob(t, client, ts.URL, tr.JobID, 60*time.Second)
+	if st.State != JobSucceeded {
+		t.Fatalf("setup job %+v", st)
+	}
+	predictURL := ts.URL + "/v1/models/" + st.ModelID + "/predict"
+
+	// checkError posts raw bytes and asserts status + structured JSON error.
+	checkError := func(name, method, url string, body []byte, wantStatus int) {
+		t.Helper()
+		var rd io.Reader
+		if body != nil {
+			rd = bytes.NewReader(body)
+		}
+		req, err := http.NewRequest(method, url, rd)
+		if err != nil {
+			t.Fatalf("%s: new request: %v", name, err)
+		}
+		resp, err := client.Do(req)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != wantStatus {
+			t.Errorf("%s: status %d, want %d", name, resp.StatusCode, wantStatus)
+		}
+		if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+			t.Errorf("%s: content type %q, want application/json", name, ct)
+		}
+		raw, _ := io.ReadAll(resp.Body)
+		var er ErrorResponse
+		if err := json.Unmarshal(raw, &er); err != nil || er.Error == "" {
+			t.Errorf("%s: body %q is not a structured error", name, raw)
+		}
+	}
+
+	// Malformed payloads (unparsable JSON, unknown fields).
+	checkError("predict garbage body", http.MethodPost, predictURL, []byte("{not json"), http.StatusBadRequest)
+	checkError("predict unknown field", http.MethodPost, predictURL, []byte(`{"rowz": [[1]]}`), http.StatusBadRequest)
+	checkError("train garbage body", http.MethodPost, ts.URL+"/v1/train", []byte("]["), http.StatusBadRequest)
+	checkError("tune garbage body", http.MethodPost, ts.URL+"/v1/tune", []byte("{{"), http.StatusBadRequest)
+
+	// Wrong feature dimension and non-finite features.
+	wrongDim, _ := json.Marshal(PredictRequest{Rows: [][]float64{{1, 2, 3}}})
+	checkError("predict wrong dim", http.MethodPost, predictURL, wrongDim, http.StatusBadRequest)
+	checkError("predict empty batch", http.MethodPost, predictURL, []byte(`{"rows": []}`), http.StatusBadRequest)
+	huge := []byte(`{"rows": [[1,2,3,4,5,6,7,8,9,1e999]]}`)
+	checkError("predict out-of-range feature", http.MethodPost, predictURL, huge, http.StatusBadRequest)
+
+	// Unknown model and job ids, across every verb that takes one.
+	checkError("unknown model get", http.MethodGet, ts.URL+"/v1/models/m-424242", nil, http.StatusNotFound)
+	checkError("unknown model delete", http.MethodDelete, ts.URL+"/v1/models/m-424242", nil, http.StatusNotFound)
+	wellFormed, _ := json.Marshal(PredictRequest{Rows: [][]float64{{1}}})
+	checkError("unknown model predict", http.MethodPost, ts.URL+"/v1/models/m-424242/predict", wellFormed, http.StatusNotFound)
+	checkError("unknown job get", http.MethodGet, ts.URL+"/v1/jobs/j-424242", nil, http.StatusNotFound)
+	checkError("unknown job cancel", http.MethodDelete, ts.URL+"/v1/jobs/j-424242", nil, http.StatusNotFound)
+}
+
 // TestPredictShapeValidation trains one tiny model and checks malformed
 // predict batches are rejected.
 func TestPredictShapeValidation(t *testing.T) {

@@ -17,6 +17,7 @@ import (
 	"blinkml/internal/modelio"
 	"blinkml/internal/models"
 	"blinkml/internal/optimize"
+	"blinkml/internal/tune"
 )
 
 // Config sizes a Server. Dir is required; everything else has defaults.
@@ -73,7 +74,7 @@ func New(cfg Config) (*Server, error) {
 		started: time.Now(),
 	}
 	s.m.ModelsStored.Set(int64(reg.Len()))
-	s.queue = NewQueue(cfg.Workers, cfg.QueueDepth, s.runTrain, s.m)
+	s.queue = NewQueue(cfg.Workers, cfg.QueueDepth, s.m)
 	s.mux = http.NewServeMux()
 	s.routes()
 	return s, nil
@@ -90,6 +91,7 @@ func (s *Server) Close() { s.queue.Close() }
 
 func (s *Server) routes() {
 	s.mux.HandleFunc("POST /v1/train", s.handleTrain)
+	s.mux.HandleFunc("POST /v1/tune", s.handleTune)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
 	s.mux.HandleFunc("GET /v1/models", s.handleModelList)
@@ -100,16 +102,27 @@ func (s *Server) routes() {
 	s.mux.Handle("GET /metrics", expvar.Handler())
 }
 
-// runTrain is the queue's RunFunc: materialize the dataset, run the BlinkML
-// coordinator under the job's context, and persist the result.
-func (s *Server) runTrain(ctx context.Context, req TrainRequest) (string, *PhaseBreakdown, error) {
+// trainTask is the queued form of POST /v1/train: materialize the dataset,
+// run the BlinkML coordinator under the job's context, and persist the
+// result.
+type trainTask struct {
+	s   *Server
+	req TrainRequest
+}
+
+// Kind implements Task.
+func (trainTask) Kind() string { return "train" }
+
+// Run implements Task.
+func (t trainTask) Run(ctx context.Context) (TaskResult, error) {
+	s, req := t.s, t.req
 	spec, err := req.Model.Spec()
 	if err != nil {
-		return "", nil, err
+		return TaskResult{}, err
 	}
 	ds, err := s.buildDataset(req.Dataset)
 	if err != nil {
-		return "", nil, err
+		return TaskResult{}, err
 	}
 	cfg := core.Options{
 		Epsilon:           req.Epsilon,
@@ -123,16 +136,104 @@ func (s *Server) runTrain(ctx context.Context, req TrainRequest) (string, *Phase
 	start := time.Now()
 	res, err := core.TrainContext(ctx, spec, ds, cfg)
 	if err != nil {
-		return "", nil, err
+		return TaskResult{}, err
 	}
 	s.m.TrainRuns.Add(1)
 	s.m.TrainLatencyMsSum.Add(float64(time.Since(start)) / float64(time.Millisecond))
 	s.m.SampleSizeSum.Add(int64(res.SampleSize))
 	s.m.SampleSizeLast.Set(int64(res.SampleSize))
+	id, err := s.registerModel(spec, res.Theta, ds.Dim, res)
+	if err != nil {
+		return TaskResult{}, err
+	}
+	return TaskResult{ModelID: id, Diagnostics: NewPhaseBreakdown(res.Diag)}, nil
+}
+
+// tuneTask is the queued form of POST /v1/tune: run the search under the
+// job's context, register the winning model, and report the leaderboard.
+type tuneTask struct {
+	s   *Server
+	req TuneRequest
+}
+
+// Kind implements Task.
+func (tuneTask) Kind() string { return "tune" }
+
+// Run implements Task.
+func (t tuneTask) Run(ctx context.Context) (TaskResult, error) {
+	s, req := t.s, t.req
+	space, err := req.Space.Space()
+	if err != nil {
+		return TaskResult{}, err
+	}
+	ds, err := s.buildDataset(req.Dataset)
+	if err != nil {
+		return TaskResult{}, err
+	}
+	tf := req.Options.TestFraction
+	if tf == 0 {
+		tf = 0.15
+	}
+	// The queue's worker pool is the service's concurrency budget; a tune
+	// job's internal training pool must not multiply it, so the per-request
+	// worker count is clamped to the server's own worker setting.
+	workers := req.Options.Workers
+	if workers <= 0 || workers > s.cfg.Workers {
+		workers = s.cfg.Workers
+	}
+	cfg := tune.Config{
+		Train: core.Options{
+			Epsilon:           req.Epsilon,
+			Delta:             req.Delta,
+			Seed:              req.Options.Seed,
+			InitialSampleSize: req.Options.InitialSampleSize,
+			TestFraction:      tf,
+			Optimizer:         optimize.Options{MaxIters: req.Options.MaxIters},
+		},
+		Workers: workers,
+		Halving: req.Options.Halving,
+		Rungs:   req.Options.Rungs,
+		Eta:     req.Options.Eta,
+		Seed:    req.Options.Seed,
+	}
+	start := time.Now()
+	res, err := tune.Run(ctx, space, ds, cfg)
+	if err != nil {
+		return TaskResult{}, err
+	}
+	s.m.TuneRuns.Add(1)
+	s.m.TuneLatencyMsSum.Add(float64(time.Since(start)) / float64(time.Millisecond))
+	s.m.TuneCandidates.Add(int64(res.Evaluated))
+	s.m.TuneCandidatesPruned.Add(int64(res.Pruned))
+	best := res.Best
+	id, err := s.registerModel(best.Spec, best.Theta, ds.Dim, &core.Result{
+		SampleSize:       best.SampleSize,
+		PoolSize:         best.PoolSize,
+		EstimatedEpsilon: best.EstimatedEpsilon,
+		UsedInitialModel: best.UsedInitialModel,
+		Diag:             best.Diag,
+	})
+	if err != nil {
+		return TaskResult{}, err
+	}
+	rep, err := NewTuneReport(res)
+	if err != nil {
+		return TaskResult{}, err
+	}
+	return TaskResult{
+		ModelID:     id,
+		Diagnostics: NewPhaseBreakdown(best.Diag),
+		Tune:        rep,
+	}, nil
+}
+
+// registerModel persists a trained model and refreshes the stored-models
+// gauge.
+func (s *Server) registerModel(spec models.Spec, theta []float64, dim int, res *core.Result) (string, error) {
 	id, err := s.reg.Put(&modelio.Model{
 		Spec:             spec,
-		Theta:            res.Theta,
-		Dim:              ds.Dim,
+		Theta:            theta,
+		Dim:              dim,
 		SampleSize:       res.SampleSize,
 		PoolSize:         res.PoolSize,
 		EstimatedEpsilon: res.EstimatedEpsilon,
@@ -141,10 +242,10 @@ func (s *Server) runTrain(ctx context.Context, req TrainRequest) (string, *Phase
 		CreatedAt:        time.Now().UTC(),
 	})
 	if err != nil {
-		return "", nil, err
+		return "", err
 	}
 	s.m.ModelsStored.Set(int64(s.reg.Len()))
-	return id, NewPhaseBreakdown(res.Diag), nil
+	return id, nil
 }
 
 func (s *Server) buildDataset(ref DatasetRef) (*dataset.Dataset, error) {
@@ -168,12 +269,26 @@ func (s *Server) handleTrain(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	job, err := s.queue.Enqueue(req)
-	switch {
-	case errors.Is(err, ErrQueueFull):
-		writeError(w, http.StatusServiceUnavailable, err)
+	s.enqueue(w, trainTask{s: s, req: req})
+}
+
+func (s *Server) handleTune(w http.ResponseWriter, r *http.Request) {
+	var req TuneRequest
+	if !s.readJSON(w, r, &req) {
 		return
-	case err != nil:
+	}
+	if err := req.Validate(); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	s.enqueue(w, tuneTask{s: s, req: req})
+}
+
+// enqueue admits a task and writes the 202 acknowledgement (or the 503
+// backpressure error).
+func (s *Server) enqueue(w http.ResponseWriter, task Task) {
+	job, err := s.queue.Enqueue(task)
+	if err != nil {
 		writeError(w, http.StatusServiceUnavailable, err)
 		return
 	}
