@@ -217,8 +217,8 @@ func TrainFull(spec ModelSpec, ds *Dataset, cfg Config) (*Model, error) {
 	return &Model{
 		Spec:       spec,
 		Theta:      res.Theta,
-		SampleSize: env.Pool.Len(),
-		PoolSize:   env.Pool.Len(),
+		SampleSize: env.PoolLen(),
+		PoolSize:   env.PoolLen(),
 	}, nil
 }
 
@@ -267,6 +267,10 @@ func Tune(ctx context.Context, space TuneSpace, ds *Dataset, cfg TuneConfig) (*T
 	if err != nil {
 		return nil, err
 	}
+	return newTuneResult(res), nil
+}
+
+func newTuneResult(res *tune.Result) *TuneResult {
 	return &TuneResult{
 		Best: &Model{
 			Spec:             res.Best.Spec,
@@ -282,7 +286,7 @@ func Tune(ctx context.Context, space TuneSpace, ds *Dataset, cfg TuneConfig) (*T
 		Pruned:      res.Pruned,
 		PoolSize:    res.PoolSize,
 		Elapsed:     res.Elapsed,
-	}, nil
+	}
 }
 
 // Env exposes the shared train/holdout/test split for workflows that
@@ -293,6 +297,52 @@ type Env = core.Env
 // NewEnv prepares a split environment; TrainApprox/TrainFull on the same
 // Env are directly comparable.
 func NewEnv(ds *Dataset, cfg Config) *Env { return core.NewEnv(ds, cfg) }
+
+// DataSource is random access to rows that may live out of memory: an
+// in-memory *Dataset is one, and so are the persistent dataset store's
+// handles (internal/store). Training against a store-backed source
+// materializes only the sampled rows plus the holdout — O(n) memory for an
+// N-row dataset.
+type DataSource = dataset.Source
+
+// DataMeta describes a source's shape without touching its rows.
+type DataMeta = dataset.Meta
+
+// NewEnvFromSource prepares a split environment over any source. At the
+// same seed it draws the same split and samples as NewEnv over the same
+// rows, so store-backed and in-memory training agree exactly.
+func NewEnvFromSource(src DataSource, cfg Config) (*Env, error) {
+	return core.NewEnvFromSource(src, cfg)
+}
+
+// TrainSource is Train over any DataSource (see TrainContext for the
+// cancellation behavior).
+func TrainSource(ctx context.Context, spec ModelSpec, src DataSource, cfg Config) (*Model, error) {
+	res, err := core.TrainSourceContext(ctx, spec, src, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Model{
+		Spec:             spec,
+		Theta:            res.Theta,
+		SampleSize:       res.SampleSize,
+		PoolSize:         res.PoolSize,
+		EstimatedEpsilon: res.EstimatedEpsilon,
+		UsedInitialModel: res.UsedInitialModel,
+		Diag:             res.Diag,
+	}, nil
+}
+
+// TuneSource is Tune over any DataSource: the whole search — rung
+// subsamples and contract trainings — materializes only the rows it
+// touches.
+func TuneSource(ctx context.Context, space TuneSpace, src DataSource, cfg TuneConfig) (*TuneResult, error) {
+	res, err := tune.RunSource(ctx, space, src, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return newTuneResult(res), nil
+}
 
 // SyntheticDataset generates one of the paper-shaped synthetic workloads:
 // "gas", "power" (regression), "criteo", "higgs" (binary), "mnist", "yelp"

@@ -47,10 +47,10 @@ func TestPublicAPITune(t *testing.T) {
 		t.Fatalf("winner %+v, want contract ε in (0, %v]", best, cfg.Train.Epsilon)
 	}
 	env := NewEnv(ds, cfg.Train)
-	if p := best.Predict(env.Holdout.X[0]); p != 0 && p != 1 {
+	if p := best.Predict(env.Holdout().X[0]); p != 0 && p != 1 {
 		t.Fatalf("winner prediction %v, want a class in {0,1}", p)
 	}
-	if acc := best.Accuracy(env.Test); acc < 0.5 {
+	if acc := best.Accuracy(env.Test()); acc < 0.5 {
 		t.Fatalf("winner test accuracy %v, want > 0.5", acc)
 	}
 }
@@ -73,17 +73,17 @@ func TestPublicAPIEndToEnd(t *testing.T) {
 		t.Fatal(err)
 	}
 	env := NewEnv(ds, cfg)
-	if v := approx.Diff(full, env.Holdout); v > cfg.Epsilon {
+	if v := approx.Diff(full, env.Holdout()); v > cfg.Epsilon {
 		t.Fatalf("contract violated: v=%v > ε=%v", v, cfg.Epsilon)
 	}
 	// Predictions must be valid class labels.
 	for i := 0; i < 10; i++ {
-		p := approx.Predict(env.Holdout.X[i])
+		p := approx.Predict(env.Holdout().X[i])
 		if p != 0 && p != 1 {
 			t.Fatalf("prediction %v not a binary label", p)
 		}
 	}
-	if acc := approx.Accuracy(env.Holdout); acc < 0.5 {
+	if acc := approx.Accuracy(env.Holdout()); acc < 0.5 {
 		t.Fatalf("holdout accuracy %v suspiciously low", acc)
 	}
 }
@@ -150,7 +150,7 @@ func TestPublicAPIGeneralizationError(t *testing.T) {
 		t.Fatal(err)
 	}
 	env := NewEnv(ds, cfg)
-	ge := m.GeneralizationError(env.Test)
+	ge := m.GeneralizationError(env.Test())
 	if ge < 0 || ge > 1 {
 		t.Fatalf("generalization error %v out of range", ge)
 	}

@@ -38,18 +38,20 @@ func main() {
 	var (
 		addr    = flag.String("addr", ":8080", "listen address")
 		dir     = flag.String("dir", "./blinkml-models", "model registry directory")
+		dataDir = flag.String("data-dir", "", "dataset store directory (default: <dir>/datasets)")
 		workers = flag.Int("workers", 2, "training worker pool size")
 		depth   = flag.Int("queue", 64, "max queued training jobs (backpressure beyond this)")
+		upload  = flag.Int64("max-upload", 0, "max dataset upload bytes (0 = default 4 GiB)")
 	)
 	flag.Parse()
-	if err := run(*addr, *dir, *workers, *depth); err != nil {
+	if err := run(*addr, *dir, *dataDir, *workers, *depth, *upload); err != nil {
 		fmt.Fprintln(os.Stderr, "blinkml-serve:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, dir string, workers, depth int) error {
-	s, err := serve.New(serve.Config{Dir: dir, Workers: workers, QueueDepth: depth})
+func run(addr, dir, dataDir string, workers, depth int, maxUpload int64) error {
+	s, err := serve.New(serve.Config{Dir: dir, DataDir: dataDir, Workers: workers, QueueDepth: depth, MaxUploadBytes: maxUpload})
 	if err != nil {
 		return err
 	}

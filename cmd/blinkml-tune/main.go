@@ -24,13 +24,16 @@ import (
 
 	"blinkml"
 	"blinkml/internal/serve"
+	"blinkml/internal/store"
 	"blinkml/internal/tune"
 )
 
 func main() {
 	var (
 		modelName  = flag.String("model", "logistic", "model family: linear | logistic | maxent | poisson | ppca")
-		dataName   = flag.String("data", "higgs", "dataset: gas | power | criteo | higgs | mnist | yelp | counts")
+		dataName   = flag.String("data", "higgs", "synthetic dataset: gas | power | criteo | higgs | mnist | yelp | counts")
+		storeDir   = flag.String("store", "", "dataset store directory (enables -dataset)")
+		datasetID  = flag.String("dataset", "", "search over a stored dataset id instead of -data (out of core)")
 		rows       = flag.Int("rows", 40000, "synthetic rows (0 = dataset default)")
 		dim        = flag.Int("dim", 0, "feature dimension (0 = dataset default)")
 		accuracy   = flag.Float64("accuracy", 0.95, "requested accuracy (1-ε) per candidate")
@@ -70,7 +73,7 @@ func main() {
 	defer stop()
 
 	if err := run(ctx, config{
-		model: *modelName, data: *dataName, rows: *rows, dim: *dim,
+		model: *modelName, data: *dataName, storeDir: *storeDir, datasetID: *datasetID, rows: *rows, dim: *dim,
 		epsilon: 1 - *accuracy, delta: *delta,
 		grid: *grid, candidates: *candidates, regMin: *regMin, regMax: *regMax,
 		classes: *classes, halving: *halving, rungs: *rungs, eta: *eta,
@@ -83,6 +86,7 @@ func main() {
 
 type config struct {
 	model, data             string
+	storeDir, datasetID     string
 	rows, dim               int
 	epsilon, delta          float64
 	grid                    string
@@ -100,10 +104,11 @@ func run(ctx context.Context, c config) error {
 	if err != nil {
 		return err
 	}
-	ds, err := blinkml.SyntheticDataset(c.data, c.rows, c.dim, c.seed)
+	src, err := openSource(c)
 	if err != nil {
 		return err
 	}
+	meta := src.Meta()
 	cfg := blinkml.TuneConfig{
 		Train: blinkml.Config{
 			Epsilon:           c.epsilon,
@@ -119,11 +124,11 @@ func run(ctx context.Context, c config) error {
 		Seed:    c.seed,
 	}
 	if !c.jsonOut {
-		fmt.Printf("dataset %s: %d rows, %d features\n", c.data, ds.Len(), ds.Dim)
+		fmt.Printf("dataset %s: %d rows, %d features\n", meta.Name, meta.Rows, meta.Dim)
 		fmt.Printf("contract per candidate: accuracy >= %.4g%% with probability >= %.4g%%\n",
 			100*(1-c.epsilon), 100*(1-c.delta))
 	}
-	res, err := blinkml.Tune(ctx, space, ds, cfg)
+	res, err := blinkml.TuneSource(ctx, space, src, cfg)
 	if err != nil {
 		return err
 	}
@@ -145,6 +150,23 @@ func run(ctx context.Context, c config) error {
 	}
 	printLeaderboard(res)
 	return nil
+}
+
+// openSource resolves the search's data: a stored dataset id when given
+// (the whole search reads only the rows it touches), a synthetic workload
+// otherwise.
+func openSource(c config) (blinkml.DataSource, error) {
+	if c.datasetID == "" {
+		return blinkml.SyntheticDataset(c.data, c.rows, c.dim, c.seed)
+	}
+	if c.storeDir == "" {
+		return nil, fmt.Errorf("-dataset needs -store pointing at the dataset store directory")
+	}
+	st, err := store.Open(c.storeDir)
+	if err != nil {
+		return nil, err
+	}
+	return st.Get(c.datasetID)
 }
 
 func buildSpace(c config) (blinkml.TuneSpace, error) {

@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -21,12 +22,15 @@ import (
 	"blinkml"
 	"blinkml/internal/modelio"
 	"blinkml/internal/serve"
+	"blinkml/internal/store"
 )
 
 func main() {
 	var (
 		modelName = flag.String("model", "logistic", "model class: linear | logistic | maxent | poisson | ppca")
-		dataName  = flag.String("data", "criteo", "dataset: gas | power | criteo | higgs | mnist | yelp | counts")
+		dataName  = flag.String("data", "criteo", "synthetic dataset: gas | power | criteo | higgs | mnist | yelp | counts")
+		storeDir  = flag.String("store", "", "dataset store directory (enables -dataset)")
+		datasetID = flag.String("dataset", "", "train against a stored dataset id instead of -data (out of core: only sampled rows are read)")
 		rows      = flag.Int("rows", 20000, "synthetic rows (0 = dataset default)")
 		dim       = flag.Int("dim", 0, "feature dimension (0 = dataset default)")
 		accuracy  = flag.Float64("accuracy", 0.95, "requested accuracy (1-ε)")
@@ -40,13 +44,13 @@ func main() {
 		jsonOut   = flag.Bool("json", false, "emit the result as JSON (blinkml-serve response structs)")
 	)
 	flag.Parse()
-	if err := run(*modelName, *dataName, *rows, *dim, *accuracy, *delta, *reg, *classes, *factors, *n0, *seed, *compare, *jsonOut); err != nil {
+	if err := run(*modelName, *dataName, *storeDir, *datasetID, *rows, *dim, *accuracy, *delta, *reg, *classes, *factors, *n0, *seed, *compare, *jsonOut); err != nil {
 		fmt.Fprintln(os.Stderr, "blinkml:", err)
 		os.Exit(1)
 	}
 }
 
-func run(modelName, dataName string, rows, dim int, accuracy, delta, reg float64, classes, factors, n0 int, seed int64, compare, jsonOut bool) error {
+func run(modelName, dataName, storeDir, datasetID string, rows, dim int, accuracy, delta, reg float64, classes, factors, n0 int, seed int64, compare, jsonOut bool) error {
 	var spec blinkml.ModelSpec
 	switch strings.ToLower(modelName) {
 	case "linear":
@@ -63,10 +67,11 @@ func run(modelName, dataName string, rows, dim int, accuracy, delta, reg float64
 		return fmt.Errorf("unknown model %q", modelName)
 	}
 
-	ds, err := blinkml.SyntheticDataset(dataName, rows, dim, seed)
+	src, err := openSource(dataName, storeDir, datasetID, rows, dim, seed)
 	if err != nil {
 		return err
 	}
+	meta := src.Meta()
 	cfg := blinkml.Config{
 		Epsilon:           1 - accuracy,
 		Delta:             delta,
@@ -74,11 +79,11 @@ func run(modelName, dataName string, rows, dim int, accuracy, delta, reg float64
 		InitialSampleSize: n0,
 	}
 	if !jsonOut {
-		fmt.Printf("dataset %s: %d rows, %d features\n", dataName, ds.Len(), ds.Dim)
+		fmt.Printf("dataset %s: %d rows, %d features\n", meta.Name, meta.Rows, meta.Dim)
 		fmt.Printf("contract: accuracy >= %.4g%% with probability >= %.4g%%\n", 100*accuracy, 100*(1-delta))
 	}
 
-	model, err := blinkml.Train(spec, ds, cfg)
+	model, err := blinkml.TrainSource(context.Background(), spec, src, cfg)
 	if err != nil {
 		return err
 	}
@@ -98,12 +103,18 @@ func run(modelName, dataName string, rows, dim int, accuracy, delta, reg float64
 
 	var full *serve.FullComparison
 	if compare {
-		fullModel, err := blinkml.TrainFull(spec, ds, cfg)
+		// The comparison trains on the entire pool — the one step that
+		// materializes all N rows, store-backed or not.
+		env, err := blinkml.NewEnvFromSource(src, cfg)
 		if err != nil {
 			return err
 		}
-		env := blinkml.NewEnv(ds, cfg)
-		v := model.Diff(fullModel, env.Holdout)
+		fullRes, err := env.TrainFull(spec, cfg.Optimizer)
+		if err != nil {
+			return err
+		}
+		fullModel := &blinkml.Model{Spec: spec, Theta: fullRes.Theta}
+		v := model.Diff(fullModel, env.Holdout())
 		full = &serve.FullComparison{RealizedDiff: v, ContractMet: v <= cfg.Epsilon}
 	}
 
@@ -113,11 +124,11 @@ func run(modelName, dataName string, rows, dim int, accuracy, delta, reg float64
 			return err
 		}
 		report := serve.RunReport{
-			Dataset:  serve.DatasetInfo{Name: dataName, Rows: ds.Len(), Dim: ds.Dim},
+			Dataset:  serve.DatasetInfo{Name: meta.Name, Rows: meta.Rows, Dim: meta.Dim},
 			Contract: serve.Contract{Epsilon: cfg.Epsilon, Delta: delta},
 			Model: serve.ModelInfo{
 				Spec:             sj,
-				Dim:              ds.Dim,
+				Dim:              meta.Dim,
 				SampleSize:       model.SampleSize,
 				PoolSize:         model.PoolSize,
 				EstimatedEpsilon: model.EstimatedEpsilon,
@@ -137,6 +148,22 @@ func run(modelName, dataName string, rows, dim int, accuracy, delta, reg float64
 			full.RealizedDiff, cfg.Epsilon, verdict(full.ContractMet))
 	}
 	return nil
+}
+
+// openSource resolves the training data: a stored dataset id when given
+// (reading rows on demand), a synthetic workload otherwise.
+func openSource(dataName, storeDir, datasetID string, rows, dim int, seed int64) (blinkml.DataSource, error) {
+	if datasetID == "" {
+		return blinkml.SyntheticDataset(dataName, rows, dim, seed)
+	}
+	if storeDir == "" {
+		return nil, fmt.Errorf("-dataset needs -store pointing at the dataset store directory")
+	}
+	st, err := store.Open(storeDir)
+	if err != nil {
+		return nil, err
+	}
+	return st.Get(datasetID)
 }
 
 func verdict(ok bool) string {

@@ -40,8 +40,8 @@ func main() {
 		log.Fatal(err)
 	}
 	env := blinkml.NewEnv(data, cfg)
-	v := approx.Diff(full, env.Holdout)
+	v := approx.Diff(full, env.Holdout())
 	fmt.Printf("prediction difference vs full model: %.4f (contract: <= %.4f)\n", v, cfg.Epsilon)
 	fmt.Printf("holdout accuracy: approx %.2f%%, full %.2f%%\n",
-		100*approx.Accuracy(env.Holdout), 100*full.Accuracy(env.Holdout))
+		100*approx.Accuracy(env.Holdout()), 100*full.Accuracy(env.Holdout()))
 }

@@ -43,5 +43,5 @@ func main() {
 	}
 	env := blinkml.NewEnv(data, cfg)
 	fmt.Printf("\n99%% contract check: realized difference %.5f (<= 0.01 expected)\n",
-		approx.Diff(full, env.Holdout))
+		approx.Diff(full, env.Holdout()))
 }

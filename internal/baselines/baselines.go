@@ -11,7 +11,6 @@ import (
 	"time"
 
 	"blinkml/internal/core"
-	"blinkml/internal/dataset"
 	"blinkml/internal/models"
 	"blinkml/internal/optimize"
 	"blinkml/internal/stat"
@@ -30,7 +29,7 @@ func FixedRatio(env *core.Env, spec models.Spec, ratio float64, seed int64, opti
 	if ratio <= 0 || ratio > 1 {
 		return nil, errors.New("baselines: ratio must be in (0,1]")
 	}
-	n := int(ratio * float64(env.Pool.Len()))
+	n := int(ratio * float64(env.PoolLen()))
 	if n < 1 {
 		n = 1
 	}
@@ -44,7 +43,7 @@ func FixedRatio(env *core.Env, spec models.Spec, ratio float64, seed int64, opti
 // RelativeRatio trains once on (1−ε)·10% of the pool — a heuristic that
 // scales the sample with the request but not with the model.
 func RelativeRatio(env *core.Env, spec models.Spec, eps float64, seed int64, optim optimize.Options) (*Result, error) {
-	n := int((1 - eps) * 0.1 * float64(env.Pool.Len()))
+	n := int((1 - eps) * 0.1 * float64(env.PoolLen()))
 	if n < 1 {
 		n = 1
 	}
@@ -64,7 +63,7 @@ func IncEstimator(env *core.Env, spec models.Spec, opt core.Options, step int) (
 		step = 1000
 	}
 	opt = opt.WithDefaults()
-	bigN := env.Pool.Len()
+	bigN := env.PoolLen()
 	rng := stat.NewRNG(opt.Seed + 0xB11E)
 	start := time.Now()
 	trained := 0
@@ -73,7 +72,10 @@ func IncEstimator(env *core.Env, spec models.Spec, opt core.Options, step int) (
 		if n > bigN {
 			n = bigN
 		}
-		sample := env.Pool.Subset(dataset.SampleWithoutReplacement(rng, bigN, n))
+		sample, err := env.Sample(rng, n)
+		if err != nil {
+			return nil, err
+		}
 		tr, err := models.Train(spec, sample, nil, opt.Optimizer)
 		if err != nil {
 			return nil, err
@@ -88,7 +90,7 @@ func IncEstimator(env *core.Env, spec models.Spec, opt core.Options, step int) (
 		if err != nil {
 			return nil, err
 		}
-		est := core.EstimateAccuracy(spec, tr.Theta, st.Factor, core.Alpha(n, bigN), env.Holdout, opt.K, opt.Delta, rng.Split())
+		est := core.EstimateAccuracy(spec, tr.Theta, st.Factor, core.Alpha(n, bigN), env.Holdout(), opt.K, opt.Delta, rng.Split())
 		if est.Epsilon <= opt.Epsilon {
 			return &Result{Theta: tr.Theta, SampleSize: n, Time: time.Since(start), ModelsTrained: trained}, nil
 		}

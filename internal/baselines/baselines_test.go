@@ -21,7 +21,7 @@ func TestFixedRatio(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want := env.Pool.Len() / 100
+	want := env.PoolLen() / 100
 	if res.SampleSize != want {
 		t.Fatalf("sample size %d want %d", res.SampleSize, want)
 	}
@@ -67,7 +67,7 @@ func TestIncEstimatorMeetsAccuracy(t *testing.T) {
 	if res.ModelsTrained < 1 {
 		t.Fatal("no models trained")
 	}
-	if res.SampleSize > env.Pool.Len() {
+	if res.SampleSize > env.PoolLen() {
 		t.Fatalf("sample %d exceeds pool", res.SampleSize)
 	}
 	// The model it returns should actually be close to the full model.
@@ -75,7 +75,7 @@ func TestIncEstimatorMeetsAccuracy(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if v := models.Diff(spec, res.Theta, full.Theta, env.Holdout); v > 0.08 {
+	if v := models.Diff(spec, res.Theta, full.Theta, env.Holdout()); v > 0.08 {
 		t.Fatalf("IncEstimator model differs from full by %v", v)
 	}
 }
@@ -89,7 +89,7 @@ func TestIncEstimatorTerminatesAtPool(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res.SampleSize != env.Pool.Len() {
+	if res.SampleSize != env.PoolLen() {
 		t.Fatalf("expected full pool, got %d", res.SampleSize)
 	}
 }

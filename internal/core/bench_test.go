@@ -22,7 +22,7 @@ func benchSearcherSetup(b *testing.B, hide bool) *Searcher {
 	env := NewEnv(ds, Options{Epsilon: 0.05, Seed: 2})
 	n0 := 500
 	rng := stat.NewRNG(3)
-	sample := env.Pool.Subset(dataset.SampleWithoutReplacement(rng, env.Pool.Len(), n0))
+	sample := poolOf(b, env).Subset(dataset.SampleWithoutReplacement(rng, env.PoolLen(), n0))
 	fit, err := models.Train(spec, sample, nil, optimize.Options{})
 	if err != nil {
 		b.Fatal(err)
@@ -34,7 +34,7 @@ func benchSearcherSetup(b *testing.B, hide bool) *Searcher {
 	if hide {
 		spec = hideScores{spec}
 	}
-	return NewSearcher(spec, fit.Theta, st.Factor, n0, env.Pool.Len(), env.Holdout, 0.05, 0.05, 100, stat.NewRNG(4))
+	return NewSearcher(spec, fit.Theta, st.Factor, n0, env.PoolLen(), env.Holdout(), 0.05, 0.05, 100, stat.NewRNG(4))
 }
 
 // BenchmarkAblationProbeScorePath measures one SSE probe with the
@@ -85,7 +85,7 @@ func BenchmarkAblationSamplingNaive(b *testing.B) {
 	env := NewEnv(ds, Options{Epsilon: 0.05, Seed: 2})
 	rng := stat.NewRNG(3)
 	n0 := 500
-	sample := env.Pool.Subset(dataset.SampleWithoutReplacement(rng, env.Pool.Len(), n0))
+	sample := poolOf(b, env).Subset(dataset.SampleWithoutReplacement(rng, env.PoolLen(), n0))
 	fit, err := models.Train(spec, sample, nil, optimize.Options{})
 	if err != nil {
 		b.Fatal(err)

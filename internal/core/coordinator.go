@@ -51,45 +51,131 @@ type Result struct {
 // Env is a prepared training environment: the train/holdout/test split that
 // both BlinkML and the full-model baseline must share so their predictions
 // are comparable (the experiments in §5 measure v(m_n, m_N) on the same
-// holdout). An Env is read-only after construction, so concurrent
+// holdout). An Env is built from a dataset.Source — an in-memory dataset or
+// a disk-backed store handle — and holds the pool as indices only: the
+// holdout and test sets are materialized eagerly (they are small and the
+// estimator reads them constantly) while pool rows are materialized on
+// demand, exactly the rows a sample requests. That is what keeps a
+// store-backed training run's memory at O(n + holdout) instead of O(N).
+// An Env is logically read-only after construction, so concurrent
 // TrainApprox/TrainFull calls on one Env are safe — the hyperparameter-
 // search subsystem relies on this to evaluate many candidates over a single
 // data preparation.
 type Env struct {
-	Pool    *dataset.Dataset // the full model's training set (size N)
-	Holdout *dataset.Dataset // diff() evaluation set, never trained on
-	Test    *dataset.Dataset // generalization-error reporting (may be empty)
+	src     dataset.Source
+	meta    dataset.Meta
+	poolIdx []int            // source indices forming the full model's training set (size N)
+	holdout *dataset.Dataset // diff() evaluation set, never trained on
+	test    *dataset.Dataset // generalization-error reporting (may be empty)
 	seed    int64
 
-	// Shared-sample cache (see SharedSample): one pool permutation plus the
-	// materialized nested prefixes, built lazily under mu.
+	// Lazy materializations: the full pool (only the full-training baseline
+	// needs it) and the shared-sample cache (one pool permutation plus the
+	// materialized nested prefixes), built under mu.
 	mu      sync.Mutex
+	pool    *dataset.Dataset
 	perm    []int
 	samples map[int]*dataset.Dataset
 }
 
-// NewEnv splits ds according to opt (deterministic in opt.Seed).
+// NewEnv splits the in-memory ds according to opt (deterministic in
+// opt.Seed). Rows are shared with ds, never copied.
 func NewEnv(ds *dataset.Dataset, opt Options) *Env {
+	env, err := NewEnvFromSource(ds, opt)
+	if err != nil {
+		// In-memory materialization is Subset, which cannot fail.
+		panic(fmt.Sprintf("core: NewEnv: %v", err))
+	}
+	return env
+}
+
+// NewEnvFromSource splits src according to opt. The split indices and every
+// later sample draw consume the RNG identically to the in-memory path, so a
+// store-backed Env yields byte-identical training runs to NewEnv over the
+// same rows at the same seed. Only the holdout and test rows are read here.
+func NewEnvFromSource(src dataset.Source, opt Options) (*Env, error) {
 	opt = opt.withDefaults()
+	meta := src.Meta()
 	rng := stat.NewRNG(opt.Seed)
-	n := ds.Len()
+	n := meta.Rows
 	hf := opt.HoldoutFraction
 	if max := float64(opt.MaxHoldout) / float64(n); hf > max {
 		hf = max
 	}
 	split := dataset.NewSplit(rng, n, hf, opt.TestFraction)
-	return &Env{
-		Pool:    ds.Subset(split.Train),
-		Holdout: ds.Subset(split.Holdout),
-		Test:    ds.Subset(split.Test),
-		seed:    opt.Seed,
+	holdout, err := src.Materialize(split.Holdout)
+	if err != nil {
+		return nil, fmt.Errorf("core: materialize holdout: %w", err)
 	}
+	test, err := src.Materialize(split.Test)
+	if err != nil {
+		return nil, fmt.Errorf("core: materialize test set: %w", err)
+	}
+	return &Env{
+		src:     src,
+		meta:    meta,
+		poolIdx: split.Train,
+		holdout: holdout,
+		test:    test,
+		seed:    opt.Seed,
+	}, nil
 }
 
 // Seed returns the seed the environment was split with; derived per-
 // candidate seeds should be built from it so a whole search stays
 // deterministic in one number.
 func (e *Env) Seed() int64 { return e.seed }
+
+// PoolLen returns N, the number of rows the full model would train on. It
+// never touches the source's rows.
+func (e *Env) PoolLen() int { return len(e.poolIdx) }
+
+// Holdout returns the materialized holdout set (never trained on; what
+// diff() evaluates).
+func (e *Env) Holdout() *dataset.Dataset { return e.holdout }
+
+// Test returns the materialized test set (may be empty).
+func (e *Env) Test() *dataset.Dataset { return e.test }
+
+// materialize fetches the pool rows at the given pool-relative indices.
+func (e *Env) materialize(rel []int) (*dataset.Dataset, error) {
+	abs := make([]int, len(rel))
+	for i, r := range rel {
+		abs[i] = e.poolIdx[r]
+	}
+	ds, err := e.src.Materialize(abs)
+	if err != nil {
+		return nil, fmt.Errorf("core: materialize sample: %w", err)
+	}
+	return ds, nil
+}
+
+// Pool materializes (and memoizes) the entire training pool. The BlinkML
+// path never calls it — only full-model baselines do, and on a disk-backed
+// source with a row budget it fails rather than silently loading N rows.
+func (e *Env) Pool() (*dataset.Dataset, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.pool == nil {
+		rel := make([]int, len(e.poolIdx))
+		for i := range rel {
+			rel[i] = i
+		}
+		pool, err := e.materialize(rel)
+		if err != nil {
+			return nil, err
+		}
+		e.pool = pool
+	}
+	return e.pool, nil
+}
+
+// Sample draws n pool rows uniformly without replacement using rng and
+// materializes exactly those rows (the baseline strategies and experiments
+// drive this directly with their own RNGs).
+func (e *Env) Sample(rng *stat.RNG, n int) (*dataset.Dataset, error) {
+	return e.materialize(dataset.SampleWithoutReplacement(rng, e.PoolLen(), n))
+}
 
 // SharedSample returns the subset formed by the first n rows of a fixed,
 // seed-deterministic permutation of the pool (n is clamped to the pool
@@ -100,10 +186,11 @@ func (e *Env) Seed() int64 { return e.seed }
 // halving hyperparameter search): candidates probing the same size share
 // one subset, and a candidate promoted to a larger rung trains on a strict
 // superset of the rows it has already seen, which makes warm starts honest.
-// Safe for concurrent use.
-func (e *Env) SharedSample(n int) *dataset.Dataset {
-	if n >= e.Pool.Len() {
-		return e.Pool
+// On a store-backed Env each size reads only its n rows off disk. Safe for
+// concurrent use.
+func (e *Env) SharedSample(n int) (*dataset.Dataset, error) {
+	if n >= e.PoolLen() {
+		return e.Pool()
 	}
 	if n < 1 {
 		n = 1
@@ -111,15 +198,18 @@ func (e *Env) SharedSample(n int) *dataset.Dataset {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if e.perm == nil {
-		e.perm = stat.NewRNG(e.seed + 0x5A3D).Perm(e.Pool.Len())
+		e.perm = stat.NewRNG(e.seed + 0x5A3D).Perm(e.PoolLen())
 		e.samples = make(map[int]*dataset.Dataset)
 	}
 	if ds, ok := e.samples[n]; ok {
-		return ds
+		return ds, nil
 	}
-	ds := e.Pool.Subset(e.perm[:n:n])
+	ds, err := e.materialize(e.perm[:n:n])
+	if err != nil {
+		return nil, err
+	}
 	e.samples[n] = ds
-	return ds
+	return ds, nil
 }
 
 // Train runs the full BlinkML workflow (§2.3) on ds: split, train the
@@ -135,11 +225,29 @@ func Train(spec models.Spec, ds *dataset.Dataset, opt Options) (*Result, error) 
 // cancelled training job stops burning CPU promptly and returns ctx.Err()
 // (wrapped).
 func TrainContext(ctx context.Context, spec models.Spec, ds *dataset.Dataset, opt Options) (*Result, error) {
+	return TrainSourceContext(ctx, spec, ds, opt)
+}
+
+// TrainSource runs the BlinkML workflow against any dataset.Source — an
+// in-memory dataset or a disk-backed store handle. With a store handle the
+// coordinator materializes only the rows it samples plus the holdout, so an
+// (ε, δ) contract against an N-row dataset costs O(n) memory, not O(N):
+// the paper's headline economics, preserved end to end.
+func TrainSource(spec models.Spec, src dataset.Source, opt Options) (*Result, error) {
+	return TrainSourceContext(context.Background(), spec, src, opt)
+}
+
+// TrainSourceContext is TrainSource with cancellation (see TrainContext).
+func TrainSourceContext(ctx context.Context, spec models.Spec, src dataset.Source, opt Options) (*Result, error) {
 	opt = opt.withDefaults()
 	if err := opt.validate(); err != nil {
 		return nil, err
 	}
-	return NewEnv(ds, opt).TrainApproxContext(ctx, spec, opt)
+	env, err := NewEnvFromSource(src, opt)
+	if err != nil {
+		return nil, err
+	}
+	return env.TrainApproxContext(ctx, spec, opt)
 }
 
 // TrainApprox runs the BlinkML coordinator inside a prepared environment.
@@ -154,7 +262,7 @@ func (e *Env) TrainApproxContext(ctx context.Context, spec models.Spec, opt Opti
 		return nil, err
 	}
 	opt.Optimizer = withCancel(ctx, opt.Optimizer)
-	bigN := e.Pool.Len()
+	bigN := e.PoolLen()
 	if bigN == 0 {
 		return nil, errors.New("core: empty training pool")
 	}
@@ -171,7 +279,10 @@ func (e *Env) TrainApproxContext(ctx context.Context, spec models.Spec, opt Opti
 		return nil, err
 	}
 	start := time.Now()
-	sample0 := e.Pool.Subset(dataset.SampleWithoutReplacement(rng, bigN, n0))
+	sample0, err := e.Sample(rng, n0)
+	if err != nil {
+		return nil, err
+	}
 	m0, err := models.Train(spec, sample0, nil, opt.Optimizer)
 	if err != nil {
 		return nil, fmt.Errorf("core: initial training failed: %w", err)
@@ -207,7 +318,7 @@ func (e *Env) TrainApproxContext(ctx context.Context, spec models.Spec, opt Opti
 
 	// Phase 3: accuracy estimate for m₀; early exit if it already meets ε.
 	start = time.Now()
-	est := EstimateAccuracy(spec, m0.Theta, factor, Alpha(n0, bigN), e.Holdout, opt.K, opt.Delta, rng)
+	est := EstimateAccuracy(spec, m0.Theta, factor, Alpha(n0, bigN), e.holdout, opt.K, opt.Delta, rng)
 	diag.InitialEpsilon = est.Epsilon
 	if est.Epsilon <= opt.Epsilon {
 		diag.SampleSearch = time.Since(start)
@@ -222,7 +333,7 @@ func (e *Env) TrainApproxContext(ctx context.Context, spec models.Spec, opt Opti
 	}
 
 	// Phase 3b: minimum sample size via two-stage sampling + binary search.
-	searcher := NewSearcher(spec, m0.Theta, factor, n0, bigN, e.Holdout, opt.Epsilon, opt.Delta, opt.K, rng)
+	searcher := NewSearcher(spec, m0.Theta, factor, n0, bigN, e.holdout, opt.Epsilon, opt.Delta, opt.K, rng)
 	sres := searcher.Search()
 	diag.SampleSearch = time.Since(start)
 	diag.Probes = sres.Probes
@@ -239,7 +350,10 @@ func (e *Env) TrainApproxContext(ctx context.Context, spec models.Spec, opt Opti
 		return nil, err
 	}
 	start = time.Now()
-	sampleN := e.Pool.Subset(dataset.SampleWithoutReplacement(rng, bigN, n))
+	sampleN, err := e.Sample(rng, n)
+	if err != nil {
+		return nil, err
+	}
 	var warm []float64
 	if opt.WarmStart {
 		warm = m0.Theta
@@ -296,10 +410,15 @@ type FullResult struct {
 }
 
 // TrainFull trains spec on the entire pool — the "traditional ML library"
-// path of Figure 1 that BlinkML is compared against.
+// path of Figure 1 that BlinkML is compared against. This is the one path
+// that materializes all N pool rows.
 func (e *Env) TrainFull(spec models.Spec, optim optimize.Options) (*FullResult, error) {
+	pool, err := e.Pool()
+	if err != nil {
+		return nil, err
+	}
 	start := time.Now()
-	res, err := models.Train(spec, e.Pool, nil, optim)
+	res, err := models.Train(spec, pool, nil, optim)
 	if err != nil {
 		return nil, fmt.Errorf("core: full training failed: %w", err)
 	}
@@ -309,14 +428,16 @@ func (e *Env) TrainFull(spec models.Spec, optim optimize.Options) (*FullResult, 
 // TrainOnSample trains spec on a fresh uniform sample of size n from the
 // pool (used by the baseline strategies of §5.4).
 func (e *Env) TrainOnSample(spec models.Spec, n int, seed int64, optim optimize.Options) (*FullResult, error) {
-	if n > e.Pool.Len() {
-		n = e.Pool.Len()
+	if n > e.PoolLen() {
+		n = e.PoolLen()
 	}
 	if n <= 0 {
 		return nil, errors.New("core: sample size must be positive")
 	}
-	rng := stat.NewRNG(seed)
-	sample := e.Pool.Subset(dataset.SampleWithoutReplacement(rng, e.Pool.Len(), n))
+	sample, err := e.Sample(stat.NewRNG(seed), n)
+	if err != nil {
+		return nil, err
+	}
 	start := time.Now()
 	res, err := models.Train(spec, sample, nil, optim)
 	if err != nil {

@@ -91,7 +91,7 @@ func TestTrainMeetsContractAgainstFullModel(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	v := models.Diff(spec, res.Theta, full.Theta, env.Holdout)
+	v := models.Diff(spec, res.Theta, full.Theta, env.Holdout())
 	if v > opt.Epsilon {
 		t.Fatalf("actual difference %v exceeds contract ε=%v (n=%d)", v, opt.Epsilon, res.SampleSize)
 	}
@@ -112,7 +112,7 @@ func TestTrainPPCAEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if v := models.Diff(spec, res.Theta, full.Theta, env.Holdout); v > 0.05 {
+	if v := models.Diff(spec, res.Theta, full.Theta, env.Holdout()); v > 0.05 {
 		t.Fatalf("PPCA actual diff %v exceeds ε", v)
 	}
 }

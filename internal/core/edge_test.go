@@ -19,7 +19,7 @@ func TestSearcherPPCAPath(t *testing.T) {
 	env := NewEnv(ds, Options{Epsilon: 0.01, Seed: 42})
 	n0 := 300
 	rng := stat.NewRNG(43)
-	sample := env.Pool.Subset(dataset.SampleWithoutReplacement(rng, env.Pool.Len(), n0))
+	sample := poolOf(t, env).Subset(dataset.SampleWithoutReplacement(rng, env.PoolLen(), n0))
 	theta, _, err := spec.TrainCustom(sample)
 	if err != nil {
 		t.Fatal(err)
@@ -28,7 +28,7 @@ func TestSearcherPPCAPath(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s := NewSearcher(spec, theta, st.Factor, n0, env.Pool.Len(), env.Holdout, 0.01, 0.05, 50, rng)
+	s := NewSearcher(spec, theta, st.Factor, n0, env.PoolLen(), env.Holdout(), 0.01, 0.05, 50, rng)
 	if s.scoreModel != nil {
 		t.Fatal("PPCA must not take the score fast path")
 	}

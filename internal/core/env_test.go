@@ -19,8 +19,8 @@ func TestSharedSampleNestingAndReuse(t *testing.T) {
 	opt := Options{Epsilon: 0.1, Seed: 9}
 	env := NewEnv(ds, opt)
 
-	small := env.SharedSample(100)
-	big := env.SharedSample(400)
+	small := sharedSampleOf(t, env, 100)
+	big := sharedSampleOf(t, env, 400)
 	if small.Len() != 100 || big.Len() != 400 {
 		t.Fatalf("sizes %d/%d, want 100/400", small.Len(), big.Len())
 	}
@@ -38,16 +38,16 @@ func TestSharedSampleNestingAndReuse(t *testing.T) {
 			t.Fatalf("row %d: labels are not nested", i)
 		}
 	}
-	if again := env.SharedSample(100); again != small {
+	if again := sharedSampleOf(t, env, 100); again != small {
 		t.Fatal("same size not memoized")
 	}
-	if full := env.SharedSample(env.Pool.Len() + 50); full != env.Pool {
+	if full := sharedSampleOf(t, env, env.PoolLen()+50); full != poolOf(t, env) {
 		t.Fatal("oversized request should return the pool itself")
 	}
 
 	// Deterministic in the env seed.
 	env2 := NewEnv(ds, opt)
-	other := env2.SharedSample(100)
+	other := sharedSampleOf(t, env2, 100)
 	for i := 0; i < 100; i++ {
 		if small.Y[i] != other.Y[i] {
 			t.Fatalf("row %d differs across identically seeded envs", i)
@@ -71,7 +71,12 @@ func TestSharedSampleConcurrent(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < 50; i++ {
 				n := sizes[(w+i)%len(sizes)]
-				if got := env.SharedSample(n); got.Len() != n {
+				got, err := env.SharedSample(n)
+				if err != nil {
+					t.Errorf("shared sample %d: %v", n, err)
+					return
+				}
+				if got.Len() != n {
 					t.Errorf("size %d, want %d", got.Len(), n)
 					return
 				}

@@ -37,13 +37,13 @@ func TestEstimateAccuracyShrinksWithSampleSize(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	st, err := ComputeStatistics(spec, env.Pool, sample.Theta, Options{Epsilon: 0.1})
+	st, err := ComputeStatistics(spec, poolOf(t, env), sample.Theta, Options{Epsilon: 0.1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	N := env.Pool.Len()
-	epsSmall := EstimateAccuracy(spec, sample.Theta, st.Factor, Alpha(500, N), env.Holdout, 100, 0.05, stat.NewRNG(4)).Epsilon
-	epsBig := EstimateAccuracy(spec, sample.Theta, st.Factor, Alpha(5000, N), env.Holdout, 100, 0.05, stat.NewRNG(4)).Epsilon
+	N := env.PoolLen()
+	epsSmall := EstimateAccuracy(spec, sample.Theta, st.Factor, Alpha(500, N), env.Holdout(), 100, 0.05, stat.NewRNG(4)).Epsilon
+	epsBig := EstimateAccuracy(spec, sample.Theta, st.Factor, Alpha(5000, N), env.Holdout(), 100, 0.05, stat.NewRNG(4)).Epsilon
 	if epsBig > epsSmall {
 		t.Fatalf("bound must shrink with n: ε(500)=%v < ε(5000)=%v", epsSmall, epsBig)
 	}
@@ -70,12 +70,12 @@ func TestAccuracyGuaranteeAgainstTrueFullModel(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		sampleStats, err := ComputeStatistics(spec, env.Pool, approx.Theta, Options{Epsilon: 0.1})
+		sampleStats, err := ComputeStatistics(spec, poolOf(t, env), approx.Theta, Options{Epsilon: 0.1})
 		if err != nil {
 			t.Fatal(err)
 		}
-		est := EstimateAccuracy(spec, approx.Theta, sampleStats.Factor, Alpha(n, env.Pool.Len()), env.Holdout, 150, 0.05, stat.NewRNG(200+seed))
-		actual := models.Diff(spec, approx.Theta, full.Theta, env.Holdout)
+		est := EstimateAccuracy(spec, approx.Theta, sampleStats.Factor, Alpha(n, env.PoolLen()), env.Holdout(), 150, 0.05, stat.NewRNG(200+seed))
+		actual := models.Diff(spec, approx.Theta, full.Theta, env.Holdout())
 		if actual > est.Epsilon {
 			violations++
 		}
@@ -100,15 +100,15 @@ func TestSearcherMonotonicity(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sample := env.Pool.Subset(make([]int, 0)) // placeholder, stats need the sample
+	sample := poolOf(t, env).Subset(make([]int, 0)) // placeholder, stats need the sample
 	_ = sample
-	st, err := ComputeStatistics(spec, env.Pool.Subset(firstK(env.Pool.Len(), n0)), approx.Theta, opt)
+	st, err := ComputeStatistics(spec, poolOf(t, env).Subset(firstK(env.PoolLen(), n0)), approx.Theta, opt)
 	if err != nil {
 		t.Fatal(err)
 	}
-	s := NewSearcher(spec, approx.Theta, st.Factor, n0, env.Pool.Len(), env.Holdout, 0.05, 0.05, 100, stat.NewRNG(10))
+	s := NewSearcher(spec, approx.Theta, st.Factor, n0, env.PoolLen(), env.Holdout(), 0.05, 0.05, 100, stat.NewRNG(10))
 	prev := -1.0
-	for _, n := range []int{n0, 2 * n0, 4 * n0, 8 * n0, env.Pool.Len()} {
+	for _, n := range []int{n0, 2 * n0, 4 * n0, 8 * n0, env.PoolLen()} {
 		p := s.Probe(n)
 		if p.Fraction < prev-0.1 {
 			t.Fatalf("fraction dropped from %v to %v at n=%d", prev, p.Fraction, n)
@@ -117,7 +117,7 @@ func TestSearcherMonotonicity(t *testing.T) {
 			prev = p.Fraction
 		}
 	}
-	if last := s.Probe(env.Pool.Len()); !last.Satisfied || last.Fraction != 1 {
+	if last := s.Probe(env.PoolLen()); !last.Satisfied || last.Fraction != 1 {
 		t.Fatalf("probe at N must be trivially satisfied: %+v", last)
 	}
 }
@@ -141,14 +141,14 @@ func TestSearcherFindsSatisfyingSize(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	st, err := ComputeStatistics(spec, env.Pool.Subset(firstK(env.Pool.Len(), n0)), approx.Theta, Options{Epsilon: 0.03}.withDefaults())
+	st, err := ComputeStatistics(spec, poolOf(t, env).Subset(firstK(env.PoolLen(), n0)), approx.Theta, Options{Epsilon: 0.03}.withDefaults())
 	if err != nil {
 		t.Fatal(err)
 	}
-	s := NewSearcher(spec, approx.Theta, st.Factor, n0, env.Pool.Len(), env.Holdout, 0.03, 0.05, 100, stat.NewRNG(14))
+	s := NewSearcher(spec, approx.Theta, st.Factor, n0, env.PoolLen(), env.Holdout(), 0.03, 0.05, 100, stat.NewRNG(14))
 	res := s.Search()
-	if res.N < n0 || res.N > env.Pool.Len() {
-		t.Fatalf("chosen n=%d outside [%d, %d]", res.N, n0, env.Pool.Len())
+	if res.N < n0 || res.N > env.PoolLen() {
+		t.Fatalf("chosen n=%d outside [%d, %d]", res.N, n0, env.PoolLen())
 	}
 	if !s.Probe(res.N).Satisfied {
 		t.Fatalf("chosen n=%d does not satisfy its own probe", res.N)
@@ -168,12 +168,12 @@ func TestSearcherScorePathMatchesGeneric(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	st, err := ComputeStatistics(spec, env.Pool.Subset(firstK(env.Pool.Len(), n0)), approx.Theta, Options{Epsilon: 0.05}.withDefaults())
+	st, err := ComputeStatistics(spec, poolOf(t, env).Subset(firstK(env.PoolLen(), n0)), approx.Theta, Options{Epsilon: 0.05}.withDefaults())
 	if err != nil {
 		t.Fatal(err)
 	}
-	fast := NewSearcher(spec, approx.Theta, st.Factor, n0, env.Pool.Len(), env.Holdout, 0.05, 0.05, 80, stat.NewRNG(18))
-	slow := NewSearcher(hideScores{spec}, approx.Theta, st.Factor, n0, env.Pool.Len(), env.Holdout, 0.05, 0.05, 80, stat.NewRNG(18))
+	fast := NewSearcher(spec, approx.Theta, st.Factor, n0, env.PoolLen(), env.Holdout(), 0.05, 0.05, 80, stat.NewRNG(18))
+	slow := NewSearcher(hideScores{spec}, approx.Theta, st.Factor, n0, env.PoolLen(), env.Holdout(), 0.05, 0.05, 80, stat.NewRNG(18))
 	if fast.scoreModel == nil {
 		t.Fatal("fast searcher did not take the score path")
 	}

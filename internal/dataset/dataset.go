@@ -128,6 +128,39 @@ const (
 	Unsupervised
 )
 
+// String returns the wire name of the task ("regression", "binary",
+// "multiclass", "unsupervised") — the inverse of ParseTask.
+func (t Task) String() string {
+	switch t {
+	case Regression:
+		return "regression"
+	case BinaryClassification:
+		return "binary"
+	case MultiClassification:
+		return "multiclass"
+	case Unsupervised:
+		return "unsupervised"
+	default:
+		return fmt.Sprintf("Task(%d)", int(t))
+	}
+}
+
+// ParseTask maps a wire task name back to the constant.
+func ParseTask(s string) (Task, error) {
+	switch s {
+	case "regression":
+		return Regression, nil
+	case "binary":
+		return BinaryClassification, nil
+	case "multiclass":
+		return MultiClassification, nil
+	case "unsupervised":
+		return Unsupervised, nil
+	default:
+		return 0, fmt.Errorf("dataset: unknown task %q (want regression|binary|multiclass|unsupervised)", s)
+	}
+}
+
 // Dataset is an in-memory labeled dataset.
 type Dataset struct {
 	X          []Row

@@ -4,8 +4,6 @@ import (
 	"bufio"
 	"fmt"
 	"io"
-	"strconv"
-	"strings"
 )
 
 // ReadCSV parses a dense labeled dataset from CSV text: one row per line,
@@ -14,59 +12,27 @@ import (
 // as a header and skipped. The task tags the label semantics; NumClasses is
 // inferred for MultiClassification.
 func ReadCSV(r io.Reader, labelCol int, task Task) (*Dataset, error) {
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	return ReadCSVOpts(r, task, StreamOptions{LabelCol: Column(labelCol)})
+}
+
+// ReadCSVOpts is ReadCSV with explicit parser options (label column, line
+// cap, declared dimension).
+func ReadCSVOpts(r io.Reader, task Task, opt StreamOptions) (*Dataset, error) {
 	ds := &Dataset{Task: task, Name: "csv"}
-	lineNo := 0
 	maxClass := -1
-	for sc.Scan() {
-		lineNo++
-		line := strings.TrimSpace(sc.Text())
-		if line == "" || strings.HasPrefix(line, "#") {
-			continue
-		}
-		fields := strings.Split(line, ",")
-		lc := labelCol
-		if lc < 0 {
-			lc = len(fields) + lc
-		}
-		if lc < 0 || lc >= len(fields) {
-			return nil, fmt.Errorf("dataset: line %d: label column %d out of range (%d fields)", lineNo, labelCol, len(fields))
-		}
-		vals := make([]float64, 0, len(fields)-1)
-		var label float64
-		parseErr := false
-		for i, f := range fields {
-			v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
-			if err != nil {
-				parseErr = true
-				break
-			}
-			if i == lc {
-				label = v
-			} else {
-				vals = append(vals, v)
-			}
-		}
-		if parseErr {
-			if lineNo == 1 && ds.Len() == 0 {
-				continue // header line
-			}
-			return nil, fmt.Errorf("dataset: line %d: non-numeric field", lineNo)
-		}
+	err := StreamCSV(r, opt, func(row RowData) error {
 		if ds.Dim == 0 {
-			ds.Dim = len(vals)
-		} else if len(vals) != ds.Dim {
-			return nil, fmt.Errorf("dataset: line %d has %d features, want %d", lineNo, len(vals), ds.Dim)
+			ds.Dim = len(row.Val)
 		}
-		ds.X = append(ds.X, DenseRow(vals))
-		ds.Y = append(ds.Y, label)
-		if c := int(label); task == MultiClassification && float64(c) == label && c > maxClass {
+		ds.X = append(ds.X, DenseRow(row.Val))
+		ds.Y = append(ds.Y, row.Label)
+		if c := int(row.Label); task == MultiClassification && float64(c) == row.Label && c > maxClass {
 			maxClass = c
 		}
-	}
-	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("dataset: reading CSV: %w", err)
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	if task == MultiClassification {
 		ds.NumClasses = maxClass + 1
@@ -111,8 +77,12 @@ func WriteCSV(w io.Writer, ds *Dataset) error {
 // Indices are 1-based in the format and converted to 0-based here. dim of 0
 // infers the dimension from the largest index seen.
 func ReadLibSVM(r io.Reader, dim int, task Task) (*Dataset, error) {
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	return ReadLibSVMOpts(r, task, StreamOptions{Dim: dim})
+}
+
+// ReadLibSVMOpts is ReadLibSVM with explicit parser options (declared
+// dimension, line cap).
+func ReadLibSVMOpts(r io.Reader, task Task, opt StreamOptions) (*Dataset, error) {
 	type rawRow struct {
 		idx   []int32
 		val   []float64
@@ -120,57 +90,23 @@ func ReadLibSVM(r io.Reader, dim int, task Task) (*Dataset, error) {
 	}
 	var raws []rawRow
 	maxIdx := int32(-1)
-	lineNo := 0
 	maxClass := -1
-	for sc.Scan() {
-		lineNo++
-		line := strings.TrimSpace(sc.Text())
-		if line == "" || strings.HasPrefix(line, "#") {
-			continue
+	err := StreamLibSVM(r, opt, func(row RowData) error {
+		raws = append(raws, rawRow{idx: row.Idx, val: row.Val, label: row.Label})
+		if n := len(row.Idx); n > 0 && row.Idx[n-1] > maxIdx {
+			maxIdx = row.Idx[n-1]
 		}
-		fields := strings.Fields(line)
-		label, err := strconv.ParseFloat(fields[0], 64)
-		if err != nil {
-			return nil, fmt.Errorf("dataset: line %d: bad label %q", lineNo, fields[0])
-		}
-		row := rawRow{label: label}
-		prev := int32(-1)
-		for _, f := range fields[1:] {
-			colon := strings.IndexByte(f, ':')
-			if colon <= 0 {
-				return nil, fmt.Errorf("dataset: line %d: bad pair %q", lineNo, f)
-			}
-			idx1, err := strconv.Atoi(f[:colon])
-			if err != nil || idx1 < 1 {
-				return nil, fmt.Errorf("dataset: line %d: bad index %q", lineNo, f[:colon])
-			}
-			v, err := strconv.ParseFloat(f[colon+1:], 64)
-			if err != nil {
-				return nil, fmt.Errorf("dataset: line %d: bad value %q", lineNo, f[colon+1:])
-			}
-			idx := int32(idx1 - 1)
-			if idx <= prev {
-				return nil, fmt.Errorf("dataset: line %d: indices not strictly increasing", lineNo)
-			}
-			prev = idx
-			row.idx = append(row.idx, idx)
-			row.val = append(row.val, v)
-			if idx > maxIdx {
-				maxIdx = idx
-			}
-		}
-		raws = append(raws, row)
-		if c := int(label); task == MultiClassification && float64(c) == label && c > maxClass {
+		if c := int(row.Label); task == MultiClassification && float64(c) == row.Label && c > maxClass {
 			maxClass = c
 		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("dataset: reading LibSVM: %w", err)
-	}
+	dim := opt.Dim
 	if dim <= 0 {
 		dim = int(maxIdx) + 1
-	} else if int(maxIdx) >= dim {
-		return nil, fmt.Errorf("dataset: index %d exceeds declared dim %d", maxIdx+1, dim)
 	}
 	ds := &Dataset{Dim: dim, Task: task, Name: "libsvm"}
 	for _, raw := range raws {

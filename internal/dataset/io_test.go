@@ -164,3 +164,89 @@ func TestReadLibSVMSkipsCommentsAndBlanks(t *testing.T) {
 		t.Fatalf("len=%d", ds.Len())
 	}
 }
+
+// TestReadCSVErrorNamesColumnAndToken: parse failures must point at the
+// line, the 1-based column, and quote the offending token — the difference
+// between a fixable upload error and an opaque one.
+func TestReadCSVErrorNamesColumnAndToken(t *testing.T) {
+	_, err := ReadCSV(strings.NewReader("1,2,0\n3,oops,1\n"), -1, Regression)
+	if err == nil {
+		t.Fatal("non-numeric field accepted")
+	}
+	for _, want := range []string{"line 2", "column 2", `"oops"`} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("error %q does not contain %q", err, want)
+		}
+	}
+}
+
+// TestReadLibSVMErrorNamesFieldAndToken mirrors the CSV check for the
+// sparse format.
+func TestReadLibSVMErrorNamesFieldAndToken(t *testing.T) {
+	cases := []struct {
+		in    string
+		wants []string
+	}{
+		{"1 1:0.5 nope\n", []string{"line 1", "field 3", `"nope"`}},
+		{"1 0:1\n", []string{"line 1", "field 2", `"0"`}},
+		{"1 1:1 1:2\n", []string{"line 1", "field 3", "strictly increasing"}},
+		{"1 1:abc\n", []string{"line 1", "field 2", `"abc"`}},
+	}
+	for _, c := range cases {
+		_, err := ReadLibSVM(strings.NewReader(c.in), 0, Regression)
+		if err == nil {
+			t.Fatalf("malformed input accepted: %q", c.in)
+		}
+		for _, want := range c.wants {
+			if !strings.Contains(err.Error(), want) {
+				t.Fatalf("input %q: error %q does not contain %q", c.in, err, want)
+			}
+		}
+	}
+}
+
+// TestMaxLineBytesConfigurable: the scanner cap is an option, and blowing
+// it produces an actionable line-numbered error rather than
+// bufio.Scanner's bare "token too long".
+func TestMaxLineBytesConfigurable(t *testing.T) {
+	long := "1," + strings.Repeat("2,", 400) + "0\n"
+	// A tiny cap rejects the line with a useful message...
+	_, err := ReadCSVOpts(strings.NewReader(long), Regression, StreamOptions{MaxLineBytes: 64})
+	if err == nil {
+		t.Fatal("oversized line accepted under a 64-byte cap")
+	}
+	for _, want := range []string{"line 1", "64-byte", "MaxLineBytes"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("cap error %q does not contain %q", err, want)
+		}
+	}
+	// ...and raising the cap admits the same input.
+	ds, err := ReadCSVOpts(strings.NewReader(long), Regression, StreamOptions{MaxLineBytes: 4096})
+	if err != nil {
+		t.Fatalf("raised cap: %v", err)
+	}
+	if ds.Len() != 1 || ds.Dim != 401 {
+		t.Fatalf("shape %dx%d", ds.Len(), ds.Dim)
+	}
+	// LibSVM path honors the cap too.
+	sparse := "1 " + strings.Repeat("1:1 ", 1)
+	if _, err := ReadLibSVMOpts(strings.NewReader(strings.Repeat("x", 100)+sparse), Regression, StreamOptions{MaxLineBytes: 32}); err == nil {
+		t.Fatal("oversized libsvm line accepted")
+	}
+}
+
+// TestStreamCSVLabelColumnOption checks the explicit label-column pointer
+// (column 0 is a valid choice, distinct from the "last column" default).
+func TestStreamCSVLabelColumnOption(t *testing.T) {
+	var labels []float64
+	err := StreamCSV(strings.NewReader("5,1,2\n6,3,4\n"), StreamOptions{LabelCol: Column(0)}, func(r RowData) error {
+		labels = append(labels, r.Label)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(labels) != 2 || labels[0] != 5 || labels[1] != 6 {
+		t.Fatalf("labels %v", labels)
+	}
+}

@@ -1,0 +1,36 @@
+package dataset
+
+// Meta describes a dataset's shape without implying its rows are resident
+// in memory.
+type Meta struct {
+	Name       string
+	Rows       int
+	Dim        int
+	Task       Task
+	NumClasses int
+}
+
+// Source provides random access to a dataset's rows by index without
+// promising they live in memory. An in-memory *Dataset is a Source; the
+// persistent dataset store's handles are disk-backed Sources that read only
+// the requested rows. core.Env is built from a Source, which is what lets
+// the coordinator train an (ε, δ) contract against an N-row pool while
+// materializing only the n sampled rows plus the holdout.
+type Source interface {
+	// Meta returns the dataset's shape.
+	Meta() Meta
+	// Materialize returns an in-memory dataset holding exactly the rows at
+	// idx, in idx order. Implementations must tolerate concurrent calls.
+	Materialize(idx []int) (*Dataset, error)
+}
+
+// Meta implements Source.
+func (d *Dataset) Meta() Meta {
+	return Meta{Name: d.Name, Rows: len(d.X), Dim: d.Dim, Task: d.Task, NumClasses: d.NumClasses}
+}
+
+// Materialize implements Source: for an in-memory dataset it is Subset
+// (rows shared, never copied) and cannot fail.
+func (d *Dataset) Materialize(idx []int) (*Dataset, error) {
+	return d.Subset(idx), nil
+}

@@ -59,7 +59,7 @@ func RunFig10(scale Scale, seed int64, steps int) (*Table, error) {
 			return nil, fmt.Errorf("fig10 step %d blinkml: %w", step, err)
 		}
 		blinkCum += time.Since(start)
-		if acc := models.Accuracy(spec, approx.Theta, env.Test); acc > blinkBest {
+		if acc := models.Accuracy(spec, approx.Theta, env.Test()); acc > blinkBest {
 			blinkBest = acc
 		}
 
@@ -69,7 +69,7 @@ func RunFig10(scale Scale, seed int64, steps int) (*Table, error) {
 			return nil, fmt.Errorf("fig10 step %d full: %w", step, err)
 		}
 		fullCum += time.Since(start)
-		if acc := models.Accuracy(spec, full.Theta, env.Test); acc > fullBest {
+		if acc := models.Accuracy(spec, full.Theta, env.Test()); acc > fullBest {
 			fullBest = acc
 		}
 

@@ -17,13 +17,16 @@ import (
 func estimatedSampleSize(spec models.Spec, ds *dataset.Dataset, opt core.Options) (int, error) {
 	opt = opt.WithDefaults()
 	env := core.NewEnv(ds, opt)
-	bigN := env.Pool.Len()
+	bigN := env.PoolLen()
 	n0 := opt.InitialSampleSize
 	if n0 > bigN {
 		n0 = bigN
 	}
 	rng := stat.NewRNG(opt.Seed + 0xF11)
-	sample := env.Pool.Subset(dataset.SampleWithoutReplacement(rng, bigN, n0))
+	sample, err := env.Sample(rng, n0)
+	if err != nil {
+		return 0, err
+	}
 	fit, err := models.Train(spec, sample, nil, optimize.Options{})
 	if err != nil {
 		return 0, err
@@ -32,7 +35,7 @@ func estimatedSampleSize(spec models.Spec, ds *dataset.Dataset, opt core.Options
 	if err != nil {
 		return 0, err
 	}
-	searcher := core.NewSearcher(spec, fit.Theta, st.Factor, n0, bigN, env.Holdout, opt.Epsilon, opt.Delta, opt.K, rng)
+	searcher := core.NewSearcher(spec, fit.Theta, st.Factor, n0, bigN, env.Holdout(), opt.Epsilon, opt.Delta, opt.K, rng)
 	return searcher.Search().N, nil
 }
 

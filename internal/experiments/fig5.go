@@ -34,7 +34,7 @@ func RunFig5(w Workload, scale Scale, reps int, seed int64) (*Table, error) {
 	t := &Table{
 		Title:   fmt.Sprintf("Figure 5 / Table 4 — %s on %s: training time savings (full training: %s)", w.ModelName, w.DataName, secs(fullSecs)),
 		Columns: []string{"ReqAcc", "BlinkML", "Speedup", "Saving", "SampleSize", "Initial?"},
-		Notes:   []string{fmt.Sprintf("N=%d pool rows, n0=%d, k=%d, δ=0.05, %d reps", env.Pool.Len(), base.InitialSampleSize, base.K, reps)},
+		Notes:   []string{fmt.Sprintf("N=%d pool rows, n0=%d, k=%d, δ=0.05, %d reps", env.PoolLen(), base.InitialSampleSize, base.K, reps)},
 	}
 	for _, acc := range w.Accuracies {
 		eps := 1 - acc

@@ -35,7 +35,7 @@ func RunFig6(w Workload, scale Scale, reps int, seed int64) (*Table, error) {
 	t := &Table{
 		Title:   fmt.Sprintf("Figure 6 / Table 5 — %s on %s: requested vs actual accuracy", w.ModelName, w.DataName),
 		Columns: []string{"ReqAcc", "ActualMean", "Actual5th", "Actual95th", "5th>=Req"},
-		Notes:   []string{fmt.Sprintf("%d reps per accuracy; actual = 1 − v(m_n, m_N) on %d holdout rows", reps, env.Holdout.Len())},
+		Notes:   []string{fmt.Sprintf("%d reps per accuracy; actual = 1 − v(m_n, m_N) on %d holdout rows", reps, env.Holdout().Len())},
 	}
 	for _, acc := range w.Accuracies {
 		eps := 1 - acc
@@ -48,7 +48,7 @@ func RunFig6(w Workload, scale Scale, reps int, seed int64) (*Table, error) {
 			if err != nil {
 				return nil, fmt.Errorf("fig6 %s acc=%v rep=%d: %w", w.ID, acc, r, err)
 			}
-			v := models.Diff(spec, res.Theta, full.Theta, env.Holdout)
+			v := models.Diff(spec, res.Theta, full.Theta, env.Holdout())
 			actuals = append(actuals, 1-v)
 		}
 		p5 := stat.Quantile(actuals, 0.05)

@@ -45,7 +45,7 @@ func RunFig7(w Workload, scale Scale, seed int64) (effectiveness, efficiency *Ta
 	}
 
 	actualAcc := func(theta []float64) string {
-		return pct(1 - models.Diff(spec, theta, full.Theta, env.Holdout))
+		return pct(1 - models.Diff(spec, theta, full.Theta, env.Holdout()))
 	}
 	for _, acc := range fig7Accuracies {
 		eps := 1 - acc

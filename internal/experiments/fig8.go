@@ -76,8 +76,8 @@ func RunFig8(scale Scale, seed int64) (overhead, genErr, iters *Table, err error
 			pct(blinkSecs/full.Time.Seconds()),
 		)
 
-		fullGE := models.GeneralizationError(spec, full.Theta, env.Test)
-		blinkGE := models.GeneralizationError(spec, res.Theta, env.Test)
+		fullGE := models.GeneralizationError(spec, full.Theta, env.Test())
+		blinkGE := models.GeneralizationError(spec, res.Theta, env.Test())
 		bound := models.GeneralizationBound(blinkGE, base.Epsilon)
 		holds := "yes"
 		if fullGE > bound {

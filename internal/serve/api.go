@@ -9,12 +9,20 @@
 //	POST   /v1/tune                enqueue a hyperparameter search, returns a job id
 //	GET    /v1/jobs/{id}           job status + Figure-8 phase breakdown (+ tune leaderboard)
 //	DELETE /v1/jobs/{id}           cancel a queued or running job
+//	POST   /v1/datasets            streaming CSV/LibSVM upload into the dataset store
+//	GET    /v1/datasets            list stored datasets
+//	GET    /v1/datasets/{id}       dataset manifest (shape, task, label stats)
+//	DELETE /v1/datasets/{id}       evict a dataset from store and disk
 //	GET    /v1/models              list stored models
 //	GET    /v1/models/{id}         model metadata (?theta=1 adds parameters)
 //	DELETE /v1/models/{id}         evict a model from registry and disk
 //	POST   /v1/models/{id}/predict batched prediction over many rows
-//	GET    /healthz                liveness + registry/queue snapshot
+//	GET    /healthz                liveness + registry/store/queue snapshot
 //	GET    /metrics                expvar counters
+//
+// Training and tuning requests reference data three ways: synthetic
+// workloads, inline rows, or a dataset_id naming a stored upload — the
+// out-of-core path, which materializes only sampled rows.
 //
 // This file defines the wire types. They are also reused by the blinkml CLI
 // for its -json output, so one set of structs describes a training result
@@ -70,18 +78,32 @@ func (r *TrainRequest) Validate() error {
 }
 
 // DatasetRef names the training data: exactly one of Synthetic (a
-// paper-shaped generated workload) or Inline (rows uploaded in the request)
-// must be set.
+// paper-shaped generated workload), Inline (rows uploaded in the request),
+// or ID (a dataset previously uploaded to the store via POST /v1/datasets)
+// must be set. The ID path is the out-of-core one — training materializes
+// only the rows it samples, never the whole dataset.
 type DatasetRef struct {
 	Synthetic *SyntheticRef `json:"synthetic,omitempty"`
 	Inline    *InlineData   `json:"inline,omitempty"`
+	ID        string        `json:"dataset_id,omitempty"`
 }
 
 // Validate checks that exactly one source is present and well-formed.
 func (r *DatasetRef) Validate() error {
+	set := 0
+	if r.Synthetic != nil {
+		set++
+	}
+	if r.Inline != nil {
+		set++
+	}
+	if r.ID != "" {
+		set++
+	}
+	if set > 1 {
+		return errors.New("serve: dataset must name exactly one of synthetic, inline, or dataset_id")
+	}
 	switch {
-	case r.Synthetic != nil && r.Inline != nil:
-		return errors.New("serve: dataset must name either synthetic or inline, not both")
 	case r.Synthetic != nil:
 		if r.Synthetic.Name == "" {
 			return errors.New("serve: synthetic dataset needs a name")
@@ -89,8 +111,10 @@ func (r *DatasetRef) Validate() error {
 		return nil
 	case r.Inline != nil:
 		return r.Inline.validate()
+	case r.ID != "":
+		return nil
 	default:
-		return errors.New("serve: missing dataset (set synthetic or inline)")
+		return errors.New("serve: missing dataset (set synthetic, inline, or dataset_id)")
 	}
 }
 
@@ -116,20 +140,7 @@ type InlineData struct {
 }
 
 // ParseTask maps a wire task name to the dataset constant.
-func ParseTask(s string) (dataset.Task, error) {
-	switch s {
-	case "regression":
-		return dataset.Regression, nil
-	case "binary":
-		return dataset.BinaryClassification, nil
-	case "multiclass":
-		return dataset.MultiClassification, nil
-	case "unsupervised":
-		return dataset.Unsupervised, nil
-	default:
-		return 0, fmt.Errorf("serve: unknown task %q (want regression|binary|multiclass|unsupervised)", s)
-	}
-}
+func ParseTask(s string) (dataset.Task, error) { return dataset.ParseTask(s) }
 
 func (d *InlineData) validate() error {
 	if len(d.X) == 0 {
@@ -316,10 +327,11 @@ type PredictResponse struct {
 
 // Health is the body of GET /healthz.
 type Health struct {
-	Status  string `json:"status"`
-	Models  int    `json:"models"`
-	Jobs    int    `json:"jobs"`
-	Workers int    `json:"workers"`
+	Status   string `json:"status"`
+	Models   int    `json:"models"`
+	Datasets int    `json:"datasets"`
+	Jobs     int    `json:"jobs"`
+	Workers  int    `json:"workers"`
 	// UptimeSeconds is time since the server was constructed.
 	UptimeSeconds float64 `json:"uptime_seconds"`
 }

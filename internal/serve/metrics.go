@@ -3,6 +3,7 @@ package serve
 import (
 	"expvar"
 	"sync"
+	"time"
 )
 
 // Metrics are the service's expvar counters, published once under the
@@ -28,6 +29,13 @@ type Metrics struct {
 	PredictRequests   *expvar.Int // predict calls
 	PredictionsServed *expvar.Int // individual rows predicted
 	ModelsStored      *expvar.Int // gauge: models in the registry
+
+	DatasetsStored         *expvar.Int   // gauge: datasets in the store
+	DatasetBytes           *expvar.Int   // gauge: store bytes on disk
+	IngestRows             *expvar.Int   // rows ingested across uploads
+	IngestMsSum            *expvar.Float // sum of ingest wall times (ms) — rows/sec is IngestRows/IngestMsSum
+	SampleRows             *expvar.Int   // rows materialized from the store
+	SampleMaterializeMsSum *expvar.Float // sum of sample-materialization latencies (ms)
 }
 
 var (
@@ -67,7 +75,28 @@ func sharedMetrics() *Metrics {
 			PredictRequests:      newInt("predict_requests"),
 			PredictionsServed:    newInt("predictions_served"),
 			ModelsStored:         newInt("models_stored"),
+
+			DatasetsStored:         newInt("datasets_stored"),
+			DatasetBytes:           newInt("dataset_bytes"),
+			IngestRows:             newInt("ingest_rows"),
+			IngestMsSum:            newFloat("ingest_ms_sum"),
+			SampleRows:             newInt("sample_rows_materialized"),
+			SampleMaterializeMsSum: newFloat("sample_materialize_ms_sum"),
 		}
 	})
 	return metrics
+}
+
+// storeObserver feeds store events into the expvar counters (it implements
+// store.Observer).
+type storeObserver struct{ m *Metrics }
+
+func (o storeObserver) IngestDone(rows int, bytes int64, d time.Duration) {
+	o.m.IngestRows.Add(int64(rows))
+	o.m.IngestMsSum.Add(float64(d) / float64(time.Millisecond))
+}
+
+func (o storeObserver) Materialized(rows int, d time.Duration) {
+	o.m.SampleRows.Add(int64(rows))
+	o.m.SampleMaterializeMsSum.Add(float64(d) / float64(time.Millisecond))
 }

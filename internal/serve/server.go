@@ -7,6 +7,7 @@ import (
 	"expvar"
 	"fmt"
 	"net/http"
+	"path/filepath"
 	"runtime"
 	"sync"
 	"time"
@@ -17,6 +18,7 @@ import (
 	"blinkml/internal/modelio"
 	"blinkml/internal/models"
 	"blinkml/internal/optimize"
+	"blinkml/internal/store"
 	"blinkml/internal/tune"
 )
 
@@ -24,6 +26,9 @@ import (
 type Config struct {
 	// Dir is the model registry directory (created if missing).
 	Dir string
+	// DataDir is the dataset store directory (default: "datasets" under
+	// Dir).
+	DataDir string
 	// Workers is the training worker-pool size (default 2).
 	Workers int
 	// QueueDepth bounds the training backlog; a full queue returns 503
@@ -32,9 +37,15 @@ type Config struct {
 	// MaxBodyBytes caps request bodies (default 64 MiB — inline datasets
 	// can be large).
 	MaxBodyBytes int64
+	// MaxUploadBytes caps POST /v1/datasets uploads (default 4 GiB — the
+	// upload streams to disk and is never resident).
+	MaxUploadBytes int64
 }
 
 func (c Config) withDefaults() Config {
+	if c.DataDir == "" && c.Dir != "" {
+		c.DataDir = filepath.Join(c.Dir, "datasets")
+	}
 	if c.Workers <= 0 {
 		c.Workers = 2
 	}
@@ -43,6 +54,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxBodyBytes <= 0 {
 		c.MaxBodyBytes = 64 << 20
+	}
+	if c.MaxUploadBytes <= 0 {
+		c.MaxUploadBytes = 4 << 30
 	}
 	return c
 }
@@ -53,27 +67,36 @@ func (c Config) withDefaults() Config {
 type Server struct {
 	cfg     Config
 	reg     *Registry
+	store   *store.Store
 	queue   *Queue
 	mux     *http.ServeMux
 	m       *Metrics
 	started time.Time
 }
 
-// New opens the registry at cfg.Dir (recovering any persisted models) and
-// starts the worker pool. Call Close to stop it.
+// New opens the registry at cfg.Dir and the dataset store at cfg.DataDir
+// (recovering persisted models and datasets) and starts the worker pool.
+// Call Close to stop it.
 func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	reg, err := OpenRegistry(cfg.Dir)
 	if err != nil {
 		return nil, err
 	}
+	st, err := store.Open(cfg.DataDir)
+	if err != nil {
+		return nil, err
+	}
 	s := &Server{
 		cfg:     cfg,
 		reg:     reg,
+		store:   st,
 		m:       sharedMetrics(),
 		started: time.Now(),
 	}
+	st.SetObserver(storeObserver{s.m})
 	s.m.ModelsStored.Set(int64(reg.Len()))
+	s.refreshStoreGauges()
 	s.queue = NewQueue(cfg.Workers, cfg.QueueDepth, s.m)
 	s.mux = http.NewServeMux()
 	s.routes()
@@ -86,12 +109,19 @@ func (s *Server) Handler() http.Handler { return s.mux }
 // Registry exposes the model store (used by the CLI and tests).
 func (s *Server) Registry() *Registry { return s.reg }
 
+// Store exposes the dataset store (used by the CLI and tests).
+func (s *Server) Store() *store.Store { return s.store }
+
 // Close cancels all outstanding jobs and waits for the workers to drain.
 func (s *Server) Close() { s.queue.Close() }
 
 func (s *Server) routes() {
 	s.mux.HandleFunc("POST /v1/train", s.handleTrain)
 	s.mux.HandleFunc("POST /v1/tune", s.handleTune)
+	s.mux.HandleFunc("POST /v1/datasets", s.handleDatasetUpload)
+	s.mux.HandleFunc("GET /v1/datasets", s.handleDatasetList)
+	s.mux.HandleFunc("GET /v1/datasets/{id}", s.handleDatasetGet)
+	s.mux.HandleFunc("DELETE /v1/datasets/{id}", s.handleDatasetDelete)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
 	s.mux.HandleFunc("GET /v1/models", s.handleModelList)
@@ -120,7 +150,7 @@ func (t trainTask) Run(ctx context.Context) (TaskResult, error) {
 	if err != nil {
 		return TaskResult{}, err
 	}
-	ds, err := s.buildDataset(req.Dataset)
+	src, err := s.buildSource(req.Dataset)
 	if err != nil {
 		return TaskResult{}, err
 	}
@@ -134,7 +164,7 @@ func (t trainTask) Run(ctx context.Context) (TaskResult, error) {
 		Optimizer:         optimize.Options{MaxIters: req.Options.MaxIters},
 	}
 	start := time.Now()
-	res, err := core.TrainContext(ctx, spec, ds, cfg)
+	res, err := core.TrainSourceContext(ctx, spec, src, cfg)
 	if err != nil {
 		return TaskResult{}, err
 	}
@@ -142,7 +172,7 @@ func (t trainTask) Run(ctx context.Context) (TaskResult, error) {
 	s.m.TrainLatencyMsSum.Add(float64(time.Since(start)) / float64(time.Millisecond))
 	s.m.SampleSizeSum.Add(int64(res.SampleSize))
 	s.m.SampleSizeLast.Set(int64(res.SampleSize))
-	id, err := s.registerModel(spec, res.Theta, ds.Dim, res)
+	id, err := s.registerModel(spec, res.Theta, src.Meta().Dim, res)
 	if err != nil {
 		return TaskResult{}, err
 	}
@@ -166,7 +196,7 @@ func (t tuneTask) Run(ctx context.Context) (TaskResult, error) {
 	if err != nil {
 		return TaskResult{}, err
 	}
-	ds, err := s.buildDataset(req.Dataset)
+	src, err := s.buildSource(req.Dataset)
 	if err != nil {
 		return TaskResult{}, err
 	}
@@ -197,7 +227,7 @@ func (t tuneTask) Run(ctx context.Context) (TaskResult, error) {
 		Seed:    req.Options.Seed,
 	}
 	start := time.Now()
-	res, err := tune.Run(ctx, space, ds, cfg)
+	res, err := tune.RunSource(ctx, space, src, cfg)
 	if err != nil {
 		return TaskResult{}, err
 	}
@@ -206,7 +236,7 @@ func (t tuneTask) Run(ctx context.Context) (TaskResult, error) {
 	s.m.TuneCandidates.Add(int64(res.Evaluated))
 	s.m.TuneCandidatesPruned.Add(int64(res.Pruned))
 	best := res.Best
-	id, err := s.registerModel(best.Spec, best.Theta, ds.Dim, &core.Result{
+	id, err := s.registerModel(best.Spec, best.Theta, src.Meta().Dim, &core.Result{
 		SampleSize:       best.SampleSize,
 		PoolSize:         best.PoolSize,
 		EstimatedEpsilon: best.EstimatedEpsilon,
@@ -248,13 +278,18 @@ func (s *Server) registerModel(spec models.Spec, theta []float64, dim int, res *
 	return id, nil
 }
 
-func (s *Server) buildDataset(ref DatasetRef) (*dataset.Dataset, error) {
+// buildSource resolves a dataset reference to a Source: synthetic and
+// inline data are materialized in memory; a dataset_id resolves to the
+// store handle, which reads rows on demand.
+func (s *Server) buildSource(ref DatasetRef) (dataset.Source, error) {
 	switch {
 	case ref.Synthetic != nil:
 		r := ref.Synthetic
 		return datagen.Generate(r.Name, datagen.Config{Rows: r.Rows, Dim: r.Dim, Seed: r.Seed})
 	case ref.Inline != nil:
 		return ref.Inline.Build()
+	case ref.ID != "":
+		return s.store.Get(ref.ID)
 	default:
 		return nil, errors.New("serve: missing dataset")
 	}
@@ -269,6 +304,9 @@ func (s *Server) handleTrain(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	if !s.checkDatasetRef(w, req.Dataset) {
+		return
+	}
 	s.enqueue(w, trainTask{s: s, req: req})
 }
 
@@ -281,7 +319,25 @@ func (s *Server) handleTune(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	if !s.checkDatasetRef(w, req.Dataset) {
+		return
+	}
 	s.enqueue(w, tuneTask{s: s, req: req})
+}
+
+// checkDatasetRef rejects a dataset_id that is not in the store at submit
+// time, so the client gets a 404 immediately instead of a failed job later.
+// (The id is re-resolved when the job runs; a delete racing the queue fails
+// the job, which is the honest outcome.)
+func (s *Server) checkDatasetRef(w http.ResponseWriter, ref DatasetRef) bool {
+	if ref.ID == "" {
+		return true
+	}
+	if _, err := s.store.Get(ref.ID); err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return false
+	}
+	return true
 }
 
 // enqueue admits a task and writes the 202 acknowledgement (or the 503
@@ -426,6 +482,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, Health{
 		Status:        "ok",
 		Models:        s.reg.Len(),
+		Datasets:      s.store.Len(),
 		Jobs:          s.queue.Len(),
 		Workers:       s.queue.Workers(),
 		UptimeSeconds: time.Since(s.started).Seconds(),

@@ -1,0 +1,265 @@
+package store
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"blinkml/internal/dataset"
+)
+
+// Handle is an open stored dataset: the manifest plus the two data files,
+// read with positional preads so concurrent materializations never contend
+// on a file offset. A Handle is a dataset.Source — core.Env built on one
+// trains out of core, touching only the rows it samples.
+type Handle struct {
+	// ID is the store-assigned dataset id ("d-000001").
+	ID string
+
+	dir  string
+	man  Manifest
+	task dataset.Task
+	rows *os.File
+	idx  *os.File
+	obs  Observer
+
+	rowsRead atomic.Int64
+	matNanos atomic.Int64
+	// maxMaterialize, when > 0, bounds the rows of a single Materialize
+	// call: a guard that turns an accidental full-pool load into a loud
+	// error instead of a memory blow-up.
+	maxMaterialize atomic.Int64
+}
+
+func openHandle(id, dir string, man *Manifest, obs Observer) (*Handle, error) {
+	task, err := man.TaskValue()
+	if err != nil {
+		return nil, err
+	}
+	rows, err := os.Open(filepath.Join(dir, "rows.bin"))
+	if err != nil {
+		return nil, fmt.Errorf("store: open %s: %w", id, err)
+	}
+	idx, err := os.Open(filepath.Join(dir, "index.bin"))
+	if err != nil {
+		rows.Close()
+		return nil, fmt.Errorf("store: open %s: %w", id, err)
+	}
+	h := &Handle{ID: id, dir: dir, man: *man, task: task, rows: rows, idx: idx, obs: obs}
+	if ri, err := rows.Stat(); err == nil && ri.Size() != man.RowBytes {
+		h.close()
+		return nil, fmt.Errorf("store: %s: rows.bin is %d bytes, manifest says %d", id, ri.Size(), man.RowBytes)
+	}
+	if ii, err := idx.Stat(); err == nil && ii.Size() != man.IndexBytes {
+		h.close()
+		return nil, fmt.Errorf("store: %s: index.bin is %d bytes, manifest says %d", id, ii.Size(), man.IndexBytes)
+	}
+	return h, nil
+}
+
+func (h *Handle) close() {
+	h.rows.Close()
+	h.idx.Close()
+}
+
+// Manifest returns a copy of the dataset's manifest.
+func (h *Handle) Manifest() Manifest { return h.man }
+
+// DiskBytes returns the dataset's on-disk footprint (rows + index).
+func (h *Handle) DiskBytes() int64 { return h.man.RowBytes + h.man.IndexBytes }
+
+// Meta implements dataset.Source.
+func (h *Handle) Meta() dataset.Meta {
+	return dataset.Meta{
+		Name:       h.man.Name,
+		Rows:       h.man.Rows,
+		Dim:        h.man.Dim,
+		Task:       h.task,
+		NumClasses: h.man.NumClasses,
+	}
+}
+
+// RowsMaterialized returns the cumulative number of rows this handle has
+// read off disk — the quantity out-of-core training keeps ≪ N. Tests use
+// it to assert the pool was never fully materialized.
+func (h *Handle) RowsMaterialized() int64 { return h.rowsRead.Load() }
+
+// MaterializeNanos returns the cumulative wall time spent materializing.
+func (h *Handle) MaterializeNanos() int64 { return h.matNanos.Load() }
+
+// LimitMaterialize caps the rows of any single Materialize call (0 removes
+// the cap). It is the in-memory row budget: with the cap below the pool
+// size, any code path that tries to load the whole pool fails loudly.
+func (h *Handle) LimitMaterialize(rows int) { h.maxMaterialize.Store(int64(rows)) }
+
+// span returns the [off, end) byte range of row i in rows.bin.
+func (h *Handle) span(i int) (off, end int64, err error) {
+	if i < 0 || i >= h.man.Rows {
+		return 0, 0, fmt.Errorf("store: %s: row %d out of range [0,%d)", h.ID, i, h.man.Rows)
+	}
+	var buf [16]byte
+	if i == h.man.Rows-1 {
+		if _, err := h.idx.ReadAt(buf[:8], int64(i)*8); err != nil {
+			return 0, 0, fmt.Errorf("store: %s: read index: %w", h.ID, err)
+		}
+		return int64(binary.LittleEndian.Uint64(buf[:8])), h.man.RowBytes, nil
+	}
+	if _, err := h.idx.ReadAt(buf[:], int64(i)*8); err != nil {
+		return 0, 0, fmt.Errorf("store: %s: read index: %w", h.ID, err)
+	}
+	return int64(binary.LittleEndian.Uint64(buf[:8])), int64(binary.LittleEndian.Uint64(buf[8:])), nil
+}
+
+// Row reads a single row by index.
+func (h *Handle) Row(i int) (dataset.Row, float64, error) {
+	off, end, err := h.span(i)
+	if err != nil {
+		return nil, 0, err
+	}
+	if end < off || end > h.man.RowBytes {
+		return nil, 0, fmt.Errorf("store: %s: corrupt index entry %d (span %d..%d)", h.ID, i, off, end)
+	}
+	rec := make([]byte, end-off)
+	if _, err := h.rows.ReadAt(rec, off); err != nil {
+		return nil, 0, fmt.Errorf("store: %s: read row %d: %w", h.ID, i, err)
+	}
+	return decodeRow(rec, h.man.Sparse, h.man.Dim)
+}
+
+// Materialize implements dataset.Source: it builds an in-memory dataset of
+// exactly the rows at idx, in idx order, reading them in offset order so a
+// batch turns into a forward sweep over rows.bin rather than random
+// thrashing. Safe for concurrent use.
+func (h *Handle) Materialize(idx []int) (*dataset.Dataset, error) {
+	if max := h.maxMaterialize.Load(); max > 0 && int64(len(idx)) > max {
+		return nil, fmt.Errorf("store: %s: materializing %d rows exceeds the %d-row budget", h.ID, len(idx), max)
+	}
+	start := time.Now()
+	ds := &dataset.Dataset{
+		X:          make([]dataset.Row, len(idx)),
+		Dim:        h.man.Dim,
+		Task:       h.task,
+		NumClasses: h.man.NumClasses,
+		Name:       h.man.Name,
+	}
+	if h.task != dataset.Unsupervised {
+		ds.Y = make([]float64, len(idx))
+	}
+	// Read in offset order (ascending row index), place in idx order.
+	order := make([]int, len(idx))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return idx[order[a]] < idx[order[b]] })
+	for _, pos := range order {
+		row, label, err := h.Row(idx[pos])
+		if err != nil {
+			return nil, err
+		}
+		ds.X[pos] = row
+		if ds.Y != nil {
+			ds.Y[pos] = label
+		}
+	}
+	h.rowsRead.Add(int64(len(idx)))
+	d := time.Since(start)
+	h.matNanos.Add(int64(d))
+	if h.obs != nil {
+		h.obs.Materialized(len(idx), d)
+	}
+	return ds, nil
+}
+
+// Scan streams every row in storage order through fn with one sequential
+// buffered read of rows.bin and one of index.bin — the export path, which
+// never holds more than one row in memory and costs no per-row syscalls.
+// fn returning an error stops the scan.
+func (h *Handle) Scan(fn func(i int, row dataset.Row, label float64) error) error {
+	rows := bufio.NewReaderSize(io.NewSectionReader(h.rows, 0, h.man.RowBytes), 1<<20)
+	idx := bufio.NewReaderSize(io.NewSectionReader(h.idx, 0, h.man.IndexBytes), 1<<16)
+	readOff := func() (int64, error) {
+		var b [8]byte
+		if _, err := io.ReadFull(idx, b[:]); err != nil {
+			return 0, fmt.Errorf("store: %s: read index: %w", h.ID, err)
+		}
+		return int64(binary.LittleEndian.Uint64(b[:])), nil
+	}
+	start, err := readOff()
+	if err != nil {
+		return err
+	}
+	if start != 0 {
+		return fmt.Errorf("store: %s: index entry 0 points at %d, expected 0", h.ID, start)
+	}
+	for i := 0; i < h.man.Rows; i++ {
+		end := h.man.RowBytes
+		if i < h.man.Rows-1 {
+			if end, err = readOff(); err != nil {
+				return err
+			}
+		}
+		if end < start || end > h.man.RowBytes {
+			return fmt.Errorf("store: %s: corrupt index entry %d (span %d..%d)", h.ID, i, start, end)
+		}
+		rec := make([]byte, end-start)
+		if _, err := io.ReadFull(rows, rec); err != nil {
+			return fmt.Errorf("store: %s: read row %d: %w", h.ID, i, err)
+		}
+		start = end
+		row, label, err := decodeRow(rec, h.man.Sparse, h.man.Dim)
+		if err != nil {
+			return err
+		}
+		if err := fn(i, row, label); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Verify re-reads both data files and checks their CRC32 checksums against
+// the manifest. It is a full sequential read — the `blinkml-data inspect
+// -verify` path, not something to run per request.
+func (h *Handle) Verify() error {
+	check := func(name string, f *os.File, size int64, want uint32) error {
+		crc := crc32.NewIEEE()
+		if _, err := io.Copy(crc, io.NewSectionReader(f, 0, size)); err != nil {
+			return fmt.Errorf("store: %s: verify %s: %w", h.ID, name, err)
+		}
+		if got := crc.Sum32(); got != want {
+			return fmt.Errorf("store: %s: %s checksum %08x, manifest says %08x", h.ID, name, got, want)
+		}
+		return nil
+	}
+	if err := check("rows.bin", h.rows, h.man.RowBytes, h.man.RowCRC32); err != nil {
+		return err
+	}
+	return check("index.bin", h.idx, h.man.IndexBytes, h.man.IndexCRC32)
+}
+
+// SamplePrefix materializes the first n rows of the seeded pseudorandom
+// permutation of [0, Rows) — out-of-core sampling with O(1) index memory
+// (see Perm). Samples nest: SamplePrefix(seed, m) is a prefix of
+// SamplePrefix(seed, n) for m ≤ n, the same reuse contract core.Env's
+// SharedSample provides in-core. n is clamped to the dataset size.
+func (h *Handle) SamplePrefix(seed int64, n int) (*dataset.Dataset, error) {
+	if n > h.man.Rows {
+		n = h.man.Rows
+	}
+	if n < 1 {
+		n = 1
+	}
+	p := NewPerm(h.man.Rows, seed)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = p.Index(i)
+	}
+	return h.Materialize(idx)
+}

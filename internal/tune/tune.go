@@ -124,8 +124,20 @@ type Result struct {
 // Run builds a shared environment from ds and searches space. This is what
 // the public blinkml.Tune and the serving layer call.
 func Run(ctx context.Context, space Space, ds *dataset.Dataset, cfg Config) (*Result, error) {
+	return RunSource(ctx, space, ds, cfg)
+}
+
+// RunSource is Run over any dataset.Source — with a disk-backed store
+// handle the whole search (every rung subsample and every contract
+// training) materializes only the rows it touches, so tuning against an
+// N-row stored dataset never loads the pool.
+func RunSource(ctx context.Context, space Space, src dataset.Source, cfg Config) (*Result, error) {
 	cfg = cfg.withDefaults()
-	return Search(ctx, space, core.NewEnv(ds, cfg.Train), cfg)
+	env, err := core.NewEnvFromSource(src, cfg.Train)
+	if err != nil {
+		return nil, err
+	}
+	return Search(ctx, space, env, cfg)
 }
 
 // Search evaluates space over a prepared environment. All candidates share
@@ -174,7 +186,7 @@ func Search(ctx context.Context, space Space, env *core.Env, cfg Config) (*Resul
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("tune: search cancelled: %w", err)
 	}
-	return assemble(states, env.Pool.Len(), time.Since(start))
+	return assemble(states, env.PoolLen(), time.Since(start))
 }
 
 // candState is the mutable per-candidate record; each candidate is owned by
@@ -214,10 +226,13 @@ func (s *searcher) runHalving(ctx context.Context, states []*candState) error {
 	copy(active, states)
 	n := s.cfg.Train.InitialSampleSize
 	for rung := 0; rung < s.cfg.Rungs && len(active) > 1; rung++ {
-		if n >= s.env.Pool.Len() {
+		if n >= s.env.PoolLen() {
 			break // the "subsample" would be the whole pool; skip straight to the contract stage
 		}
-		sample := s.env.SharedSample(n) // materialize once, outside the pool
+		sample, err := s.env.SharedSample(n) // materialize once, outside the pool
+		if err != nil {
+			return err
+		}
 		if err := forEach(ctx, s.cfg.Workers, len(active), func(i int) {
 			s.trainRung(ctx, active[i], sample, rung)
 		}); err != nil {
@@ -285,19 +300,19 @@ func (s *searcher) trainContract(ctx context.Context, st *candState) {
 // evalSet is where final leaderboard scores come from: the test split when
 // the environment has one, the holdout otherwise.
 func (s *searcher) evalSet() *dataset.Dataset {
-	if s.env.Test != nil && s.env.Test.Len() > 0 {
-		return s.env.Test
+	if s.env.Test() != nil && s.env.Test().Len() > 0 {
+		return s.env.Test()
 	}
-	return s.env.Holdout
+	return s.env.Holdout()
 }
 
 // pruneSet is where halving decisions come from — the holdout, so the test
 // set stays untouched until the final ranking.
 func (s *searcher) pruneSet() *dataset.Dataset {
-	if s.env.Holdout != nil && s.env.Holdout.Len() > 0 {
-		return s.env.Holdout
+	if s.env.Holdout() != nil && s.env.Holdout().Len() > 0 {
+		return s.env.Holdout()
 	}
-	return s.env.Test
+	return s.env.Test()
 }
 
 // evalError is the candidate score: models.GeneralizationError (lower is

@@ -343,10 +343,10 @@ func TestSharedEnvReuse(t *testing.T) {
 	if err != nil {
 		t.Fatalf("search: %v", err)
 	}
-	if res.PoolSize != env.Pool.Len() {
-		t.Fatalf("pool size %d, want %d", res.PoolSize, env.Pool.Len())
+	if res.PoolSize != env.PoolLen() {
+		t.Fatalf("pool size %d, want %d", res.PoolSize, env.PoolLen())
 	}
-	if res.Best.PoolSize != env.Pool.Len() {
-		t.Fatalf("winner pool %d, want %d", res.Best.PoolSize, env.Pool.Len())
+	if res.Best.PoolSize != env.PoolLen() {
+		t.Fatalf("winner pool %d, want %d", res.Best.PoolSize, env.PoolLen())
 	}
 }
