@@ -17,20 +17,59 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
+	"blinkml/internal/compute"
 	"blinkml/internal/experiments"
 )
 
 func main() {
 	var (
-		list    = flag.Bool("list", false, "list available experiments")
-		exp     = flag.String("experiment", "", "experiment id (see -list)")
-		all     = flag.Bool("all", false, "run every experiment")
-		scale   = flag.String("scale", "small", "small | medium | large")
-		seed    = flag.Int64("seed", 1, "random seed")
-		jsonOut = flag.String("json", "", "run the benchmark suite and write the JSON summary to this path (\"-\" = stdout)")
+		list       = flag.Bool("list", false, "list available experiments")
+		exp        = flag.String("experiment", "", "experiment id (see -list)")
+		all        = flag.Bool("all", false, "run every experiment")
+		scale      = flag.String("scale", "small", "small | medium | large")
+		seed       = flag.Int64("seed", 1, "random seed")
+		jsonOut    = flag.String("json", "", "run the benchmark suite and write the JSON summary to this path (\"-\" = stdout)")
+		par        = flag.Int("parallelism", 0, "compute-pool degree for all training kernels (0 = GOMAXPROCS)")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this path")
+		memProfile = flag.String("memprofile", "", "write a heap profile to this path on exit")
 	)
 	flag.Parse()
+	compute.SetParallelism(*par)
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		// fatal() runs stopProfiles before os.Exit, so an error mid-run
+		// still leaves a parseable profile.
+		stopCPUProfile = func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}
+		defer stopProfiles()
+	}
+	if *memProfile != "" {
+		writeMemProfile = func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "blinkml-bench: memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "blinkml-bench: memprofile:", err)
+			}
+		}
+		defer stopProfiles()
+	}
 
 	if *list {
 		for _, r := range experiments.Runners() {
@@ -96,7 +135,27 @@ func writeBench(s experiments.Scale, seed int64, path string) error {
 	return nil
 }
 
+// stopCPUProfile and writeMemProfile are installed when the respective
+// flags are set; stopProfiles runs each at most once, on normal return
+// (via defer) and on fatal() alike.
+var (
+	stopCPUProfile  func()
+	writeMemProfile func()
+)
+
+func stopProfiles() {
+	if stopCPUProfile != nil {
+		stopCPUProfile()
+		stopCPUProfile = nil
+	}
+	if writeMemProfile != nil {
+		writeMemProfile()
+		writeMemProfile = nil
+	}
+}
+
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "blinkml-bench:", err)
+	stopProfiles()
 	os.Exit(1)
 }

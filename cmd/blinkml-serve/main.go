@@ -36,22 +36,23 @@ import (
 
 func main() {
 	var (
-		addr    = flag.String("addr", ":8080", "listen address")
-		dir     = flag.String("dir", "./blinkml-models", "model registry directory")
-		dataDir = flag.String("data-dir", "", "dataset store directory (default: <dir>/datasets)")
-		workers = flag.Int("workers", 2, "training worker pool size")
-		depth   = flag.Int("queue", 64, "max queued training jobs (backpressure beyond this)")
-		upload  = flag.Int64("max-upload", 0, "max dataset upload bytes (0 = default 4 GiB)")
+		addr        = flag.String("addr", ":8080", "listen address")
+		dir         = flag.String("dir", "./blinkml-models", "model registry directory")
+		dataDir     = flag.String("data-dir", "", "dataset store directory (default: <dir>/datasets)")
+		workers     = flag.Int("workers", 2, "training worker pool size")
+		depth       = flag.Int("queue", 64, "max queued training jobs (backpressure beyond this)")
+		upload      = flag.Int64("max-upload", 0, "max dataset upload bytes (0 = default 4 GiB)")
+		parallelism = flag.Int("parallelism", 0, "compute-pool degree shared by all training kernels (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
-	if err := run(*addr, *dir, *dataDir, *workers, *depth, *upload); err != nil {
+	if err := run(*addr, *dir, *dataDir, *workers, *depth, *upload, *parallelism); err != nil {
 		fmt.Fprintln(os.Stderr, "blinkml-serve:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, dir, dataDir string, workers, depth int, maxUpload int64) error {
-	s, err := serve.New(serve.Config{Dir: dir, DataDir: dataDir, Workers: workers, QueueDepth: depth, MaxUploadBytes: maxUpload})
+func run(addr, dir, dataDir string, workers, depth int, maxUpload int64, parallelism int) error {
+	s, err := serve.New(serve.Config{Dir: dir, DataDir: dataDir, Workers: workers, QueueDepth: depth, MaxUploadBytes: maxUpload, Parallelism: parallelism})
 	if err != nil {
 		return err
 	}

@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"blinkml"
+	"blinkml/internal/compute"
 	"blinkml/internal/serve"
 	"blinkml/internal/store"
 	"blinkml/internal/tune"
@@ -50,8 +51,10 @@ func main() {
 		n0         = flag.Int("n0", 1000, "initial sample size per candidate")
 		seed       = flag.Int64("seed", 1, "random seed")
 		jsonOut    = flag.Bool("json", false, "emit the leaderboard as JSON (blinkml-serve wire structs)")
+		par        = flag.Int("parallelism", 0, "compute-pool degree for all training kernels (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
+	compute.SetParallelism(*par)
 
 	// An explicit -grid means "search exactly these": random draws are only
 	// added on top when the user also passed -candidates themselves.

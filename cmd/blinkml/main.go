@@ -20,6 +20,7 @@ import (
 	"strings"
 
 	"blinkml"
+	"blinkml/internal/compute"
 	"blinkml/internal/modelio"
 	"blinkml/internal/serve"
 	"blinkml/internal/store"
@@ -42,8 +43,10 @@ func main() {
 		seed      = flag.Int64("seed", 1, "random seed")
 		compare   = flag.Bool("compare-full", true, "also train the full model and report the realized difference")
 		jsonOut   = flag.Bool("json", false, "emit the result as JSON (blinkml-serve response structs)")
+		par       = flag.Int("parallelism", 0, "compute-pool degree for all training kernels (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
+	compute.SetParallelism(*par)
 	if err := run(*modelName, *dataName, *storeDir, *datasetID, *rows, *dim, *accuracy, *delta, *reg, *classes, *factors, *n0, *seed, *compare, *jsonOut); err != nil {
 		fmt.Fprintln(os.Stderr, "blinkml:", err)
 		os.Exit(1)

@@ -1,0 +1,65 @@
+package compute
+
+// Ordered reductions for per-chunk partial results. Both helpers combine
+// in a fixed pairwise-tree shape that depends only on len(parts), so a
+// chunked accumulation (ForChunks + scratch per chunk + Reduce*) is
+// bit-identical across runs at a fixed parallelism degree. With a single
+// chunk they return the partial untouched — the serial result, unchanged.
+//
+// The tree shape also bounds the reduction's rounding error at O(log c)
+// accumulated ulps instead of the O(c) of a left fold, which keeps
+// chunked sums close to the serial ones as the degree grows.
+
+// ReduceFloats sums per-chunk scalar partials with an ordered pairwise
+// tree: parts is folded as (((p0+p1)+(p2+p3))+…), halving adjacent pairs
+// until one value remains. parts is clobbered.
+func ReduceFloats(parts []float64) float64 {
+	if len(parts) == 0 {
+		return 0
+	}
+	for n := len(parts); n > 1; n = (n + 1) / 2 {
+		for i := 0; i < n/2; i++ {
+			parts[i] = parts[2*i] + parts[2*i+1]
+		}
+		if n%2 == 1 {
+			parts[n/2] = parts[n-1]
+		}
+	}
+	return parts[0]
+}
+
+// ReduceVecs folds per-chunk vector partials element-wise with the same
+// pairwise tree as ReduceFloats and returns the result (aliasing
+// parts[0], which is overwritten; the other partials are clobbered too).
+// All partials must share a length. Large vectors are combined on the
+// pool, chunked over the element index.
+func ReduceVecs(parts [][]float64) []float64 {
+	if len(parts) == 0 {
+		return nil
+	}
+	if len(parts) == 1 {
+		return parts[0]
+	}
+	dim := len(parts[0])
+	for n := len(parts); n > 1; n = (n + 1) / 2 {
+		half := n / 2
+		// Each pairwise add is element-independent, so the element range
+		// is chunked across the pool; the tree shape (and therefore the
+		// result) does not depend on how the additions are scheduled.
+		For(dim, 4096, func(lo, hi int) {
+			for i := 0; i < half; i++ {
+				dst, src := parts[2*i], parts[2*i+1]
+				for j := lo; j < hi; j++ {
+					dst[j] += src[j]
+				}
+			}
+		})
+		for i := 0; i < half; i++ {
+			parts[i] = parts[2*i]
+		}
+		if n%2 == 1 {
+			parts[half] = parts[n-1]
+		}
+	}
+	return parts[0]
+}

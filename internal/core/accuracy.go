@@ -3,6 +3,7 @@ package core
 import (
 	"math"
 
+	"blinkml/internal/compute"
 	"blinkml/internal/dataset"
 	"blinkml/internal/models"
 	"blinkml/internal/stat"
@@ -29,17 +30,25 @@ func EstimateAccuracy(spec models.Spec, theta []float64, fac Factor, alpha float
 	scale := sqrt(alpha)
 	d := len(theta)
 	vs := make([]float64, k)
-	z := make([]float64, fac.Rank())
-	w := make([]float64, d)
-	thetaN := make([]float64, d)
-	for i := 0; i < k; i++ {
-		rng.NormVec(z)
-		fac.Apply(z, w)
-		for j := 0; j < d; j++ {
-			thetaN[j] = theta[j] + scale*w[j]
-		}
-		vs[i] = models.Diff(spec, theta, thetaN, holdout)
+	// Draw all normals first — in the exact order the serial loop consumed
+	// the RNG — then apply the factor and evaluate the holdout diffs in
+	// parallel on the pool (independent per sample).
+	zs := make([][]float64, k)
+	for i := range zs {
+		zs[i] = make([]float64, fac.Rank())
+		rng.NormVec(zs[i])
 	}
+	compute.For(k, 4, func(lo, hi int) {
+		w := make([]float64, d)
+		thetaN := make([]float64, d)
+		for i := lo; i < hi; i++ {
+			fac.Apply(zs[i], w)
+			for j := 0; j < d; j++ {
+				thetaN[j] = theta[j] + scale*w[j]
+			}
+			vs[i] = models.Diff(spec, theta, thetaN, holdout)
+		}
+	})
 	return AccuracyEstimate{
 		Epsilon: stat.ConservativeQuantile(vs, delta),
 		Diffs:   vs,

@@ -153,5 +153,5 @@ func Covariance(f Factor) *linalg.Dense {
 			z[j] = 0
 		}
 	}
-	return linalg.MatMulTransB(l, l)
+	return linalg.Syrk(l) // L·Lᵀ without computing both triangles
 }

@@ -3,6 +3,7 @@ package core
 import (
 	"math"
 
+	"blinkml/internal/compute"
 	"blinkml/internal/dataset"
 	"blinkml/internal/models"
 	"blinkml/internal/stat"
@@ -72,36 +73,44 @@ func NewSearcher(spec models.Spec, theta0 []float64, fac Factor, n0, bigN int, h
 	// takes the generic path, which for it never touches the holdout.
 	useScores := smOK && spec.Task() != dataset.Unsupervised && holdout.Len() > 0
 
-	z := make([]float64, fac.Rank())
+	// Draw every normal vector up front, in the exact order the serial
+	// code consumed the RNG (z₁ᵢ, z₂ᵢ alternating); applying the factor
+	// and scoring the holdout are then independent per pair, so they fan
+	// out on the compute pool without perturbing the random stream.
+	zs := make([][]float64, 2*k)
+	for i := range zs {
+		zs[i] = make([]float64, fac.Rank())
+		rng.NormVec(zs[i])
+	}
 	if useScores {
 		s.scoreModel = sm
 		s.nScores = sm.NumScores(d, holdout.Dim)
 		s.base = holdoutScores(sm, theta0, holdout, s.nScores)
 		s.s1 = make([][]float64, k)
 		s.s2 = make([][]float64, k)
-		w := make([]float64, d)
-		for i := 0; i < k; i++ {
-			rng.NormVec(z)
-			fac.Apply(z, w)
-			s.s1[i] = holdoutScores(sm, w, holdout, s.nScores)
-			rng.NormVec(z)
-			fac.Apply(z, w)
-			s.s2[i] = holdoutScores(sm, w, holdout, s.nScores)
-		}
+		compute.For(k, 1, func(lo, hi int) {
+			w := make([]float64, d)
+			for i := lo; i < hi; i++ {
+				fac.Apply(zs[2*i], w)
+				s.s1[i] = holdoutScores(sm, w, holdout, s.nScores)
+				fac.Apply(zs[2*i+1], w)
+				s.s2[i] = holdoutScores(sm, w, holdout, s.nScores)
+			}
+		})
 		return s
 	}
 	s.w1 = make([][]float64, k)
 	s.w2 = make([][]float64, k)
-	for i := 0; i < k; i++ {
-		rng.NormVec(z)
-		w := make([]float64, d)
-		fac.Apply(z, w)
-		s.w1[i] = w
-		rng.NormVec(z)
-		w = make([]float64, d)
-		fac.Apply(z, w)
-		s.w2[i] = w
-	}
+	compute.For(k, 1, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			w := make([]float64, d)
+			fac.Apply(zs[2*i], w)
+			s.w1[i] = w
+			w = make([]float64, d)
+			fac.Apply(zs[2*i+1], w)
+			s.w2[i] = w
+		}
+	})
 	return s
 }
 
@@ -124,21 +133,28 @@ func (s *Searcher) Probe(n int) Probe {
 	a1 := sqrt(Alpha(s.n0, n))
 	a2 := sqrt(Alpha(n, s.n))
 	vs := make([]float64, s.k)
+	// Each sampled pair's diff is independent; probes fan out over the
+	// pool (vs entries are written by exactly one chunk, so the probe is
+	// deterministic regardless of the degree).
 	if s.scoreModel != nil {
-		for i := 0; i < s.k; i++ {
-			vs[i] = s.scoreDiff(s.s1[i], s.s2[i], a1, a2)
-		}
+		compute.For(s.k, 4, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				vs[i] = s.scoreDiff(s.s1[i], s.s2[i], a1, a2)
+			}
+		})
 	} else {
 		d := len(s.theta0)
-		thetaN := make([]float64, d)
-		thetaNN := make([]float64, d)
-		for i := 0; i < s.k; i++ {
-			for j := 0; j < d; j++ {
-				thetaN[j] = s.theta0[j] + a1*s.w1[i][j]
-				thetaNN[j] = thetaN[j] + a2*s.w2[i][j]
+		compute.For(s.k, 4, func(lo, hi int) {
+			thetaN := make([]float64, d)
+			thetaNN := make([]float64, d)
+			for i := lo; i < hi; i++ {
+				for j := 0; j < d; j++ {
+					thetaN[j] = s.theta0[j] + a1*s.w1[i][j]
+					thetaNN[j] = thetaN[j] + a2*s.w2[i][j]
+				}
+				vs[i] = models.Diff(s.spec, thetaN, thetaNN, s.holdout)
 			}
-			vs[i] = models.Diff(s.spec, thetaN, thetaNN, s.holdout)
-		}
+		})
 	}
 	return Probe{
 		N:         n,

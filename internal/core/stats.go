@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"blinkml/internal/compute"
 	"blinkml/internal/dataset"
 	"blinkml/internal/linalg"
 	"blinkml/internal/models"
@@ -70,11 +71,26 @@ func observedFisher(spec models.Spec, sample *dataset.Dataset, theta []float64, 
 }
 
 // fisherCovarianceSide eigendecomposes J = (1/n)Q_cᵀQ_c directly (d x d).
+// The per-example outer products accumulate in parallel on the compute
+// pool: each chunk of rows fills its own d x d partial and the partials
+// merge in tree order (deterministic at a fixed degree; at degree 1 the
+// single chunk accumulates straight into J, the serial algorithm).
 func fisherCovarianceSide(rows []dataset.Row, mean []float64, d, n int, beta float64, opt Options) (*Statistics, error) {
 	j := linalg.NewDense(d, d)
-	for _, r := range rows {
-		addOuterRow(j, r)
-	}
+	// d x d scratch per chunk: require chunks to be worth their memory.
+	chunks := compute.Chunks(n, 64+d/4)
+	parts := make([][]float64, chunks)
+	compute.ForChunksN(n, chunks, func(chunk, lo, hi int) {
+		acc := j
+		if chunk > 0 {
+			acc = linalg.NewDense(d, d)
+		}
+		for i := lo; i < hi; i++ {
+			addOuterRow(acc, rows[i])
+		}
+		parts[chunk] = acc.Data
+	})
+	compute.ReduceVecs(parts) // folds into parts[0] == j.Data
 	j.ScaleInPlace(1 / float64(n))
 	j.OuterAdd(-1, mean, mean)
 	j.Symmetrize()
@@ -102,21 +118,30 @@ func fisherGramSide(rows []dataset.Row, mean []float64, d, n int, beta float64, 
 	// a_i = q_i·q̄, m̄ = q̄·q̄ give the centering correction
 	// G_ij = q_i·q_j − a_i − a_j + m̄.
 	a := make([]float64, n)
-	for i, r := range rows {
-		a[i] = r.Dot(mean)
-	}
+	compute.For(n, 128, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			a[i] = rows[i].Dot(mean)
+		}
+	})
 	mbar := linalg.Dot(mean, mean)
 	g := linalg.NewDense(n, n)
-	scratch := make([]float64, d)
-	for i := 0; i < n; i++ {
-		linalg.Fill(scratch, 0)
-		rows[i].AddTo(scratch, 1)
-		for jj := i; jj < n; jj++ {
-			v := rows[jj].Dot(scratch) - a[i] - a[jj] + mbar
-			g.Set(i, jj, v)
-			g.Set(jj, i, v)
+	// Only the upper triangle is computed (row i costs n−i dot products),
+	// so the row ranges are cost-balanced across the pool; every element
+	// is written by exactly one range, making the result trivially
+	// deterministic. Each range keeps one densified-row scratch.
+	ranges := compute.TriangleRanges(n)
+	compute.Run(len(ranges), func(t int) {
+		scratch := make([]float64, d)
+		for i := ranges[t].Lo; i < ranges[t].Hi; i++ {
+			linalg.Fill(scratch, 0)
+			rows[i].AddTo(scratch, 1)
+			grow := g.Row(i)
+			for jj := i; jj < n; jj++ {
+				grow[jj] = rows[jj].Dot(scratch) - a[i] - a[jj] + mbar
+			}
 		}
-	}
+	})
+	g.MirrorUpper()
 	eig, err := linalg.NewSymEig(g)
 	if err != nil {
 		return nil, fmt.Errorf("core: ObservedFisher Gram eigendecomposition failed: %w", err)
@@ -243,8 +268,8 @@ func statsFromHessian(h *linalg.Dense, beta float64, method Method, gradsCalls i
 			return nil, fmt.Errorf("core: Hessian is singular: %w", err)
 		}
 	}
-	hinvJ := lu.SolveMat(j)     // H⁻¹J
-	m := lu.SolveMat(hinvJ.T()) // H⁻¹(H⁻¹J)ᵀ = H⁻¹JH⁻¹ (J symmetric)
+	hinvJ := lu.SolveMat(j)      // H⁻¹J
+	m := lu.SolveMatTrans(hinvJ) // H⁻¹(H⁻¹J)ᵀ = H⁻¹JH⁻¹ (J symmetric), no dxd transpose copy
 	m.Symmetrize()
 	eig, err := linalg.NewSymEig(m)
 	if err != nil {

@@ -6,7 +6,14 @@ import (
 	"io"
 	"time"
 
+	"blinkml/internal/compute"
 	"blinkml/internal/core"
+	"blinkml/internal/datagen"
+	"blinkml/internal/dataset"
+	"blinkml/internal/linalg"
+	"blinkml/internal/models"
+	"blinkml/internal/optimize"
+	"blinkml/internal/stat"
 )
 
 // BenchResult is one machine-readable benchmark row: a seeded BlinkML
@@ -36,16 +43,29 @@ type BenchResult struct {
 	UsedInitialModel bool `json:"used_initial_model"`
 }
 
+// KernelResult is one micro-kernel timing row: the hot linalg and
+// statistics kernels the training path is built from, so successive
+// BENCH_*.json files track kernel regressions separately from end-to-end
+// drift.
+type KernelResult struct {
+	Name    string `json:"name"`
+	NsPerOp int64  `json:"ns_per_op"`
+	// Parallelism is the compute-pool degree the kernel ran at.
+	Parallelism int `json:"parallelism"`
+}
+
 // BenchSummary is the envelope written by blinkml-bench -json.
 type BenchSummary struct {
-	Scale   string        `json:"scale"`
-	Seed    int64         `json:"seed"`
-	Results []BenchResult `json:"results"`
+	Scale   string         `json:"scale"`
+	Seed    int64          `json:"seed"`
+	Results []BenchResult  `json:"results"`
+	Kernels []KernelResult `json:"kernels,omitempty"`
 }
 
 // RunBench trains one contract-grade BlinkML model per workload at the
 // given scale (ε = 0.05, the paper's 95% operating point) and reports the
-// timing/sample-size summary. Deterministic in seed.
+// timing/sample-size summary plus micro-kernel timings. Deterministic in
+// seed (up to wall-clock noise in the timings themselves).
 func RunBench(scale Scale, seed int64) (*BenchSummary, error) {
 	sum := &BenchSummary{Scale: scale.String(), Seed: seed}
 	for _, w := range Workloads() {
@@ -55,7 +75,89 @@ func RunBench(scale Scale, seed int64) (*BenchSummary, error) {
 		}
 		sum.Results = append(sum.Results, r)
 	}
+	ks, err := benchKernels(seed)
+	if err != nil {
+		return nil, err
+	}
+	sum.Kernels = ks
 	return sum, nil
+}
+
+// benchKernels times the statistics-phase building blocks: dense matrix
+// products, the symmetric eigensolver, and the two ObservedFisher paths.
+func benchKernels(seed int64) ([]KernelResult, error) {
+	rng := stat.NewRNG(seed)
+	mk := func(r, c int) *linalg.Dense {
+		m := linalg.NewDense(r, c)
+		for i := range m.Data {
+			m.Data[i] = rng.Norm()
+		}
+		return m
+	}
+	a256 := mk(256, 256)
+	b256 := mk(256, 256)
+	sym := mk(256, 256)
+	sym.Symmetrize()
+
+	// Statistics-phase fixtures: a trained initial model on each Gram side.
+	gram := datagen.Criteo(datagen.Config{Rows: 4000, Dim: 800, Seed: seed})
+	gramSample := gram.Subset(dataset.SampleWithoutReplacement(stat.NewRNG(seed+1), gram.Len(), 400))
+	cov := datagen.Higgs(datagen.Config{Rows: 4000, Dim: 40, Seed: seed})
+	covSample := cov.Subset(dataset.SampleWithoutReplacement(stat.NewRNG(seed+2), cov.Len(), 800))
+	spec := models.LogisticRegression{Reg: 0.001}
+	gramFit, err := models.Train(spec, gramSample, nil, optimize.Options{})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: kernel bench fixture: %w", err)
+	}
+	covFit, err := models.Train(spec, covSample, nil, optimize.Options{})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: kernel bench fixture: %w", err)
+	}
+	statOpts := core.Options{Epsilon: 0.05}.WithDefaults()
+
+	kernels := []struct {
+		name string
+		fn   func() error
+	}{
+		{"matmul-256", func() error { linalg.MatMul(a256, b256); return nil }},
+		{"syrk-256", func() error { linalg.Syrk(a256); return nil }},
+		{"symeig-256", func() error { _, err := linalg.NewSymEig(sym); return err }},
+		{"stats-fisher-gram", func() error {
+			_, err := core.ComputeStatistics(spec, gramSample, gramFit.Theta, statOpts)
+			return err
+		}},
+		{"stats-fisher-cov", func() error {
+			_, err := core.ComputeStatistics(spec, covSample, covFit.Theta, statOpts)
+			return err
+		}},
+	}
+	out := make([]KernelResult, 0, len(kernels))
+	for _, k := range kernels {
+		ns, err := timeKernel(k.fn)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: kernel bench %s: %w", k.name, err)
+		}
+		out = append(out, KernelResult{Name: k.name, NsPerOp: ns, Parallelism: compute.Parallelism()})
+	}
+	return out, nil
+}
+
+// timeKernel reports the mean wall time of fn: one warm-up call, then as
+// many timed iterations as fit in ~300 ms (at least 3).
+func timeKernel(fn func() error) (int64, error) {
+	if err := fn(); err != nil {
+		return 0, err
+	}
+	const budget = 300 * time.Millisecond
+	var iters int
+	start := time.Now()
+	for elapsed := time.Duration(0); iters < 3 || elapsed < budget; elapsed = time.Since(start) {
+		if err := fn(); err != nil {
+			return 0, err
+		}
+		iters++
+	}
+	return time.Since(start).Nanoseconds() / int64(iters), nil
 }
 
 func benchWorkload(w Workload, scale Scale, seed int64) (BenchResult, error) {

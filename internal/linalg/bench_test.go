@@ -19,6 +19,31 @@ func BenchmarkMatMul64(b *testing.B) {
 	}
 }
 
+func BenchmarkMatMul256(b *testing.B) {
+	a := benchMatrix(256, 256)
+	c := benchMatrix(256, 256)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		MatMul(a, c)
+	}
+}
+
+func BenchmarkSyrk256(b *testing.B) {
+	a := benchMatrix(256, 256)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Syrk(a)
+	}
+}
+
+func BenchmarkSyrkTTall(b *testing.B) {
+	a := benchMatrix(2048, 128)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		SyrkT(a)
+	}
+}
+
 func BenchmarkSymEig64(b *testing.B) {
 	a := benchMatrix(64, 64)
 	a.Symmetrize()

@@ -3,6 +3,8 @@ package linalg
 import (
 	"fmt"
 	"math"
+
+	"blinkml/internal/compute"
 )
 
 // Dense is a row-major dense matrix. The zero value is an empty matrix;
@@ -87,59 +89,144 @@ func (m *Dense) MulTransVec(x, dst []float64) {
 	}
 }
 
-// MatMul returns A * B as a new matrix.
+// rowGrain returns the minimum number of output rows per parallel chunk
+// so that each chunk carries at least ~32k multiply-adds; it depends only
+// on the per-row cost, keeping the chunk decomposition deterministic.
+func rowGrain(flopsPerRow int) int {
+	if flopsPerRow < 1 {
+		flopsPerRow = 1
+	}
+	g := (1 << 15) / flopsPerRow
+	if g < 1 {
+		g = 1
+	}
+	return g
+}
+
+// MatMul returns A * B as a new matrix. Rows of C are computed in
+// parallel on the compute pool; within a row the k dimension is walked in
+// ascending order (blocked four-wide for cache reuse of C's row), so each
+// output element accumulates its sum in the same order as the naive ikj
+// kernel and the result is bit-identical to it for finite inputs at any
+// parallelism degree.
 func MatMul(a, b *Dense) *Dense {
 	if a.Cols != b.Rows {
 		panic(fmt.Sprintf("linalg: MatMul shape mismatch (%dx%d)*(%dx%d)", a.Rows, a.Cols, b.Rows, b.Cols))
 	}
 	c := NewDense(a.Rows, b.Cols)
-	// ikj loop order: stream rows of B, accumulate into rows of C.
-	for i := 0; i < a.Rows; i++ {
-		arow := a.Row(i)
-		crow := c.Row(i)
-		for k, av := range arow {
-			if av == 0 {
-				continue
-			}
-			Axpy(av, b.Row(k), crow)
+	compute.For(a.Rows, rowGrain(a.Cols*b.Cols), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			mulAddRow(a.Row(i), b, c.Row(i))
 		}
-	}
+	})
 	return c
 }
 
-// MatMulTransA returns Aᵀ * B as a new matrix.
+// mulAddRow computes crow += arow · B, streaming four rows of B per pass
+// over crow. Zero entries of arow skip their B row entirely (the data
+// matrices fed through here are often densified sparse rows).
+func mulAddRow(arow []float64, b *Dense, crow []float64) {
+	k, kk := 0, len(arow)
+	for ; k+4 <= kk; k += 4 {
+		a0, a1, a2, a3 := arow[k], arow[k+1], arow[k+2], arow[k+3]
+		if a0 == 0 && a1 == 0 && a2 == 0 && a3 == 0 {
+			continue
+		}
+		b0, b1, b2, b3 := b.Row(k), b.Row(k+1), b.Row(k+2), b.Row(k+3)
+		if a0 != 0 && a1 != 0 && a2 != 0 && a3 != 0 {
+			for j := range crow {
+				s := crow[j]
+				s += a0 * b0[j]
+				s += a1 * b1[j]
+				s += a2 * b2[j]
+				s += a3 * b3[j]
+				crow[j] = s
+			}
+			continue
+		}
+		// Mixed zeros: fall back to per-k passes so zero coefficients are
+		// skipped exactly as in the dense case above (same add order).
+		Axpy(a0, b0, crow)
+		Axpy(a1, b1, crow)
+		Axpy(a2, b2, crow)
+		Axpy(a3, b3, crow)
+	}
+	for ; k < kk; k++ {
+		if av := arow[k]; av != 0 {
+			Axpy(av, b.Row(k), crow)
+		}
+	}
+}
+
+// MatMulTransA returns Aᵀ * B as a new matrix, operating on A's original
+// row-major layout (no transposed copy is ever materialized). Output rows
+// are computed in parallel; per output element the shared dimension is
+// accumulated in ascending order, matching the naive kernel bit for bit.
 func MatMulTransA(a, b *Dense) *Dense {
 	if a.Rows != b.Rows {
 		panic(fmt.Sprintf("linalg: MatMulTransA shape mismatch (%dx%d)ᵀ*(%dx%d)", a.Rows, a.Cols, b.Rows, b.Cols))
 	}
 	c := NewDense(a.Cols, b.Cols)
-	for k := 0; k < a.Rows; k++ {
-		arow := a.Row(k)
-		brow := b.Row(k)
-		for i, av := range arow {
-			if av == 0 {
-				continue
+	compute.For(a.Cols, rowGrain(a.Rows*b.Cols), func(lo, hi int) {
+		// Tile the output rows so the C tile stays cache-resident while B
+		// streams past it once per tile.
+		const tile = 16
+		for tlo := lo; tlo < hi; tlo += tile {
+			thi := tlo + tile
+			if thi > hi {
+				thi = hi
 			}
-			Axpy(av, brow, c.Row(i))
+			for k := 0; k < a.Rows; k++ {
+				arow := a.Row(k)
+				brow := b.Row(k)
+				for i := tlo; i < thi; i++ {
+					if av := arow[i]; av != 0 {
+						Axpy(av, brow, c.Row(i))
+					}
+				}
+			}
 		}
-	}
+	})
 	return c
 }
 
-// MatMulTransB returns A * Bᵀ as a new matrix.
+// MatMulTransB returns A * Bᵀ as a new matrix, operating on B's original
+// row-major layout (each output element is a dot product of two
+// contiguous rows — no transposed copy). Output rows are computed in
+// parallel, four dot products at a time so the shared row of A is loaded
+// once per four columns; every dot product accumulates in the same order
+// as Dot, so results are bit-identical to the naive kernel.
 func MatMulTransB(a, b *Dense) *Dense {
 	if a.Cols != b.Cols {
 		panic(fmt.Sprintf("linalg: MatMulTransB shape mismatch (%dx%d)*(%dx%d)ᵀ", a.Rows, a.Cols, b.Rows, b.Cols))
 	}
 	c := NewDense(a.Rows, b.Rows)
-	for i := 0; i < a.Rows; i++ {
-		arow := a.Row(i)
-		crow := c.Row(i)
-		for j := 0; j < b.Rows; j++ {
-			crow[j] = Dot(arow, b.Row(j))
+	compute.For(a.Rows, rowGrain(b.Rows*b.Cols), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			dotRows(a.Row(i), b, 0, b.Rows, c.Row(i))
 		}
-	}
+	})
 	return c
+}
+
+// dotRows fills crow[j] = arow · b.Row(j) for j in [jlo, jhi), four rows
+// of B at a time (four independent accumulator chains per pass).
+func dotRows(arow []float64, b *Dense, jlo, jhi int, crow []float64) {
+	j := jlo
+	for ; j+4 <= jhi; j += 4 {
+		b0, b1, b2, b3 := b.Row(j), b.Row(j+1), b.Row(j+2), b.Row(j+3)
+		var s0, s1, s2, s3 float64
+		for k, av := range arow {
+			s0 += av * b0[k]
+			s1 += av * b1[k]
+			s2 += av * b2[k]
+			s3 += av * b3[k]
+		}
+		crow[j], crow[j+1], crow[j+2], crow[j+3] = s0, s1, s2, s3
+	}
+	for ; j < jhi; j++ {
+		crow[j] = Dot(arow, b.Row(j))
+	}
 }
 
 // AddScaled computes m += a*other, in place.

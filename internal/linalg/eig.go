@@ -4,6 +4,8 @@ import (
 	"errors"
 	"math"
 	"sort"
+
+	"blinkml/internal/compute"
 )
 
 // SymEig holds the eigendecomposition of a symmetric matrix:
@@ -18,6 +20,12 @@ type SymEig struct {
 // Householder tridiagonalization followed by the implicit-shift QL
 // iteration (the classical tred2/tql2 pair). Only the symmetric part of a
 // is used. The input is not modified.
+//
+// The O(n³) inner loops — the Householder similarity updates and the
+// accumulated Givens rotations — run chunked on the compute pool. Chunk
+// decompositions depend only on the problem size and the configured
+// parallelism degree, so results are bit-identical across runs at a fixed
+// degree (and identical to the serial algorithm at degree 1).
 func NewSymEig(a *Dense) (*SymEig, error) {
 	if a.Rows != a.Cols {
 		return nil, errors.New("linalg: SymEig of non-square matrix")
@@ -54,6 +62,17 @@ func NewSymEig(a *Dense) (*SymEig, error) {
 		}
 	}
 	return &SymEig{Values: values, Vectors: vectors}, nil
+}
+
+// tredGrain is the minimum number of length-~i rows per chunk in tred2's
+// O(i²) inner loops: small steps stay serial, large ones split so each
+// chunk carries ~64k multiply-adds.
+func tredGrain(i int) int {
+	g := (1 << 16) / (i + 1)
+	if g < 16 {
+		g = 16
+	}
+	return g
 }
 
 // tred2 reduces the symmetric matrix stored in v to tridiagonal form using
@@ -96,22 +115,15 @@ func tred2(v *Dense, d, e []float64) {
 			}
 			// Apply the similarity transformation: e = V·d over the active
 			// lower triangle, walked row-by-row so every inner loop is
-			// contiguous (the strided column order of the textbook routine
-			// dominates the n³ cost otherwise).
+			// contiguous. The row loop is a reduction into e, chunked over
+			// the pool with per-chunk partials and an ordered tree merge;
+			// a single chunk accumulates straight into e, preserving the
+			// serial algorithm's exact rounding.
 			for j := 0; j < i; j++ {
 				v.Set(j, i, d[j])
 				e[j] += v.At(j, j) * d[j]
 			}
-			for k := 1; k <= i-1; k++ {
-				row := v.Row(k)[:k]
-				dk := d[k]
-				var acc float64
-				for j, vkj := range row {
-					e[j] += vkj * dk
-					acc += vkj * d[j]
-				}
-				e[k] += acc
-			}
+			simTransform(v, d, e, i)
 			f = 0
 			for j := 0; j < i; j++ {
 				e[j] /= h
@@ -121,13 +133,17 @@ func tred2(v *Dense, d, e []float64) {
 			for j := 0; j < i; j++ {
 				e[j] -= hh * d[j]
 			}
-			// Rank-two update of the active lower triangle, row-contiguous.
-			for k := 0; k <= i-1; k++ {
-				row := v.Row(k)[:k+1]
-				ek, dk := e[k], d[k]
-				for j := range row {
-					row[j] -= d[j]*ek + e[j]*dk
-				}
+			// Rank-two update of the active lower triangle: rows are
+			// independent, so they chunk across the pool with no change to
+			// per-row arithmetic. Small steps skip the pool entirely — the
+			// serial call is exactly what the single chunk would run, and
+			// skipping it avoids a closure allocation per Householder step.
+			if compute.Chunks(i, tredGrain(i)) <= 1 {
+				rankTwoUpdate(v, d, e, 0, i)
+			} else {
+				compute.For(i, tredGrain(i), func(lo, hi int) {
+					rankTwoUpdate(v, d, e, lo, hi)
+				})
 			}
 			for j := 0; j < i; j++ {
 				d[j] = v.At(i-1, j)
@@ -146,13 +162,15 @@ func tred2(v *Dense, d, e []float64) {
 				d[k] = v.At(k, i+1) / h
 			}
 			// V -= d·(uᵀV) as two row-contiguous passes: w = Σ_k u_k·V[k,:]
-			// with u_k = V[k, i+1], then V[k,:] -= d[k]·w.
-			w := make([]float64, i+1)
-			for k := 0; k <= i; k++ {
-				Axpy(v.At(k, i+1), v.Row(k)[:i+1], w)
-			}
-			for k := 0; k <= i; k++ {
-				Axpy(-d[k], w, v.Row(k)[:i+1])
+			// with u_k = V[k, i+1] (a chunked reduction), then the
+			// independent per-row updates V[k,:] -= d[k]·w.
+			w := accumulateW(v, i)
+			if compute.Chunks(i+1, tredGrain(i)) <= 1 {
+				applyW(v, d, w, i, 0, i+1)
+			} else {
+				compute.For(i+1, tredGrain(i), func(lo, hi int) {
+					applyW(v, d, w, i, lo, hi)
+				})
 			}
 		}
 		for k := 0; k <= i; k++ {
@@ -167,10 +185,127 @@ func tred2(v *Dense, d, e []float64) {
 	e[0] = 0
 }
 
+// rankTwoUpdate applies tred2's rank-two update to rows [lo, hi) of the
+// active lower triangle: V[k, :k+1] -= d·e[k] + e·d[k].
+func rankTwoUpdate(v *Dense, d, e []float64, lo, hi int) {
+	for k := lo; k < hi; k++ {
+		row := v.Row(k)[:k+1]
+		ek, dk := e[k], d[k]
+		for j := range row {
+			row[j] -= d[j]*ek + e[j]*dk
+		}
+	}
+}
+
+// applyW applies the accumulated transformation V[k, :i+1] -= d[k]·w to
+// rows [lo, hi).
+func applyW(v *Dense, d, w []float64, i, lo, hi int) {
+	for k := lo; k < hi; k++ {
+		Axpy(-d[k], w, v.Row(k)[:i+1])
+	}
+}
+
+// simTransform runs tred2's similarity-transform reduction
+// (e[j] += V[k][j]·d[k] for j < k, e[k] += V[k,:k]·d[:k]) over k in
+// [1, i), chunked with per-chunk partials merged in tree order.
+func simTransform(v *Dense, d, e []float64, i int) {
+	chunks := compute.Chunks(i-1, tredGrain(i))
+	if chunks <= 1 {
+		for k := 1; k <= i-1; k++ {
+			row := v.Row(k)[:k]
+			dk := d[k]
+			var acc float64
+			for j, vkj := range row {
+				e[j] += vkj * dk
+				acc += vkj * d[j]
+			}
+			e[k] += acc
+		}
+		return
+	}
+	parts := make([][]float64, chunks)
+	compute.ForChunksN(i-1, chunks, func(chunk, lo, hi int) {
+		part := make([]float64, i)
+		for k := lo + 1; k <= hi; k++ {
+			row := v.Row(k)[:k]
+			dk := d[k]
+			var acc float64
+			for j, vkj := range row {
+				part[j] += vkj * dk
+				acc += vkj * d[j]
+			}
+			part[k] += acc
+		}
+		parts[chunk] = part
+	})
+	Axpy(1, compute.ReduceVecs(parts), e[:i])
+}
+
+// accumulateW computes w[j] = Σ_k V[k, i+1]·V[k, j] over k, j in [0, i],
+// as a chunked reduction (serial accumulation below the grain).
+func accumulateW(v *Dense, i int) []float64 {
+	chunks := compute.Chunks(i+1, tredGrain(i))
+	if chunks <= 1 {
+		w := make([]float64, i+1)
+		for k := 0; k <= i; k++ {
+			Axpy(v.At(k, i+1), v.Row(k)[:i+1], w)
+		}
+		return w
+	}
+	parts := make([][]float64, chunks)
+	compute.ForChunksN(i+1, chunks, func(chunk, lo, hi int) {
+		part := make([]float64, i+1)
+		for k := lo; k < hi; k++ {
+			Axpy(v.At(k, i+1), v.Row(k)[:i+1], part)
+		}
+		parts[chunk] = part
+	})
+	return compute.ReduceVecs(parts)
+}
+
+// applyGivens applies the recorded rotation sweep to vt: rotation r acts
+// on rows top−r and top−r+1 with coefficients (cs[r], sn[r]). Rotations
+// are column-local, so the column range is chunked across the pool; each
+// column sees the rotations in the original order, making the result
+// bit-identical to the serial sweep at any parallelism degree.
+func applyGivens(vt *Dense, top int, cs, sn []float64) {
+	nrot := len(cs)
+	if nrot == 0 {
+		return
+	}
+	grain := (1 << 15) / (3 * nrot)
+	if grain < 32 {
+		grain = 32
+	}
+	if compute.Chunks(vt.Cols, grain) <= 1 {
+		givensSweep(vt, top, cs, sn, 0, vt.Cols)
+		return
+	}
+	compute.For(vt.Cols, grain, func(klo, khi int) {
+		givensSweep(vt, top, cs, sn, klo, khi)
+	})
+}
+
+// givensSweep applies the rotation sweep to columns [klo, khi) of vt.
+func givensSweep(vt *Dense, top int, cs, sn []float64, klo, khi int) {
+	for r := range cs {
+		c, s := cs[r], sn[r]
+		ri := vt.Row(top - r)[klo:khi]
+		ri1 := vt.Row(top - r + 1)[klo:khi][:len(ri)] // bounds-check hint
+		for k, rik := range ri {
+			h := ri1[k]
+			ri1[k] = s*rik + c*h
+			ri[k] = c*rik - s*h
+		}
+	}
+}
+
 // tql2 diagonalizes the symmetric tridiagonal matrix (d, e) with the
 // implicit-shift QL method, accumulating eigenvectors into the TRANSPOSED
 // matrix vt (row j of vt ends up holding eigenvector j, so every rotation
-// works on contiguous memory). Follows the EISPACK tql2 routine.
+// works on contiguous memory). Follows the EISPACK tql2 routine; the
+// rotation coefficients of each sweep are recorded first and then applied
+// in one batched, pool-parallel pass (see applyGivens).
 func tql2(vt *Dense, d, e []float64) error {
 	n := vt.Rows
 	for i := 1; i < n; i++ {
@@ -178,6 +313,8 @@ func tql2(vt *Dense, d, e []float64) error {
 	}
 	e[n-1] = 0
 
+	cs := make([]float64, n)
+	sn := make([]float64, n)
 	f, tst1 := 0.0, 0.0
 	eps := math.Pow(2, -52)
 	for l := 0; l < n; l++ {
@@ -209,11 +346,13 @@ func tql2(vt *Dense, d, e []float64) error {
 					d[i] -= h
 				}
 				f += h
-				// Implicit QL sweep.
+				// Implicit QL sweep: run the scalar recurrence, recording
+				// the Givens coefficients.
 				p = d[m]
 				c, c2, c3 := 1.0, 1.0, 1.0
 				el1 := e[l+1]
 				s, s2 := 0.0, 0.0
+				nrot := 0
 				for i := m - 1; i >= l; i-- {
 					c3 = c2
 					c2 = c
@@ -226,16 +365,10 @@ func tql2(vt *Dense, d, e []float64) error {
 					c = p / r
 					p = c*d[i] - s*g
 					d[i+1] = h + s*(c*g+s*d[i])
-					// Accumulate eigenvectors: a Givens rotation of two
-					// contiguous rows of the transposed matrix.
-					ri := vt.Row(i)
-					ri1 := vt.Row(i + 1)
-					for k := 0; k < n; k++ {
-						h = ri1[k]
-						ri1[k] = s*ri[k] + c*h
-						ri[k] = c*ri[k] - s*h
-					}
+					cs[nrot], sn[nrot] = c, s
+					nrot++
 				}
+				applyGivens(vt, m-1, cs[:nrot], sn[:nrot])
 				p = -s * s2 * c3 * el1 * e[l] / dl1
 				e[l] = s * p
 				d[l] = c * p

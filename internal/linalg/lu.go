@@ -3,6 +3,8 @@ package linalg
 import (
 	"errors"
 	"math"
+
+	"blinkml/internal/compute"
 )
 
 // ErrSingular is returned when a factorization encounters an (effectively)
@@ -83,24 +85,49 @@ func (f *LU) Solve(b, dst []float64) {
 	copy(dst, x)
 }
 
-// SolveMat solves A*X = B column by column and returns X.
+// SolveMat solves A*X = B column by column and returns X. Columns are
+// independent triangular solves, so they run in parallel on the compute
+// pool.
 func (f *LU) SolveMat(b *Dense) *Dense {
 	n := f.lu.Rows
 	if b.Rows != n {
 		panic("linalg: LU.SolveMat dimension mismatch")
 	}
 	x := NewDense(n, b.Cols)
-	col := make([]float64, n)
-	sol := make([]float64, n)
-	for j := 0; j < b.Cols; j++ {
-		for i := 0; i < n; i++ {
-			col[i] = b.At(i, j)
+	compute.For(b.Cols, rowGrain(n*n), func(jlo, jhi int) {
+		col := make([]float64, n)
+		sol := make([]float64, n)
+		for j := jlo; j < jhi; j++ {
+			for i := 0; i < n; i++ {
+				col[i] = b.At(i, j)
+			}
+			f.Solve(col, sol)
+			for i := 0; i < n; i++ {
+				x.Set(i, j, sol[i])
+			}
 		}
-		f.Solve(col, sol)
-		for i := 0; i < n; i++ {
-			x.Set(i, j, sol[i])
-		}
+	})
+	return x
+}
+
+// SolveMatTrans solves A*X = Bᵀ and returns X, reading B's rows directly
+// as right-hand sides — the transpose is never materialized, which keeps
+// the H⁻¹JH⁻¹ factorization path free of d x d copies.
+func (f *LU) SolveMatTrans(b *Dense) *Dense {
+	n := f.lu.Rows
+	if b.Cols != n {
+		panic("linalg: LU.SolveMatTrans dimension mismatch")
 	}
+	x := NewDense(n, b.Rows)
+	compute.For(b.Rows, rowGrain(n*n), func(jlo, jhi int) {
+		sol := make([]float64, n)
+		for j := jlo; j < jhi; j++ {
+			f.Solve(b.Row(j), sol)
+			for i := 0; i < n; i++ {
+				x.Set(i, j, sol[i])
+			}
+		}
+	})
 	return x
 }
 

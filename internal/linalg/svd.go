@@ -40,9 +40,9 @@ func NewThinSVD(a *Dense, relTol float64) (*ThinSVD, error) {
 func svdViaGram(a *Dense, relTol float64, transposed bool) (*ThinSVD, error) {
 	var gram *Dense
 	if transposed {
-		gram = MatMulTransB(a, a) // A*Aᵀ, Rows x Rows
+		gram = Syrk(a) // A*Aᵀ, Rows x Rows
 	} else {
-		gram = MatMulTransA(a, a) // Aᵀ*A, Cols x Cols
+		gram = SyrkT(a) // Aᵀ*A, Cols x Cols
 	}
 	eig, err := NewSymEig(gram)
 	if err != nil {

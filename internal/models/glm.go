@@ -3,6 +3,7 @@ package models
 import (
 	"math"
 
+	"blinkml/internal/compute"
 	"blinkml/internal/dataset"
 	"blinkml/internal/linalg"
 )
@@ -33,23 +34,42 @@ func scaledRow(x dataset.Row, c float64) dataset.Row {
 
 // glmHessian accumulates H = (1/n) Σ wᵢ xᵢxᵢᵀ + βI for per-example weights
 // w produced by weight (the GLM closed-form Hessian shared by linear,
-// logistic, and Poisson regression).
+// logistic, and Poisson regression). The example range is chunked over
+// the compute pool into per-chunk d x d partials merged in tree order:
+// deterministic at a fixed parallelism degree, and the exact serial sums
+// at degree 1 (where the output matrix itself is the single chunk's
+// accumulator). Both triangles are accumulated on purpose — the rank-one
+// updates round asymmetrically (fl(w·xₐ)·x_b vs fl(w·x_b)·xₐ), exactly
+// as the serial algorithm does.
 func glmHessian(ds *dataset.Dataset, theta []float64, beta float64, weight func(z, y float64) float64) *linalg.Dense {
 	d := ds.Dim
+	n := ds.Len()
 	h := linalg.NewDense(d, d)
-	buf := make([]float64, d)
-	for i := 0; i < ds.Len(); i++ {
-		x := ds.X[i]
-		z := x.Dot(theta)
-		w := weight(z, label(ds, i))
-		if w == 0 {
-			continue
+	// The per-chunk scratch is a d x d matrix, so cap the fan-out harder
+	// than the usual example grain: each chunk must amortize its scratch.
+	chunks := compute.Chunks(n, 256+d)
+	parts := make([][]float64, chunks)
+	compute.ForChunksN(n, chunks, func(chunk, lo, hi int) {
+		acc := h
+		if chunk > 0 {
+			acc = linalg.NewDense(d, d)
 		}
-		linalg.Fill(buf, 0)
-		x.AddTo(buf, 1)
-		h.OuterAdd(w, buf, buf)
-	}
-	h.ScaleInPlace(1 / float64(ds.Len()))
+		buf := make([]float64, d)
+		for i := lo; i < hi; i++ {
+			x := ds.X[i]
+			z := x.Dot(theta)
+			w := weight(z, label(ds, i))
+			if w == 0 {
+				continue
+			}
+			linalg.Fill(buf, 0)
+			x.AddTo(buf, 1)
+			acc.OuterAdd(w, buf, buf)
+		}
+		parts[chunk] = acc.Data
+	})
+	compute.ReduceVecs(parts) // folds into parts[0] == h.Data
+	h.ScaleInPlace(1 / float64(n))
 	h.AddDiag(beta)
 	return h
 }

@@ -5,15 +5,19 @@ import (
 	"math/rand"
 	"testing"
 
+	"blinkml/internal/compute"
 	"blinkml/internal/dataset"
 	"blinkml/internal/optimize"
 )
 
-// The goroutine-parallel objective path (rows >= parallelThreshold) must
-// produce exactly the same loss/gradient as the serial path.
+// The pool-parallel objective path (several chunks at degree > 1) must
+// produce the same loss/gradient as the serial path to within rounding.
 func TestParallelObjectiveMatchesSerial(t *testing.T) {
+	prev := compute.Parallelism()
+	compute.SetParallelism(4)
+	defer compute.SetParallelism(prev)
 	rng := rand.New(rand.NewSource(91))
-	n := parallelThreshold + 513 // forces the parallel path
+	n := 4*evalGrain + 513 // forces several chunks
 	ds := tinyBinary(rng, n, 6, false)
 	spec := LogisticRegression{Reg: 0.01}
 	theta := make([]float64, 6)
@@ -67,6 +71,33 @@ func TestParallelObjectiveMatchesSerial(t *testing.T) {
 	for j := range gradPar {
 		if math.Abs(gradPar[j]-gradSer[j]) > 1e-9*(1+math.Abs(gradSer[j])) {
 			t.Fatalf("parallel grad[%d]=%v serial %v", j, gradPar[j], gradSer[j])
+		}
+	}
+}
+
+// At a fixed parallelism degree, repeated training runs must be
+// bit-identical — the chunk decomposition and ordered reductions may not
+// depend on scheduling.
+func TestTrainingDeterministicAtFixedDegree(t *testing.T) {
+	prev := compute.Parallelism()
+	compute.SetParallelism(4)
+	defer compute.SetParallelism(prev)
+	rng := rand.New(rand.NewSource(92))
+	ds := tinyBinary(rng, 3*evalGrain, 8, false)
+	spec := LogisticRegression{Reg: 0.01}
+	first, err := Train(spec, ds, nil, optimize.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for rep := 0; rep < 2; rep++ {
+		again, err := Train(spec, ds, nil, optimize.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := range first.Theta {
+			if first.Theta[j] != again.Theta[j] {
+				t.Fatalf("rep %d: theta[%d] = %v vs %v (not bit-identical)", rep, j, again.Theta[j], first.Theta[j])
+			}
 		}
 	}
 }

@@ -4,7 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
-	"sync"
+	"sync/atomic"
 
 	"blinkml/internal/dataset"
 	"blinkml/internal/linalg"
@@ -24,12 +24,23 @@ import (
 type PPCA struct {
 	Factors int // q, number of factors (default 10, as in the paper §5.1)
 
-	mu      sync.Mutex
+	// sigmaSqBits holds math.Float64bits of the recorded noise variance
+	// (0 means "not yet trained", read as 1.0). Atomic so that the
+	// pool-parallel per-example gradient evaluations never serialize on a
+	// lock.
+	sigmaSqBits atomic.Uint64
+	// cache holds the per-θ quantities shared by every example; an
+	// immutable snapshot swapped atomically (racing recomputations for
+	// the same θ are idempotent).
+	cache atomic.Pointer[ppcaCache]
+}
+
+// ppcaCache is an immutable snapshot of the per-θ PPCA quantities.
+type ppcaCache struct {
+	theta   []float64
+	minv    *linalg.Dense // (σ²I + WᵀW)⁻¹, q x q
+	a       *linalg.Dense // C⁻¹W = W·Minv, d x q
 	sigmaSq float64
-	// cache of the per-θ quantities shared by every example
-	cacheTheta []float64
-	cacheMinv  *linalg.Dense // (σ²I + WᵀW)⁻¹, q x q
-	cacheA     *linalg.Dense // C⁻¹W = W·Minv, d x q
 }
 
 // NewPPCA returns a PPCA spec with q factors.
@@ -57,12 +68,15 @@ func (*PPCA) Beta() float64 { return 0 }
 // SigmaSq returns the noise variance recorded by the last TrainCustom call
 // (1.0 before any training).
 func (m *PPCA) SigmaSq() float64 {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if m.sigmaSq <= 0 {
+	bits := m.sigmaSqBits.Load()
+	if bits == 0 {
 		return 1
 	}
-	return m.sigmaSq
+	s := math.Float64frombits(bits)
+	if s <= 0 {
+		return 1
+	}
+	return s
 }
 
 // RestoreSigmaSq reinstates a previously recorded noise variance on the
@@ -73,10 +87,8 @@ func (m *PPCA) RestoreSigmaSq(s float64) {
 	if s <= 0 {
 		return
 	}
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.sigmaSq = s
-	m.cacheTheta = nil
+	m.sigmaSqBits.Store(math.Float64bits(s))
+	m.cache.Store(nil)
 }
 
 // TrainCustom implements CustomTrainer with the closed-form PPCA MLE: the
@@ -140,10 +152,8 @@ func (m *PPCA) TrainCustom(ds *dataset.Dataset) ([]float64, int, error) {
 			theta[i*q+j] = sign * scale * svd.V.At(i, j)
 		}
 	}
-	m.mu.Lock()
-	m.sigmaSq = sigmaSq
-	m.cacheTheta = nil
-	m.mu.Unlock()
+	m.sigmaSqBits.Store(math.Float64bits(sigmaSq))
+	m.cache.Store(nil)
 	return theta, 1, nil
 }
 
@@ -156,24 +166,26 @@ func (m *PPCA) wMatrix(theta []float64) *linalg.Dense {
 
 // prepared returns (Minv, A=C⁻¹W, σ²) for θ, caching across calls with the
 // same parameter values (PerExampleGradRows calls this once per example).
+// The cache is a lock-free atomic snapshot: concurrent evaluations at the
+// same θ — the pool-parallel objective and gradient-row loops — share one
+// hit without serializing, and a racing recomputation just stores an
+// equivalent snapshot.
 func (m *PPCA) prepared(theta []float64) (*linalg.Dense, *linalg.Dense, float64) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if m.cacheTheta != nil && len(m.cacheTheta) == len(theta) {
+	if c := m.cache.Load(); c != nil && len(c.theta) == len(theta) && c.sigmaSq == m.SigmaSq() {
 		same := true
 		for i, v := range theta {
-			if m.cacheTheta[i] != v {
+			if c.theta[i] != v {
 				same = false
 				break
 			}
 		}
 		if same {
-			return m.cacheMinv, m.cacheA, m.sigmaSqLocked()
+			return c.minv, c.a, c.sigmaSq
 		}
 	}
-	sigmaSq := m.sigmaSqLocked()
+	sigmaSq := m.SigmaSq()
 	w := m.wMatrix(theta)
-	mm := linalg.MatMulTransA(w, w) // WᵀW, q x q
+	mm := linalg.SyrkT(w) // WᵀW, q x q
 	mm.AddDiag(sigmaSq)
 	minv, err := linalg.Inverse(mm)
 	if err != nil {
@@ -184,17 +196,8 @@ func (m *PPCA) prepared(theta []float64) (*linalg.Dense, *linalg.Dense, float64)
 		minv.ScaleInPlace(1 / sigmaSq)
 	}
 	a := linalg.MatMul(w, minv) // C⁻¹W = W·Minv
-	m.cacheTheta = linalg.CopyVec(theta)
-	m.cacheMinv = minv
-	m.cacheA = a
+	m.cache.Store(&ppcaCache{theta: linalg.CopyVec(theta), minv: minv, a: a, sigmaSq: sigmaSq})
 	return minv, a, sigmaSq
-}
-
-func (m *PPCA) sigmaSqLocked() float64 {
-	if m.sigmaSq <= 0 {
-		return 1
-	}
-	return m.sigmaSq
 }
 
 // cInvX computes u = C⁻¹x = (x − W·Minv·(Wᵀx))/σ² via Woodbury.

@@ -16,9 +16,8 @@ package models
 import (
 	"errors"
 	"fmt"
-	"runtime"
-	"sync"
 
+	"blinkml/internal/compute"
 	"blinkml/internal/dataset"
 	"blinkml/internal/linalg"
 	"blinkml/internal/optimize"
@@ -64,9 +63,10 @@ type CustomTrainer interface {
 // whose task does not match the model class.
 var ErrIncompatibleTask = errors.New("models: dataset task does not match model class")
 
-// parallelThreshold is the row count above which objective evaluation fans
-// out across goroutines. Below it the goroutine overhead dominates.
-const parallelThreshold = 4096
+// evalGrain is the minimum number of examples per parallel chunk in
+// objective evaluation; below 2·evalGrain the whole loop stays serial, so
+// small problems never pay pool-dispatch overhead.
+const evalGrain = 1024
 
 // objective adapts a Spec and a dataset to optimize.Problem, evaluating
 // f_n(θ) = (1/n)Σ ℓᵢ + (β/2)‖θ‖² and its gradient.
@@ -84,18 +84,32 @@ func Objective(spec Spec, ds *dataset.Dataset) optimize.Problem {
 // Dim implements optimize.Problem.
 func (o *objective) Dim() int { return o.dim }
 
-// Eval implements optimize.Problem.
+// Eval implements optimize.Problem. Large example sets are accumulated in
+// one fused pass per chunk on the shared compute pool — each chunk
+// gathers loss and gradient into its own scratch buffer, and the partials
+// merge in a fixed tree order, so the result is bit-identical across runs
+// at a fixed parallelism degree (and exactly the serial accumulation at
+// degree 1, where grad itself is the single chunk's scratch).
 func (o *objective) Eval(x, grad []float64) float64 {
 	n := o.ds.Len()
 	linalg.Fill(grad, 0)
-	var loss float64
-	if n >= parallelThreshold {
-		loss = o.evalParallel(x, grad)
-	} else {
-		for i := 0; i < n; i++ {
-			loss += o.spec.ExampleLossGrad(x, o.ds.X[i], label(o.ds, i), grad)
+	chunks := compute.Chunks(n, evalGrain)
+	lossParts := make([]float64, chunks)
+	gradParts := make([][]float64, chunks)
+	compute.ForChunksN(n, chunks, func(chunk, lo, hi int) {
+		g := grad
+		if chunk > 0 {
+			g = make([]float64, o.dim)
 		}
-	}
+		var loss float64
+		for i := lo; i < hi; i++ {
+			loss += o.spec.ExampleLossGrad(x, o.ds.X[i], label(o.ds, i), g)
+		}
+		lossParts[chunk] = loss
+		gradParts[chunk] = g
+	})
+	loss := compute.ReduceFloats(lossParts)
+	compute.ReduceVecs(gradParts) // folds into gradParts[0] == grad
 	inv := 1 / float64(n)
 	loss *= inv
 	linalg.Scale(inv, grad)
@@ -104,50 +118,6 @@ func (o *objective) Eval(x, grad []float64) float64 {
 	if beta > 0 {
 		loss += 0.5 * beta * linalg.Dot(x, x)
 		linalg.Axpy(beta, x, grad)
-	}
-	return loss
-}
-
-func (o *objective) evalParallel(x, grad []float64) float64 {
-	n := o.ds.Len()
-	workers := runtime.GOMAXPROCS(0)
-	if workers > 8 {
-		workers = 8
-	}
-	chunk := (n + workers - 1) / workers
-	type partial struct {
-		loss float64
-		grad []float64
-	}
-	parts := make([]partial, workers)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		lo, hi := w*chunk, (w+1)*chunk
-		if hi > n {
-			hi = n
-		}
-		if lo >= hi {
-			continue
-		}
-		wg.Add(1)
-		go func(w, lo, hi int) {
-			defer wg.Done()
-			g := make([]float64, o.dim)
-			var loss float64
-			for i := lo; i < hi; i++ {
-				loss += o.spec.ExampleLossGrad(x, o.ds.X[i], label(o.ds, i), g)
-			}
-			parts[w] = partial{loss: loss, grad: g}
-		}(w, lo, hi)
-	}
-	wg.Wait()
-	var loss float64
-	for _, p := range parts {
-		if p.grad == nil {
-			continue
-		}
-		loss += p.loss
-		linalg.Add(grad, grad, p.grad)
 	}
 	return loss
 }
@@ -259,11 +229,14 @@ func BatchGradient(spec Spec, ds *dataset.Dataset, theta []float64) []float64 {
 
 // PerExampleGradRows materializes qᵢ(θ) for every row of ds. The rows stay
 // sparse for sparse inputs, which keeps the ObservedFisher path at O(nnz)
-// memory — the paper's O(d) claim (§3.4).
+// memory — the paper's O(d) claim (§3.4). Rows are independent, so they
+// are computed in parallel on the shared compute pool.
 func PerExampleGradRows(spec Spec, ds *dataset.Dataset, theta []float64) []dataset.Row {
 	rows := make([]dataset.Row, ds.Len())
-	for i := range rows {
-		rows[i] = spec.ExampleGradRow(theta, ds.X[i], label(ds, i))
-	}
+	compute.For(ds.Len(), 64, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			rows[i] = spec.ExampleGradRow(theta, ds.X[i], label(ds, i))
+		}
+	})
 	return rows
 }

@@ -332,6 +332,9 @@ type Health struct {
 	Datasets int    `json:"datasets"`
 	Jobs     int    `json:"jobs"`
 	Workers  int    `json:"workers"`
+	// Parallelism is the process-wide compute-pool degree shared by every
+	// training kernel (see Config.Parallelism).
+	Parallelism int `json:"parallelism"`
 	// UptimeSeconds is time since the server was constructed.
 	UptimeSeconds float64 `json:"uptime_seconds"`
 }

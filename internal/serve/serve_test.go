@@ -156,7 +156,7 @@ func TestServeFullLoop(t *testing.T) {
 	}
 
 	var h Health
-	if code := doJSON(t, client, http.MethodGet, ts.URL+"/healthz", nil, &h); code != http.StatusOK || h.Status != "ok" || h.Models < 1 {
+	if code := doJSON(t, client, http.MethodGet, ts.URL+"/healthz", nil, &h); code != http.StatusOK || h.Status != "ok" || h.Models < 1 || h.Parallelism < 1 {
 		t.Fatalf("healthz %+v", h)
 	}
 	resp, err := client.Get(ts.URL + "/metrics")

@@ -8,10 +8,9 @@ import (
 	"fmt"
 	"net/http"
 	"path/filepath"
-	"runtime"
-	"sync"
 	"time"
 
+	"blinkml/internal/compute"
 	"blinkml/internal/core"
 	"blinkml/internal/datagen"
 	"blinkml/internal/dataset"
@@ -40,6 +39,15 @@ type Config struct {
 	// MaxUploadBytes caps POST /v1/datasets uploads (default 4 GiB — the
 	// upload streams to disk and is never resident).
 	MaxUploadBytes int64
+	// Parallelism sets the process-wide compute-pool degree: the budget
+	// every training kernel (matrix products, gradient accumulation,
+	// statistics, probes, batched prediction) draws from, across all
+	// concurrent jobs. 0 leaves the pool at its current setting (default
+	// GOMAXPROCS). Job-level concurrency (Workers) and kernel-level
+	// concurrency share this one budget: the pool hands out at most
+	// Parallelism−1 helper goroutines process-wide, so W concurrent jobs
+	// never fan out into W×Parallelism goroutines.
+	Parallelism int
 }
 
 func (c Config) withDefaults() Config {
@@ -79,6 +87,9 @@ type Server struct {
 // Call Close to stop it.
 func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
+	if cfg.Parallelism > 0 {
+		compute.SetParallelism(cfg.Parallelism)
+	}
 	reg, err := OpenRegistry(cfg.Dir)
 	if err != nil {
 		return nil, err
@@ -419,9 +430,10 @@ func (s *Server) handleModelDelete(w http.ResponseWriter, r *http.Request) {
 	w.WriteHeader(http.StatusNoContent)
 }
 
-// predictParallelThreshold is the batch size above which prediction fans
-// out across goroutines; below it the scatter/gather overhead dominates.
-const predictParallelThreshold = 512
+// predictGrain is the minimum number of rows per parallel prediction
+// chunk; below 2×predictGrain the batch stays serial, where the
+// scatter/gather overhead would dominate.
+const predictGrain = 256
 
 func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
@@ -444,37 +456,17 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, PredictResponse{ModelID: id, Predictions: preds})
 }
 
-// predictBatch evaluates the model on every row, fanning out over
-// goroutines for large batches (predictions are independent and specs are
-// safe for concurrent Predict).
+// predictBatch evaluates the model on every row through the shared
+// compute pool (predictions are independent and specs are safe for
+// concurrent Predict), so large batches parallelize without adding
+// goroutines beyond the process-wide budget.
 func predictBatch(spec models.Spec, theta []float64, rows [][]float64) []float64 {
 	preds := make([]float64, len(rows))
-	if len(rows) < predictParallelThreshold {
-		for i, row := range rows {
-			preds[i] = spec.Predict(theta, dataset.DenseRow(row))
+	compute.For(len(rows), predictGrain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			preds[i] = spec.Predict(theta, dataset.DenseRow(rows[i]))
 		}
-		return preds
-	}
-	workers := runtime.GOMAXPROCS(0)
-	if workers > 8 {
-		workers = 8
-	}
-	chunk := (len(rows) + workers - 1) / workers
-	var wg sync.WaitGroup
-	for lo := 0; lo < len(rows); lo += chunk {
-		hi := lo + chunk
-		if hi > len(rows) {
-			hi = len(rows)
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			for i := lo; i < hi; i++ {
-				preds[i] = spec.Predict(theta, dataset.DenseRow(rows[i]))
-			}
-		}(lo, hi)
-	}
-	wg.Wait()
+	})
 	return preds
 }
 
@@ -485,6 +477,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Datasets:      s.store.Len(),
 		Jobs:          s.queue.Len(),
 		Workers:       s.queue.Workers(),
+		Parallelism:   compute.Parallelism(),
 		UptimeSeconds: time.Since(s.started).Seconds(),
 	})
 }

@@ -5,11 +5,11 @@ import (
 	"errors"
 	"fmt"
 	"math"
-	"runtime"
 	"sort"
 	"sync"
 	"time"
 
+	"blinkml/internal/compute"
 	"blinkml/internal/core"
 	"blinkml/internal/dataset"
 	"blinkml/internal/models"
@@ -26,7 +26,9 @@ type Config struct {
 	// hyperparameters, not the sampling noise.
 	Train core.Options
 	// Workers bounds concurrent candidate trainings (default
-	// min(GOMAXPROCS, 8)).
+	// min(compute.Parallelism(), 8)). Kernel-level parallelism inside each
+	// candidate comes from the same shared compute pool, so the two levels
+	// together stay within one process-wide budget.
 	Workers int
 	// Halving enables successive-halving early pruning: candidates start on
 	// a small shared subsample, the worst 1−1/Eta are dropped each rung, and
@@ -46,7 +48,7 @@ type Config struct {
 func (c Config) withDefaults() Config {
 	c.Train = c.Train.WithDefaults()
 	if c.Workers <= 0 {
-		c.Workers = runtime.GOMAXPROCS(0)
+		c.Workers = compute.Parallelism()
 		if c.Workers > 8 {
 			c.Workers = 8
 		}
