@@ -31,6 +31,7 @@ import (
 	"syscall"
 	"time"
 
+	"blinkml/internal/cluster"
 	"blinkml/internal/serve"
 )
 
@@ -43,16 +44,24 @@ func main() {
 		depth       = flag.Int("queue", 64, "max queued training jobs (backpressure beyond this)")
 		upload      = flag.Int64("max-upload", 0, "max dataset upload bytes (0 = default 4 GiB)")
 		parallelism = flag.Int("parallelism", 0, "compute-pool degree shared by all training kernels (0 = GOMAXPROCS)")
+
+		clusterMode = flag.Bool("cluster", false, "run as a cluster coordinator: dispatch jobs to blinkml-worker processes")
+		hbTimeout   = flag.Duration("cluster-heartbeat-timeout", 0, "declare a worker dead after this silence (default 6s)")
+		maxAttempts = flag.Int("cluster-max-attempts", 0, "task lease attempts before a job fails (default 3)")
 	)
 	flag.Parse()
-	if err := run(*addr, *dir, *dataDir, *workers, *depth, *upload, *parallelism); err != nil {
+	var ccfg *cluster.Config
+	if *clusterMode {
+		ccfg = &cluster.Config{HeartbeatTimeout: *hbTimeout, MaxAttempts: *maxAttempts}
+	}
+	if err := run(*addr, *dir, *dataDir, *workers, *depth, *upload, *parallelism, ccfg); err != nil {
 		fmt.Fprintln(os.Stderr, "blinkml-serve:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, dir, dataDir string, workers, depth int, maxUpload int64, parallelism int) error {
-	s, err := serve.New(serve.Config{Dir: dir, DataDir: dataDir, Workers: workers, QueueDepth: depth, MaxUploadBytes: maxUpload, Parallelism: parallelism})
+func run(addr, dir, dataDir string, workers, depth int, maxUpload int64, parallelism int, ccfg *cluster.Config) error {
+	s, err := serve.New(serve.Config{Dir: dir, DataDir: dataDir, Workers: workers, QueueDepth: depth, MaxUploadBytes: maxUpload, Parallelism: parallelism, Cluster: ccfg})
 	if err != nil {
 		return err
 	}
@@ -67,8 +76,12 @@ func run(addr, dir, dataDir string, workers, depth int, maxUpload int64, paralle
 
 	errc := make(chan error, 1)
 	go func() {
-		log.Printf("blinkml-serve listening on %s (registry %s, %d models, %d workers)",
-			addr, dir, s.Registry().Len(), workers)
+		mode := "local execution"
+		if ccfg != nil {
+			mode = "cluster coordinator"
+		}
+		log.Printf("blinkml-serve listening on %s (registry %s, %d models, %d workers, %s)",
+			addr, dir, s.Registry().Len(), workers, mode)
 		errc <- httpServer.ListenAndServe()
 	}()
 

@@ -1,0 +1,61 @@
+// Command blinkml-worker is the cluster execution node: it registers with a
+// blinkml-serve coordinator (started with -cluster), heartbeats, leases
+// training and tuning-trial tasks, and executes them with the same kernels
+// the in-process path uses — results are bit-identical at a fixed seed and
+// parallelism. Datasets referenced by id are fetched from the coordinator
+// once, verified against their checksums, and cached in -data-dir.
+//
+// Usage:
+//
+//	blinkml-worker -coordinator http://coordinator:8080 -data-dir ./worker-cache
+//
+// Stopping the worker (SIGINT/SIGTERM) hands in-flight tasks back to the
+// coordinator for requeueing on another worker.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"blinkml/internal/cluster"
+	"blinkml/internal/compute"
+)
+
+func main() {
+	var (
+		coordinator = flag.String("coordinator", "", "coordinator base URL (required), e.g. http://host:8080")
+		name        = flag.String("name", "", "worker name shown in cluster status (default: hostname)")
+		capacity    = flag.Int("capacity", 1, "concurrent tasks (each task already uses the full compute pool)")
+		dataDir     = flag.String("data-dir", "", "dataset cache directory (default: a temporary directory)")
+		parallelism = flag.Int("parallelism", 0, "compute-pool degree for training kernels (0 = GOMAXPROCS)")
+	)
+	flag.Parse()
+	if *coordinator == "" {
+		fmt.Fprintln(os.Stderr, "blinkml-worker: -coordinator is required")
+		os.Exit(2)
+	}
+	if *parallelism > 0 {
+		compute.SetParallelism(*parallelism)
+	}
+	w, err := cluster.NewWorker(cluster.WorkerConfig{
+		Coordinator: *coordinator,
+		Name:        *name,
+		Capacity:    *capacity,
+		DataDir:     *dataDir,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "blinkml-worker:", err)
+		os.Exit(1)
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := w.Run(ctx); err != nil && !errors.Is(err, context.Canceled) {
+		fmt.Fprintln(os.Stderr, "blinkml-worker:", err)
+		os.Exit(1)
+	}
+}

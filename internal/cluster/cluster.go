@@ -1,0 +1,353 @@
+// Package cluster implements BlinkML's coordinator/worker distributed
+// execution layer. A coordinator — embedded in blinkml-serve when cluster
+// mode is on — owns a queue of tasks (full training runs and individual
+// hyperparameter-search trials) and leases them to blinkml-worker processes
+// that register over HTTP, heartbeat, and advertise capacity. Workers fetch
+// the datasets a task references from the coordinator's store (checksummed,
+// cached locally, fetched at most once per content), rebuild the exact
+// training environment the in-process path would use, and ship results
+// back — trained models travel in the versioned modelio format straight
+// into the coordinator's registry.
+//
+// The contract that makes the fan-out safe to reason about:
+//
+//   - Determinism: a task is a pure function of its payload. Given the same
+//     dataset bytes, seed, and compute parallelism, a worker produces
+//     bit-identical results to the in-process path — so requeueing a task
+//     after a worker dies cannot change the answer, only the latency.
+//   - Leases are fenced: a task is leased to one worker at a time, and a
+//     completion from anyone but the current leaseholder is rejected. A
+//     worker presumed dead that comes back cannot overwrite the result of
+//     the retry that replaced it.
+//   - Failure policy: worker loss (heartbeat timeout) or graceful worker
+//     shutdown requeues the task, up to Config.MaxAttempts, after which the
+//     task fails with a TaskError recording every attempt. An error
+//     *reported* by a worker is deterministic (training genuinely failed)
+//     and fails the task immediately — retrying it elsewhere would burn a
+//     machine to get the same error.
+//   - Cancellation propagates: cancelling a task marks pending work
+//     terminal at once and tells the leaseholder to stop via its next
+//     heartbeat or lease response; the training loop observes its context
+//     between optimizer iterations.
+//
+// HTTP surface (mounted by the serving layer under /v1/cluster):
+//
+//	POST /v1/cluster/register       worker joins, gets an id + protocol timings
+//	POST /v1/cluster/heartbeat      liveness + lease renewal; returns cancellations
+//	POST /v1/cluster/lease          long-poll for a task (renews liveness too)
+//	POST /v1/cluster/complete       deliver a task result (lease-fenced)
+//	GET  /v1/cluster/datasets/{id}  stream a dataset bundle (store export format)
+//	GET  /v1/cluster/status         workers + queue snapshot
+package cluster
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"strings"
+	"time"
+
+	"blinkml/internal/core"
+	"blinkml/internal/modelio"
+	"blinkml/internal/optimize"
+)
+
+// TaskKind tags what a task payload carries.
+type TaskKind string
+
+const (
+	// KindTrain is a full BlinkML training run (POST /v1/train shaped).
+	KindTrain TaskKind = "train"
+	// KindTrial is one hyperparameter-search trial: a halving rung or a
+	// contract training of a single candidate.
+	KindTrial TaskKind = "trial"
+)
+
+// TaskSpec is the wire form of one schedulable unit. Exactly one payload
+// field is set, matching Kind.
+type TaskSpec struct {
+	Kind  TaskKind   `json:"kind"`
+	Train *TrainTask `json:"train,omitempty"`
+	Trial *TrialTask `json:"trial,omitempty"`
+}
+
+// Validate checks the spec shape before admission.
+func (s *TaskSpec) Validate() error {
+	switch s.Kind {
+	case KindTrain:
+		if s.Train == nil {
+			return errors.New("cluster: train task without payload")
+		}
+		return s.Train.Dataset.Validate()
+	case KindTrial:
+		if s.Trial == nil {
+			return errors.New("cluster: trial task without payload")
+		}
+		return s.Trial.Dataset.Validate()
+	default:
+		return fmt.Errorf("cluster: unknown task kind %q", s.Kind)
+	}
+}
+
+// DatasetRef names the data a task trains on. Exactly one of ID, Synthetic,
+// or Inline is set. ID names a dataset in the coordinator's store; the
+// checksums pin the content so a worker's cached copy is either provably
+// the same bytes or refetched.
+type DatasetRef struct {
+	ID         string  `json:"id,omitempty"`
+	Rows       int     `json:"rows,omitempty"`
+	RowCRC32   uint32  `json:"row_crc32,omitempty"`
+	IndexCRC32 uint32  `json:"index_crc32,omitempty"`
+	Synthetic  *Synth  `json:"synthetic,omitempty"`
+	Inline     *Inline `json:"inline,omitempty"`
+}
+
+// Validate checks that exactly one source is named.
+func (r *DatasetRef) Validate() error {
+	set := 0
+	if r.ID != "" {
+		set++
+	}
+	if r.Synthetic != nil {
+		set++
+	}
+	if r.Inline != nil {
+		set++
+	}
+	if set != 1 {
+		return errors.New("cluster: dataset ref must name exactly one of id, synthetic, inline")
+	}
+	return nil
+}
+
+// Key returns a stable identity for caching: datasets with equal keys are
+// the same bytes.
+func (r *DatasetRef) Key() string {
+	switch {
+	case r.ID != "":
+		return fmt.Sprintf("id:%s:%08x:%08x", r.ID, r.RowCRC32, r.IndexCRC32)
+	case r.Synthetic != nil:
+		s := r.Synthetic
+		return fmt.Sprintf("syn:%s:%d:%d:%d", s.Name, s.Rows, s.Dim, s.Seed)
+	case r.Inline != nil:
+		// Inline data rides in the payload itself, so identity must come
+		// from the content: payloads with equal shapes but different values
+		// must never share a cached environment.
+		return fmt.Sprintf("inline:%s:%d:%016x", r.Inline.Task, len(r.Inline.X), r.Inline.contentHash())
+	default:
+		return "none"
+	}
+}
+
+// Synth names a deterministic synthetic workload — workers regenerate it
+// locally instead of transferring it.
+type Synth struct {
+	Name string `json:"name"`
+	Rows int    `json:"rows,omitempty"`
+	Dim  int    `json:"dim,omitempty"`
+	Seed int64  `json:"seed,omitempty"`
+}
+
+// Inline is a small dense dataset shipped inside the task payload. It is
+// the small-data path: every trial task of a search carries the rows, so
+// anything beyond a few thousand rows belongs in the dataset store, where
+// tasks carry only an id and workers fetch the bytes once.
+type Inline struct {
+	Task    string      `json:"task"`
+	X       [][]float64 `json:"x"`
+	Y       []float64   `json:"y,omitempty"`
+	Classes int         `json:"classes,omitempty"`
+}
+
+// contentHash folds every value, label, row boundary, and the class count
+// into an FNV-1a hash — the content identity behind DatasetRef.Key.
+func (d *Inline) contentHash() uint64 {
+	h := fnv.New64a()
+	var b [8]byte
+	word := func(u uint64) {
+		binary.LittleEndian.PutUint64(b[:], u)
+		h.Write(b[:])
+	}
+	word(uint64(d.Classes))
+	for _, row := range d.X {
+		word(uint64(len(row)))
+		for _, v := range row {
+			word(math.Float64bits(v))
+		}
+	}
+	word(uint64(len(d.Y)))
+	for _, v := range d.Y {
+		word(math.Float64bits(v))
+	}
+	return h.Sum64()
+}
+
+// TrainOptions is the wire form of the core.Options subset the serving
+// layer exposes — everything a worker needs to rebuild the coordinator's
+// exact training environment.
+type TrainOptions struct {
+	Epsilon           float64 `json:"epsilon"`
+	Delta             float64 `json:"delta,omitempty"`
+	Seed              int64   `json:"seed,omitempty"`
+	InitialSampleSize int     `json:"initial_sample_size,omitempty"`
+	MinSampleSize     int     `json:"min_sample_size,omitempty"`
+	MaxIters          int     `json:"max_iters,omitempty"`
+	WarmStart         bool    `json:"warm_start,omitempty"`
+	TestFraction      float64 `json:"test_fraction,omitempty"`
+}
+
+// CoreOptions converts the wire options to core.Options.
+func (o TrainOptions) CoreOptions() core.Options {
+	return core.Options{
+		Epsilon:           o.Epsilon,
+		Delta:             o.Delta,
+		Seed:              o.Seed,
+		InitialSampleSize: o.InitialSampleSize,
+		MinSampleSize:     o.MinSampleSize,
+		WarmStart:         o.WarmStart,
+		TestFraction:      o.TestFraction,
+		Optimizer:         optimize.Options{MaxIters: o.MaxIters},
+	}
+}
+
+// TrainTask is a full BlinkML training run.
+type TrainTask struct {
+	Spec    modelio.SpecJSON `json:"spec"`
+	Dataset DatasetRef       `json:"dataset"`
+	Options TrainOptions     `json:"options"`
+}
+
+// TrialTask is one hyperparameter-search trial (see tune.Trial). The worker
+// rebuilds the search environment from (Dataset, Options) — identical to
+// the coordinator's by determinism of the split — and runs the single
+// trial.
+type TrialTask struct {
+	Spec    modelio.SpecJSON `json:"spec"`
+	Dataset DatasetRef       `json:"dataset"`
+	Options TrainOptions     `json:"options"`
+	// Contract selects a full (ε, δ) training; otherwise a halving rung.
+	Contract bool `json:"contract,omitempty"`
+	// N is the rung subsample size; Rung the 0-based rung index.
+	N    int       `json:"n,omitempty"`
+	Rung int       `json:"rung,omitempty"`
+	Warm []float64 `json:"warm,omitempty"`
+}
+
+// TaskResultPayload is what a worker ships back for a finished task.
+type TaskResultPayload struct {
+	// Model is the modelio envelope of the trained model (train tasks and
+	// contract trials) — the exact bytes the coordinator registers.
+	Model []byte `json:"model,omitempty"`
+	// Theta is the raw parameter vector (rung trials, which produce
+	// intermediate fits rather than registrable models).
+	Theta []float64 `json:"theta,omitempty"`
+	// Score is the trial's evaluation score; nil encodes NaN (model classes
+	// without a supervised metric).
+	Score *float64 `json:"score,omitempty"`
+	// SampleSize is the rows of the training run (rung trials).
+	SampleSize int `json:"sample_size,omitempty"`
+}
+
+// TaskError is the structured terminal error of a task that exhausted its
+// attempts or failed deterministically. The serving layer surfaces it as
+// the job error.
+type TaskError struct {
+	// TaskID is the cluster task id ("t-000001").
+	TaskID string
+	// Attempts is how many leases the task consumed.
+	Attempts int
+	// Reason is the final failure ("worker lost", or the worker's error).
+	Reason string
+	// Log records one line per failed attempt, oldest first.
+	Log []string
+}
+
+// Error implements error with a stable, greppable shape.
+func (e *TaskError) Error() string {
+	msg := fmt.Sprintf("cluster: task %s failed after %d attempt(s): %s", e.TaskID, e.Attempts, e.Reason)
+	if len(e.Log) > 0 {
+		msg += " [" + strings.Join(e.Log, "; ") + "]"
+	}
+	return msg
+}
+
+// Protocol messages.
+
+// RegisterRequest announces a worker to the coordinator.
+type RegisterRequest struct {
+	// Name is a human label for logs and status (defaults to the id).
+	Name string `json:"name,omitempty"`
+	// Capacity is how many tasks the worker runs concurrently.
+	Capacity int `json:"capacity"`
+	// Parallelism is the worker's compute-pool degree (advertised for
+	// status; kernels inside one task use it fully).
+	Parallelism int `json:"parallelism"`
+}
+
+// RegisterResponse assigns the worker its id and the protocol timings the
+// coordinator enforces.
+type RegisterResponse struct {
+	WorkerID            string `json:"worker_id"`
+	HeartbeatIntervalMs int64  `json:"heartbeat_interval_ms"`
+	// HeartbeatTimeoutMs is how long the coordinator waits before declaring
+	// the worker dead and requeueing its tasks.
+	HeartbeatTimeoutMs int64 `json:"heartbeat_timeout_ms"`
+}
+
+// HeartbeatRequest renews liveness and the leases of the listed tasks.
+type HeartbeatRequest struct {
+	WorkerID string   `json:"worker_id"`
+	Running  []string `json:"running,omitempty"`
+}
+
+// HeartbeatResponse carries cancellation notices for the worker's tasks.
+type HeartbeatResponse struct {
+	Cancel []string `json:"cancel,omitempty"`
+}
+
+// LeaseRequest asks for one task, long-polling up to WaitMs.
+type LeaseRequest struct {
+	WorkerID string `json:"worker_id"`
+	WaitMs   int64  `json:"wait_ms,omitempty"`
+}
+
+// LeaseResponse hands the worker a task (HTTP 204 means none available).
+type LeaseResponse struct {
+	TaskID string   `json:"task_id"`
+	Spec   TaskSpec `json:"spec"`
+	// Cancel piggybacks cancellation notices (same as heartbeat).
+	Cancel []string `json:"cancel,omitempty"`
+}
+
+// CompleteRequest delivers a task outcome. Exactly one of Result, Error, or
+// the Cancelled/Requeue flags describes it: Error is a deterministic
+// training failure (fails the task), Cancelled acknowledges a cancellation,
+// and Requeue signals the worker could not finish for reasons of its own
+// (graceful shutdown) so the task should run elsewhere.
+type CompleteRequest struct {
+	WorkerID  string             `json:"worker_id"`
+	TaskID    string             `json:"task_id"`
+	Result    *TaskResultPayload `json:"result,omitempty"`
+	Error     string             `json:"error,omitempty"`
+	Cancelled bool               `json:"cancelled,omitempty"`
+	Requeue   bool               `json:"requeue,omitempty"`
+}
+
+// Status is the coordinator snapshot (GET /v1/cluster/status, healthz).
+type Status struct {
+	Workers      []WorkerStatus `json:"workers"`
+	TasksPending int            `json:"tasks_pending"`
+	TasksLeased  int            `json:"tasks_leased"`
+}
+
+// WorkerStatus describes one live worker.
+type WorkerStatus struct {
+	ID          string    `json:"id"`
+	Name        string    `json:"name"`
+	Capacity    int       `json:"capacity"`
+	Parallelism int       `json:"parallelism"`
+	Leased      int       `json:"leased"`
+	LastSeen    time.Time `json:"last_seen"`
+}

@@ -1,0 +1,378 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"blinkml/internal/core"
+	"blinkml/internal/datagen"
+	"blinkml/internal/modelio"
+	"blinkml/internal/models"
+	"blinkml/internal/store"
+	"blinkml/internal/tune"
+)
+
+// testCluster is one in-process coordinator + HTTP server.
+type testCluster struct {
+	coord  *Coordinator
+	server *httptest.Server
+}
+
+func newTestCluster(t *testing.T, cfg Config, st *store.Store) *testCluster {
+	t.Helper()
+	coord := NewCoordinator(cfg, st)
+	mux := http.NewServeMux()
+	coord.Mount(mux)
+	server := httptest.NewServer(mux)
+	t.Cleanup(func() {
+		coord.Close()
+		server.Close()
+	})
+	return &testCluster{coord: coord, server: server}
+}
+
+// startWorker runs a real Worker against the cluster until the test ends.
+func (tc *testCluster) startWorker(t *testing.T, name string) *Worker {
+	t.Helper()
+	w, err := NewWorker(WorkerConfig{
+		Coordinator: tc.server.URL,
+		Name:        name,
+		DataDir:     t.TempDir(),
+		Logf:        func(string, ...any) {},
+	})
+	if err != nil {
+		t.Fatalf("new worker: %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	var done sync.WaitGroup
+	done.Add(1)
+	go func() { defer done.Done(); _ = w.Run(ctx) }()
+	t.Cleanup(func() {
+		cancel()
+		done.Wait()
+	})
+	return w
+}
+
+// syntheticRef is a small deterministic binary-classification workload.
+func syntheticRef() DatasetRef {
+	return DatasetRef{Synthetic: &Synth{Name: "higgs", Rows: 4000, Dim: 8, Seed: 11}}
+}
+
+func testTrainOptions() TrainOptions {
+	return TrainOptions{Epsilon: 0.08, Delta: 0.05, Seed: 7, InitialSampleSize: 400}
+}
+
+// localModel trains in-process — the reference the remote path must match
+// bit for bit.
+func localModel(t *testing.T, ref DatasetRef, opts TrainOptions) *core.Result {
+	t.Helper()
+	s := ref.Synthetic
+	ds, err := datagen.Generate(s.Name, datagen.Config{Rows: s.Rows, Dim: s.Dim, Seed: s.Seed})
+	if err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	spec, err := (modelio.SpecJSON{Name: "logistic"}).Spec()
+	if err != nil {
+		t.Fatalf("spec: %v", err)
+	}
+	res, err := core.TrainSourceContext(context.Background(), spec, ds, opts.CoreOptions())
+	if err != nil {
+		t.Fatalf("local train: %v", err)
+	}
+	return res
+}
+
+// TestRemoteTrainMatchesLocal: one train task through a real worker must
+// reproduce the in-process result bit for bit (same seed, same process-wide
+// compute parallelism).
+func TestRemoteTrainMatchesLocal(t *testing.T) {
+	tc := newTestCluster(t, testConfig(), nil)
+	tc.startWorker(t, "w1")
+
+	opts := testTrainOptions()
+	want := localModel(t, syntheticRef(), opts)
+
+	id, err := tc.coord.Submit(TaskSpec{Kind: KindTrain, Train: &TrainTask{
+		Spec:    modelio.SpecJSON{Name: "logistic"},
+		Dataset: syntheticRef(),
+		Options: opts,
+	}})
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	payload, err := tc.coord.Await(ctx, id)
+	if err != nil {
+		t.Fatalf("await: %v", err)
+	}
+	m, err := DecodeModel(payload.Model)
+	if err != nil {
+		t.Fatalf("decode model: %v", err)
+	}
+	if len(m.Theta) != len(want.Theta) {
+		t.Fatalf("remote theta has %d params, want %d", len(m.Theta), len(want.Theta))
+	}
+	for i := range m.Theta {
+		if m.Theta[i] != want.Theta[i] {
+			t.Fatalf("theta[%d]: remote %v != local %v (bit-exactness violated)", i, m.Theta[i], want.Theta[i])
+		}
+	}
+	if m.SampleSize != want.SampleSize || m.EstimatedEpsilon != want.EstimatedEpsilon || m.PoolSize != want.PoolSize {
+		t.Fatalf("contract metadata differs: remote {n=%d ε=%v N=%d} local {n=%d ε=%v N=%d}",
+			m.SampleSize, m.EstimatedEpsilon, m.PoolSize, want.SampleSize, want.EstimatedEpsilon, want.PoolSize)
+	}
+}
+
+// TestRemoteTuneMatchesLocal: a whole search through the remote trial
+// runner must reproduce the in-process leaderboard and winner exactly.
+func TestRemoteTuneMatchesLocal(t *testing.T) {
+	tc := newTestCluster(t, testConfig(), nil)
+	tc.startWorker(t, "w1")
+
+	ref := syntheticRef()
+	space := tune.Space{Grid: mustSpecs(t,
+		modelio.SpecJSON{Name: "logistic", Reg: 0.0005},
+		modelio.SpecJSON{Name: "logistic", Reg: 0.01},
+		modelio.SpecJSON{Name: "logistic", Reg: 0.3},
+	)}
+
+	opts := TrainOptions{Epsilon: 0.1, Delta: 0.05, Seed: 5, InitialSampleSize: 300, TestFraction: 0.15}
+	cfg := tune.Config{Train: opts.CoreOptions(), Workers: 2, Seed: 5}
+
+	// Local reference search.
+	s := ref.Synthetic
+	ds, err := datagen.Generate(s.Name, datagen.Config{Rows: s.Rows, Dim: s.Dim, Seed: s.Seed})
+	if err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	want, err := tune.RunSource(context.Background(), space, ds, cfg)
+	if err != nil {
+		t.Fatalf("local search: %v", err)
+	}
+
+	runner := NewTrialRunner(tc.coord, ref, opts, core.PoolSize(s.Rows, opts.CoreOptions()))
+	got, err := tune.SearchRunner(context.Background(), space, runner, cfg)
+	if err != nil {
+		t.Fatalf("remote search: %v", err)
+	}
+
+	if got.Evaluated != want.Evaluated || got.PoolSize != want.PoolSize {
+		t.Fatalf("search shape differs: got %d/%d, want %d/%d", got.Evaluated, got.PoolSize, want.Evaluated, want.PoolSize)
+	}
+	for i := range want.Entries {
+		ge, we := got.Entries[i], want.Entries[i]
+		if ge.Spec.Name() != we.Spec.Name() || !sameScore(ge.TestError, we.TestError) || ge.SampleSize != we.SampleSize {
+			t.Fatalf("leaderboard row %d differs: remote {%s %v n=%d} local {%s %v n=%d}",
+				i, ge.Spec.Name(), ge.TestError, ge.SampleSize, we.Spec.Name(), we.TestError, we.SampleSize)
+		}
+	}
+	for i := range want.Best.Theta {
+		if got.Best.Theta[i] != want.Best.Theta[i] {
+			t.Fatalf("winner theta[%d]: remote %v != local %v", i, got.Best.Theta[i], want.Best.Theta[i])
+		}
+	}
+}
+
+// TestWorkerDeathMidTaskRequeues is the acceptance scenario: a worker
+// leases the task and dies silently mid-flight; the coordinator requeues it
+// onto a replacement worker, and the final result is identical to the
+// in-process run.
+func TestWorkerDeathMidTaskRequeues(t *testing.T) {
+	tc := newTestCluster(t, testConfig(), nil)
+
+	opts := testTrainOptions()
+	want := localModel(t, syntheticRef(), opts)
+
+	id, err := tc.coord.Submit(TaskSpec{Kind: KindTrain, Train: &TrainTask{
+		Spec:    modelio.SpecJSON{Name: "logistic"},
+		Dataset: syntheticRef(),
+		Options: opts,
+	}})
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+
+	// A "worker" that leases the task and dies on the spot: it never
+	// completes and never heartbeats again — the deterministic version of a
+	// kill -9 mid-task.
+	doomed := registerWorker(t, tc.coord, "doomed")
+	lease := mustLease(t, tc.coord, doomed)
+	if lease.TaskID != id {
+		t.Fatalf("doomed worker leased %s, want %s", lease.TaskID, id)
+	}
+	tc.coord.reapDead(time.Now().Add(time.Minute))
+
+	// The replacement is a real worker; it must pick the task up and finish
+	// the job with the exact same answer.
+	tc.startWorker(t, "replacement")
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	payload, err := tc.coord.Await(ctx, id)
+	if err != nil {
+		t.Fatalf("await after requeue: %v", err)
+	}
+	m, err := DecodeModel(payload.Model)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	for i := range want.Theta {
+		if m.Theta[i] != want.Theta[i] {
+			t.Fatalf("requeued result theta[%d] = %v, want %v — requeue changed the answer", i, m.Theta[i], want.Theta[i])
+		}
+	}
+}
+
+// TestWorkerFetchesAndCachesDataset: a stored-dataset task makes the worker
+// download the bundle once; later tasks against the same content reuse the
+// cache.
+func TestWorkerFetchesAndCachesDataset(t *testing.T) {
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatalf("open store: %v", err)
+	}
+	ds, err := datagen.Generate("higgs", datagen.Config{Rows: 2000, Dim: 6, Seed: 3})
+	if err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	var csv bytes.Buffer
+	for i := 0; i < ds.Len(); i++ {
+		row := make([]float64, ds.Dim)
+		ds.X[i].AddTo(row, 1)
+		for _, v := range row {
+			fmt.Fprintf(&csv, "%v,", v)
+		}
+		fmt.Fprintf(&csv, "%v\n", ds.Y[i])
+	}
+	h, err := st.Ingest(strings.NewReader(csv.String()), store.IngestOptions{
+		Format: "csv", Task: ds.Task, Name: "higgs-test",
+	})
+	if err != nil {
+		t.Fatalf("ingest: %v", err)
+	}
+	man := h.Manifest()
+	ref := DatasetRef{ID: h.ID, Rows: man.Rows, RowCRC32: man.RowCRC32, IndexCRC32: man.IndexCRC32}
+
+	tc := newTestCluster(t, testConfig(), st)
+	w := tc.startWorker(t, "w1")
+
+	opts := TrainOptions{Epsilon: 0.1, Delta: 0.05, Seed: 9, InitialSampleSize: 300}
+	// The same training against the coordinator's store handle, locally.
+	spec, _ := (modelio.SpecJSON{Name: "logistic"}).Spec()
+	want, err := core.TrainSourceContext(context.Background(), spec, h, opts.CoreOptions())
+	if err != nil {
+		t.Fatalf("local train: %v", err)
+	}
+
+	submitAndDecode := func() *modelio.Model {
+		id, err := tc.coord.Submit(TaskSpec{Kind: KindTrain, Train: &TrainTask{
+			Spec: modelio.SpecJSON{Name: "logistic"}, Dataset: ref, Options: opts,
+		}})
+		if err != nil {
+			t.Fatalf("submit: %v", err)
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+		defer cancel()
+		payload, err := tc.coord.Await(ctx, id)
+		if err != nil {
+			t.Fatalf("await: %v", err)
+		}
+		m, err := DecodeModel(payload.Model)
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		return m
+	}
+
+	m1 := submitAndDecode()
+	for i := range want.Theta {
+		if m1.Theta[i] != want.Theta[i] {
+			t.Fatalf("store-backed remote theta[%d] = %v, want %v", i, m1.Theta[i], want.Theta[i])
+		}
+	}
+	// The bundle must now be in the worker's local cache under the same id.
+	cached, err := w.cache.Get(h.ID)
+	if err != nil {
+		t.Fatalf("worker cache miss after task: %v", err)
+	}
+	if cm := cached.Manifest(); cm.RowCRC32 != man.RowCRC32 {
+		t.Fatalf("cached checksum %08x, want %08x", cm.RowCRC32, man.RowCRC32)
+	}
+	fetches := tc.coord.m.DatasetsExported.Value()
+
+	// A second task must not refetch.
+	m2 := submitAndDecode()
+	if m2.Theta[0] != m1.Theta[0] {
+		t.Fatal("second run differs from first")
+	}
+	if got := tc.coord.m.DatasetsExported.Value(); got != fetches {
+		t.Fatalf("dataset refetched: %d exports, want %d", got, fetches)
+	}
+}
+
+// TestWorkerReportsTrainingError: a deterministic failure on the worker
+// surfaces as a TaskError without retries burning more workers.
+func TestWorkerReportsTrainingError(t *testing.T) {
+	tc := newTestCluster(t, testConfig(), nil)
+	tc.startWorker(t, "w1")
+	// counts is a regression workload; logistic on it fails label
+	// validation inside training.
+	id, err := tc.coord.Submit(TaskSpec{Kind: KindTrain, Train: &TrainTask{
+		Spec:    modelio.SpecJSON{Name: "logistic"},
+		Dataset: DatasetRef{Synthetic: &Synth{Name: "counts", Rows: 500, Dim: 4, Seed: 1}},
+		Options: TrainOptions{Epsilon: 0.1, Seed: 1, InitialSampleSize: 100},
+	}})
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if _, err := tc.coord.Await(ctx, id); err == nil {
+		t.Fatal("await succeeded for an impossible task")
+	}
+}
+
+func mustSpecs(t *testing.T, sjs ...modelio.SpecJSON) []models.Spec {
+	t.Helper()
+	out := make([]models.Spec, len(sjs))
+	for i, sj := range sjs {
+		spec, err := sj.Spec()
+		if err != nil {
+			t.Fatalf("spec %d: %v", i, err)
+		}
+		out[i] = spec
+	}
+	return out
+}
+
+func sameScore(a, b float64) bool {
+	if math.IsNaN(a) && math.IsNaN(b) {
+		return true
+	}
+	return a == b
+}
+
+// TestInlineKeyIsContentAddressed: two inline payloads with identical
+// shapes but different values must never share a cache identity (a shared
+// key would let a worker's env cache serve one job's rows to another).
+func TestInlineKeyIsContentAddressed(t *testing.T) {
+	a := DatasetRef{Inline: &Inline{Task: "binary", X: [][]float64{{1, 2}, {3, 4}}, Y: []float64{0, 1}}}
+	b := DatasetRef{Inline: &Inline{Task: "binary", X: [][]float64{{1, 2}, {3, 5}}, Y: []float64{0, 1}}}
+	c := DatasetRef{Inline: &Inline{Task: "binary", X: [][]float64{{1, 2}, {3, 4}}, Y: []float64{1, 1}}}
+	if a.Key() == b.Key() || a.Key() == c.Key() {
+		t.Fatalf("inline keys collide: %q %q %q", a.Key(), b.Key(), c.Key())
+	}
+	same := DatasetRef{Inline: &Inline{Task: "binary", X: [][]float64{{1, 2}, {3, 4}}, Y: []float64{0, 1}}}
+	if a.Key() != same.Key() {
+		t.Fatalf("equal content produced different keys: %q vs %q", a.Key(), same.Key())
+	}
+}

@@ -1,0 +1,58 @@
+package cluster
+
+import (
+	"expvar"
+	"sync"
+)
+
+// Metrics are the cluster's expvar counters, published once under the
+// "blinkml_cluster" map so repeated coordinator construction (tests,
+// restarts in one process) reuses the same vars instead of panicking on
+// re-publish.
+type Metrics struct {
+	Workers       *expvar.Int // gauge: registered workers
+	WorkersJoined *expvar.Int // total registrations
+	WorkersLost   *expvar.Int // workers reaped on heartbeat timeout
+
+	TasksSubmitted *expvar.Int
+	TasksPending   *expvar.Int // gauge
+	TasksLeased    *expvar.Int // gauge
+	TasksSucceeded *expvar.Int
+	TasksFailed    *expvar.Int
+	TasksCancelled *expvar.Int
+	TasksRequeued  *expvar.Int // requeues after worker loss / give-back
+	LeasesGranted  *expvar.Int
+
+	DatasetsExported *expvar.Int // bundle downloads served to workers
+}
+
+var (
+	metricsOnce sync.Once
+	metrics     *Metrics
+)
+
+func sharedMetrics() *Metrics {
+	metricsOnce.Do(func() {
+		m := expvar.NewMap("blinkml_cluster")
+		newInt := func(name string) *expvar.Int {
+			v := new(expvar.Int)
+			m.Set(name, v)
+			return v
+		}
+		metrics = &Metrics{
+			Workers:          newInt("workers"),
+			WorkersJoined:    newInt("workers_joined"),
+			WorkersLost:      newInt("workers_lost"),
+			TasksSubmitted:   newInt("tasks_submitted"),
+			TasksPending:     newInt("tasks_pending"),
+			TasksLeased:      newInt("tasks_leased"),
+			TasksSucceeded:   newInt("tasks_succeeded"),
+			TasksFailed:      newInt("tasks_failed"),
+			TasksCancelled:   newInt("tasks_cancelled"),
+			TasksRequeued:    newInt("tasks_requeued"),
+			LeasesGranted:    newInt("leases_granted"),
+			DatasetsExported: newInt("datasets_exported"),
+		}
+	})
+	return metrics
+}

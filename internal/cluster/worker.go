@@ -1,0 +1,658 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"math"
+	"net/http"
+	"os"
+	"sync"
+	"time"
+
+	"blinkml/internal/compute"
+	"blinkml/internal/core"
+	"blinkml/internal/datagen"
+	"blinkml/internal/dataset"
+	"blinkml/internal/modelio"
+	"blinkml/internal/models"
+	"blinkml/internal/store"
+	"blinkml/internal/tune"
+)
+
+// WorkerConfig sizes a Worker.
+type WorkerConfig struct {
+	// Coordinator is the coordinator's base URL (e.g. "http://host:8080").
+	Coordinator string
+	// Name labels the worker in coordinator status (default: hostname).
+	Name string
+	// Capacity is how many tasks run concurrently (default 1 — each task
+	// already fans out across the compute pool).
+	Capacity int
+	// DataDir is the local dataset cache directory (default: a fresh
+	// temporary directory).
+	DataDir string
+	// Client is the HTTP client (default: http.DefaultClient with generous
+	// timeouts handled per-call).
+	Client *http.Client
+	// Logf sinks progress lines (default log.Printf; tests silence it).
+	Logf func(format string, args ...any)
+}
+
+// Worker executes coordinator tasks: it registers, heartbeats, leases,
+// trains, and completes. One Worker handles Capacity tasks concurrently;
+// kernels inside each task draw on the process-wide compute pool.
+type Worker struct {
+	cfg    WorkerConfig
+	client *http.Client
+	logf   func(string, ...any)
+	cache  *store.Store
+
+	regMu     sync.Mutex // serializes (re-)registration
+	mu        sync.Mutex
+	id        string
+	hbEvery   time.Duration
+	running   map[string]*runningTask
+	fetchMu   sync.Mutex // serializes dataset bundle fetches
+	envMu     sync.Mutex
+	envs      map[string]*envEntry
+	envOrder  []string
+	envsLimit int
+}
+
+// runningTask is one in-flight execution.
+type runningTask struct {
+	cancel    context.CancelFunc
+	cancelled bool // coordinator asked for cancellation
+}
+
+// envEntry memoizes one prepared training environment.
+type envEntry struct {
+	once sync.Once
+	env  *core.Env
+	err  error
+}
+
+// NewWorker validates cfg and opens the local dataset cache.
+func NewWorker(cfg WorkerConfig) (*Worker, error) {
+	if cfg.Coordinator == "" {
+		return nil, errors.New("cluster: worker needs a coordinator URL")
+	}
+	if cfg.Capacity < 1 {
+		cfg.Capacity = 1
+	}
+	if cfg.Name == "" {
+		if host, err := os.Hostname(); err == nil {
+			cfg.Name = host
+		}
+	}
+	if cfg.DataDir == "" {
+		dir, err := os.MkdirTemp("", "blinkml-worker-*")
+		if err != nil {
+			return nil, fmt.Errorf("cluster: worker cache dir: %w", err)
+		}
+		cfg.DataDir = dir
+	}
+	cache, err := store.Open(cfg.DataDir)
+	if err != nil {
+		return nil, err
+	}
+	client := cfg.Client
+	if client == nil {
+		client = &http.Client{}
+	}
+	logf := cfg.Logf
+	if logf == nil {
+		logf = log.Printf
+	}
+	return &Worker{
+		cfg:       cfg,
+		client:    client,
+		logf:      logf,
+		cache:     cache,
+		running:   make(map[string]*runningTask),
+		envs:      make(map[string]*envEntry),
+		envsLimit: 4,
+	}, nil
+}
+
+// ID returns the coordinator-assigned worker id ("" before registration).
+func (w *Worker) ID() string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.id
+}
+
+// Run registers and serves tasks until ctx is done. On shutdown, in-flight
+// tasks are cancelled and handed back to the coordinator for requeueing
+// (best effort — if the handback cannot be delivered, the heartbeat timeout
+// requeues them anyway).
+func (w *Worker) Run(ctx context.Context) error {
+	if err := w.register(ctx, ""); err != nil {
+		return err
+	}
+	hbCtx, stopHB := context.WithCancel(ctx)
+	defer stopHB()
+	var hbDone sync.WaitGroup
+	hbDone.Add(1)
+	go func() { defer hbDone.Done(); w.heartbeatLoop(hbCtx) }()
+
+	slots := make(chan struct{}, w.cfg.Capacity)
+	for i := 0; i < w.cfg.Capacity; i++ {
+		slots <- struct{}{}
+	}
+	var tasks sync.WaitGroup
+loop:
+	for {
+		select {
+		case <-ctx.Done():
+			break loop
+		case <-slots:
+		}
+		lease, err := w.lease(ctx)
+		if err != nil {
+			slots <- struct{}{}
+			if ctx.Err() != nil {
+				break loop
+			}
+			w.logf("blinkml-worker: lease: %v (retrying)", err)
+			select {
+			case <-time.After(500 * time.Millisecond):
+			case <-ctx.Done():
+				break loop
+			}
+			continue
+		}
+		if lease == nil {
+			slots <- struct{}{}
+			continue
+		}
+		w.applyCancels(lease.Cancel)
+		tasks.Add(1)
+		go func(lease *LeaseResponse) {
+			defer tasks.Done()
+			defer func() { slots <- struct{}{} }()
+			w.execute(ctx, lease)
+		}(lease)
+	}
+	tasks.Wait()
+	stopHB()
+	hbDone.Wait()
+	return ctx.Err()
+}
+
+// register joins the coordinator, retrying until ctx is done. staleID is
+// the id the caller saw rejected ("" on first registration): if another
+// goroutine already replaced it — heartbeat and lease can observe the same
+// coordinator restart concurrently — the call is a no-op, so one restart
+// never yields two live registrations (and a phantom worker inflating the
+// coordinator's capacity until it times out).
+func (w *Worker) register(ctx context.Context, staleID string) error {
+	w.regMu.Lock()
+	defer w.regMu.Unlock()
+	if cur := w.ID(); cur != staleID {
+		return nil // already re-registered by a concurrent observer
+	}
+	req := RegisterRequest{
+		Name:        w.cfg.Name,
+		Capacity:    w.cfg.Capacity,
+		Parallelism: compute.Parallelism(),
+	}
+	for {
+		var resp RegisterResponse
+		err := w.call(ctx, "/v1/cluster/register", req, &resp)
+		if err == nil {
+			w.mu.Lock()
+			w.id = resp.WorkerID
+			w.hbEvery = time.Duration(resp.HeartbeatIntervalMs) * time.Millisecond
+			if w.hbEvery <= 0 {
+				w.hbEvery = 2 * time.Second
+			}
+			w.mu.Unlock()
+			w.logf("blinkml-worker: registered as %s (capacity %d, parallelism %d)",
+				resp.WorkerID, req.Capacity, req.Parallelism)
+			return nil
+		}
+		w.logf("blinkml-worker: register: %v (retrying)", err)
+		select {
+		case <-time.After(time.Second):
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+}
+
+// heartbeatLoop renews liveness and applies cancellation notices.
+func (w *Worker) heartbeatLoop(ctx context.Context) {
+	for {
+		w.mu.Lock()
+		every := w.hbEvery
+		id := w.id
+		ids := make([]string, 0, len(w.running))
+		for tid := range w.running {
+			ids = append(ids, tid)
+		}
+		w.mu.Unlock()
+		select {
+		case <-ctx.Done():
+			return
+		case <-time.After(every):
+		}
+		var resp HeartbeatResponse
+		err := w.call(ctx, "/v1/cluster/heartbeat", HeartbeatRequest{WorkerID: id, Running: ids}, &resp)
+		if isStatus(err, http.StatusNotFound) {
+			// The coordinator forgot us (restart, or we were declared dead).
+			// Re-register under a new id; completions of tasks leased under
+			// the old id will be fenced off, which is exactly right — the
+			// coordinator has already requeued them.
+			if rerr := w.register(ctx, id); rerr != nil {
+				return
+			}
+			continue
+		}
+		if err != nil {
+			if ctx.Err() != nil {
+				return
+			}
+			w.logf("blinkml-worker: heartbeat: %v", err)
+			continue
+		}
+		w.applyCancels(resp.Cancel)
+	}
+}
+
+// applyCancels cancels the named in-flight tasks.
+func (w *Worker) applyCancels(ids []string) {
+	if len(ids) == 0 {
+		return
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for _, id := range ids {
+		if rt, ok := w.running[id]; ok && !rt.cancelled {
+			rt.cancelled = true
+			rt.cancel()
+		}
+	}
+}
+
+// lease long-polls for one task; (nil, nil) means none available.
+func (w *Worker) lease(ctx context.Context) (*LeaseResponse, error) {
+	w.mu.Lock()
+	id := w.id
+	w.mu.Unlock()
+	var resp LeaseResponse
+	err := w.call(ctx, "/v1/cluster/lease", LeaseRequest{WorkerID: id, WaitMs: 2000}, &resp)
+	if isStatus(err, http.StatusNoContent) {
+		return nil, nil
+	}
+	if isStatus(err, http.StatusNotFound) {
+		if rerr := w.register(ctx, id); rerr != nil {
+			return nil, rerr
+		}
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// execute runs one leased task and reports its outcome.
+func (w *Worker) execute(ctx context.Context, lease *LeaseResponse) {
+	taskCtx, cancel := context.WithCancel(ctx)
+	rt := &runningTask{cancel: cancel}
+	w.mu.Lock()
+	workerID := w.id
+	w.running[lease.TaskID] = rt
+	w.mu.Unlock()
+	defer func() {
+		cancel()
+		w.mu.Lock()
+		delete(w.running, lease.TaskID)
+		w.mu.Unlock()
+	}()
+
+	result, err := w.runTask(taskCtx, lease.Spec)
+	comp := CompleteRequest{WorkerID: workerID, TaskID: lease.TaskID}
+	switch {
+	case err == nil:
+		comp.Result = result
+	default:
+		w.mu.Lock()
+		cancelled := rt.cancelled
+		w.mu.Unlock()
+		switch {
+		case cancelled:
+			comp.Cancelled = true
+		case ctx.Err() != nil:
+			// The worker itself is shutting down; hand the task back.
+			comp.Requeue = true
+			comp.Error = "worker shutting down"
+		case errors.Is(err, errInfra) || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+			// Not the task's fault: a transient fetch failure, or a context
+			// error that leaked across a shared cache entry from another
+			// task's cancellation. Hand it back for a retry (the attempt cap
+			// still bounds the total) instead of failing it as if training
+			// itself had diverged.
+			comp.Requeue = true
+			comp.Error = err.Error()
+		default:
+			comp.Error = err.Error()
+		}
+	}
+	w.complete(comp)
+}
+
+// complete delivers an outcome with bounded retries. It must work during
+// shutdown, so it uses its own timeout rather than the run context.
+func (w *Worker) complete(comp CompleteRequest) {
+	for attempt := 0; attempt < 3; attempt++ {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		err := w.call(ctx, "/v1/cluster/complete", comp, &struct{}{})
+		cancel()
+		if err == nil {
+			return
+		}
+		// A fenced (stale) or unknown completion is final: the coordinator
+		// has moved on; our result is void.
+		if isStatus(err, http.StatusConflict) || isStatus(err, http.StatusNotFound) {
+			w.logf("blinkml-worker: task %s result discarded: %v", comp.TaskID, err)
+			return
+		}
+		w.logf("blinkml-worker: complete %s: %v (retrying)", comp.TaskID, err)
+		time.Sleep(time.Duration(attempt+1) * 200 * time.Millisecond)
+	}
+}
+
+// runTask dispatches on the task kind.
+func (w *Worker) runTask(ctx context.Context, spec TaskSpec) (*TaskResultPayload, error) {
+	switch spec.Kind {
+	case KindTrain:
+		return w.runTrain(ctx, spec.Train)
+	case KindTrial:
+		return w.runTrial(ctx, spec.Trial)
+	default:
+		return nil, fmt.Errorf("cluster: unknown task kind %q", spec.Kind)
+	}
+}
+
+// runTrain executes a full BlinkML training run and returns the model in
+// the modelio envelope.
+func (w *Worker) runTrain(ctx context.Context, t *TrainTask) (*TaskResultPayload, error) {
+	spec, err := t.Spec.Spec()
+	if err != nil {
+		return nil, err
+	}
+	src, err := w.source(ctx, t.Dataset)
+	if err != nil {
+		return nil, err
+	}
+	res, err := core.TrainSourceContext(ctx, spec, src, t.Options.CoreOptions())
+	if err != nil {
+		return nil, err
+	}
+	model, err := encodeModel(spec, res, src.Meta().Dim)
+	if err != nil {
+		return nil, err
+	}
+	return &TaskResultPayload{Model: model, SampleSize: res.SampleSize}, nil
+}
+
+// runTrial executes one search trial against the locally rebuilt
+// environment (identical to the coordinator's by split determinism).
+func (w *Worker) runTrial(ctx context.Context, t *TrialTask) (*TaskResultPayload, error) {
+	spec, err := t.Spec.Spec()
+	if err != nil {
+		return nil, err
+	}
+	opts := t.Options.CoreOptions()
+	env, err := w.envFor(ctx, t.Dataset, t.Options)
+	if err != nil {
+		return nil, err
+	}
+	runner := tune.NewEnvRunner(env, opts)
+	res, err := runner.RunTrial(ctx, tune.Trial{
+		Spec:     spec,
+		Contract: t.Contract,
+		N:        t.N,
+		Rung:     t.Rung,
+		Warm:     t.Warm,
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := &TaskResultPayload{
+		Theta:      res.Theta,
+		Score:      encodeScore(res.Score),
+		SampleSize: res.SampleSize,
+	}
+	if res.Res != nil {
+		model, err := encodeModel(spec, res.Res, env.Holdout().Dim)
+		if err != nil {
+			return nil, err
+		}
+		out.Model = model
+	}
+	return out, nil
+}
+
+// envFor memoizes prepared environments per (dataset, options) so a search
+// of many trials pays data preparation once, like the in-process path.
+func (w *Worker) envFor(ctx context.Context, ref DatasetRef, opts TrainOptions) (*core.Env, error) {
+	key := ref.Key() + "|" + envOptionsKey(opts)
+	w.envMu.Lock()
+	e, ok := w.envs[key]
+	if !ok {
+		e = &envEntry{}
+		w.envs[key] = e
+		w.envOrder = append(w.envOrder, key)
+		for len(w.envOrder) > w.envsLimit {
+			old := w.envOrder[0]
+			w.envOrder = w.envOrder[1:]
+			if old != key {
+				delete(w.envs, old)
+			}
+		}
+	}
+	w.envMu.Unlock()
+	e.once.Do(func() {
+		src, err := w.source(ctx, ref)
+		if err != nil {
+			e.err = err
+			return
+		}
+		e.env, e.err = core.NewEnvFromSource(src, opts.CoreOptions())
+	})
+	if e.err != nil {
+		// A failed build must not poison the cache for later tasks (the
+		// fetch may have been interrupted by a cancellation).
+		w.envMu.Lock()
+		if w.envs[key] == e {
+			delete(w.envs, key)
+		}
+		w.envMu.Unlock()
+	}
+	return e.env, e.err
+}
+
+// envOptionsKey fingerprints the options fields that shape an environment
+// (split fractions and seed; the contract fields don't change the split but
+// keying on all of them is harmlessly conservative).
+func envOptionsKey(opts TrainOptions) string {
+	b, _ := json.Marshal(opts)
+	return string(b)
+}
+
+// source resolves a dataset reference: synthetic workloads regenerate
+// locally, inline rows come from the payload, and store ids resolve through
+// the local cache — fetched from the coordinator at most once per content.
+func (w *Worker) source(ctx context.Context, ref DatasetRef) (dataset.Source, error) {
+	switch {
+	case ref.Synthetic != nil:
+		s := ref.Synthetic
+		return datagen.Generate(s.Name, datagen.Config{Rows: s.Rows, Dim: s.Dim, Seed: s.Seed})
+	case ref.Inline != nil:
+		return ref.Inline.Build()
+	case ref.ID != "":
+		return w.fetchDataset(ctx, ref)
+	default:
+		return nil, errors.New("cluster: task has no dataset")
+	}
+}
+
+// Build materializes the inline payload as a Dataset.
+func (d *Inline) Build() (*dataset.Dataset, error) {
+	task, err := dataset.ParseTask(d.Task)
+	if err != nil {
+		return nil, err
+	}
+	return dataset.FromDense(task, d.X, d.Y, d.Classes)
+}
+
+// fetchDataset returns the cached handle for ref, downloading the bundle
+// from the coordinator when the cache misses (or holds different content).
+func (w *Worker) fetchDataset(ctx context.Context, ref DatasetRef) (*store.Handle, error) {
+	w.fetchMu.Lock()
+	defer w.fetchMu.Unlock()
+	if h, err := w.cache.Get(ref.ID); err == nil {
+		man := h.Manifest()
+		if man.RowCRC32 == ref.RowCRC32 && man.IndexCRC32 == ref.IndexCRC32 {
+			return h, nil
+		}
+		// Same id, different content: the cache is from another coordinator
+		// lifetime. Replace it.
+		if err := w.cache.Delete(ref.ID); err != nil {
+			return nil, err
+		}
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		w.cfg.Coordinator+"/v1/cluster/datasets/"+ref.ID, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := w.client.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("%w: fetch dataset %s: %v", errInfra, ref.ID, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound {
+		// The coordinator genuinely has no such dataset — deterministic.
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<10))
+		return nil, fmt.Errorf("cluster: fetch dataset %s: status %d: %s", ref.ID, resp.StatusCode, body)
+	}
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<10))
+		return nil, fmt.Errorf("%w: fetch dataset %s: status %d: %s", errInfra, ref.ID, resp.StatusCode, body)
+	}
+	h, err := w.cache.ImportBundle(ref.ID, resp.Body)
+	if err != nil {
+		// A truncated or checksum-failing transfer is retryable; the bytes
+		// on the coordinator are fine.
+		return nil, fmt.Errorf("%w: %v", errInfra, err)
+	}
+	w.logf("blinkml-worker: cached dataset %s (%d rows)", ref.ID, h.Manifest().Rows)
+	return h, nil
+}
+
+// encodeScore maps a trial score to the wire (nil encodes NaN, which JSON
+// cannot carry).
+func encodeScore(v float64) *float64 {
+	if math.IsNaN(v) {
+		return nil
+	}
+	return &v
+}
+
+// DecodeScore is the inverse of encodeScore.
+func DecodeScore(p *float64) float64 {
+	if p == nil {
+		return math.NaN()
+	}
+	return *p
+}
+
+// encodeModel serializes a training result as a modelio envelope.
+func encodeModel(spec models.Spec, res *core.Result, dim int) ([]byte, error) {
+	var buf bytes.Buffer
+	err := modelio.Encode(&buf, &modelio.Model{
+		Spec:             spec,
+		Theta:            res.Theta,
+		Dim:              dim,
+		SampleSize:       res.SampleSize,
+		PoolSize:         res.PoolSize,
+		EstimatedEpsilon: res.EstimatedEpsilon,
+		UsedInitialModel: res.UsedInitialModel,
+		Diag:             res.Diag,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// errInfra marks failures of the worker's own infrastructure (dataset
+// transfer, cross-task cache contamination) rather than of the task: the
+// task is handed back for a retry instead of failed as deterministic.
+var errInfra = errors.New("cluster: worker infrastructure error")
+
+// statusError carries a non-2xx protocol response.
+type statusError struct {
+	status int
+	msg    string
+}
+
+func (e *statusError) Error() string {
+	return fmt.Sprintf("cluster: status %d: %s", e.status, e.msg)
+}
+
+// isStatus reports whether err is a statusError with the given code.
+func isStatus(err error, status int) bool {
+	var se *statusError
+	return errors.As(err, &se) && se.status == status
+}
+
+// call POSTs a JSON request to the coordinator and decodes the JSON
+// response. Non-2xx responses become statusErrors carrying the protocol
+// error message.
+func (w *Worker) call(ctx context.Context, path string, in, out any) error {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, w.cfg.Coordinator+path, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := w.client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNoContent {
+		return &statusError{status: http.StatusNoContent}
+	}
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, maxProtocolBody))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode/100 != 2 {
+		var pe protoError
+		msg := string(raw)
+		if json.Unmarshal(raw, &pe) == nil && pe.Error != "" {
+			msg = pe.Error
+		}
+		return &statusError{status: resp.StatusCode, msg: msg}
+	}
+	if out != nil && len(raw) > 0 {
+		if err := json.Unmarshal(raw, out); err != nil {
+			return fmt.Errorf("cluster: decode %s response: %w", path, err)
+		}
+	}
+	return nil
+}

@@ -98,11 +98,7 @@ func NewEnvFromSource(src dataset.Source, opt Options) (*Env, error) {
 	meta := src.Meta()
 	rng := stat.NewRNG(opt.Seed)
 	n := meta.Rows
-	hf := opt.HoldoutFraction
-	if max := float64(opt.MaxHoldout) / float64(n); hf > max {
-		hf = max
-	}
-	split := dataset.NewSplit(rng, n, hf, opt.TestFraction)
+	split := dataset.NewSplit(rng, n, cappedHoldoutFraction(n, opt), opt.TestFraction)
 	holdout, err := src.Materialize(split.Holdout)
 	if err != nil {
 		return nil, fmt.Errorf("core: materialize holdout: %w", err)
@@ -119,6 +115,27 @@ func NewEnvFromSource(src dataset.Source, opt Options) (*Env, error) {
 		test:    test,
 		seed:    opt.Seed,
 	}, nil
+}
+
+// cappedHoldoutFraction applies the MaxHoldout row cap to the holdout
+// fraction for an n-row dataset (opt must already have defaults applied).
+func cappedHoldoutFraction(n int, opt Options) float64 {
+	hf := opt.HoldoutFraction
+	if max := float64(opt.MaxHoldout) / float64(n); hf > max {
+		hf = max
+	}
+	return hf
+}
+
+// PoolSize returns N — the training-pool size an Env built over an n-row
+// source with these options would have — from the row count alone. A
+// scheduler dispatching work to remote environments uses it to know the
+// pool size without materializing a single row; it is exact: the same
+// arithmetic NewEnvFromSource's split uses.
+func PoolSize(rows int, opt Options) int {
+	opt = opt.withDefaults()
+	h, t := dataset.SplitSizes(rows, cappedHoldoutFraction(rows, opt), opt.TestFraction)
+	return rows - h - t
 }
 
 // Seed returns the seed the environment was split with; derived per-

@@ -38,7 +38,7 @@ func (c Config) withDefaults(rows, dim int) Config {
 // a slowly drifting AR(1) process per column, the target is a fixed linear
 // response plus mild sensor noise. Defaults: 50,000 rows, 57 features.
 func Gas(cfg Config) *dataset.Dataset {
-	cfg = cfg.withDefaults(50000, 57)
+	cfg = cfg.withDefaults(defaultShape("gas"))
 	rng := stat.NewRNG(mix(cfg.Seed, 0x6A5))
 	theta := groundTruth(rng, cfg.Dim, 1.0)
 	ds := &dataset.Dataset{Dim: cfg.Dim, Task: dataset.Regression, Name: "gas"}
@@ -65,7 +65,7 @@ func Gas(cfg Config) *dataset.Dataset {
 // 2.1M rows, d=114): a mix of daily-periodic components and appliance
 // spikes. Defaults: 50,000 rows, 114 features.
 func Power(cfg Config) *dataset.Dataset {
-	cfg = cfg.withDefaults(50000, 114)
+	cfg = cfg.withDefaults(defaultShape("power"))
 	rng := stat.NewRNG(mix(cfg.Seed, 0x90E))
 	theta := groundTruth(rng, cfg.Dim, 0.8)
 	ds := &dataset.Dataset{Dim: cfg.Dim, Task: dataset.Regression, Name: "power"}
@@ -92,7 +92,7 @@ func Power(cfg Config) *dataset.Dataset {
 // the Bayes error is materially above zero, as for the real data. Defaults:
 // 60,000 rows, 28 features.
 func Higgs(cfg Config) *dataset.Dataset {
-	cfg = cfg.withDefaults(60000, 28)
+	cfg = cfg.withDefaults(defaultShape("higgs"))
 	rng := stat.NewRNG(mix(cfg.Seed, 0x8165))
 	sep := make([]float64, cfg.Dim)
 	for j := range sep {
@@ -125,7 +125,7 @@ func Higgs(cfg Config) *dataset.Dataset {
 // ~25% positive rate. Defaults: 60,000 rows, 5,000 features (Dim is
 // CLI-scalable up to the paper's 10⁶ since rows stay sparse).
 func Criteo(cfg Config) *dataset.Dataset {
-	cfg = cfg.withDefaults(60000, 5000)
+	cfg = cfg.withDefaults(defaultShape("criteo"))
 	rng := stat.NewRNG(mix(cfg.Seed, 0xC417))
 	zipf := stat.NewZipf(rng, cfg.Dim-1, 1.1)
 	theta := groundTruth(rng, cfg.Dim, 0.9)
@@ -175,7 +175,7 @@ func Criteo(cfg Config) *dataset.Dataset {
 // prototype plus pixel noise, clipped to [0, 1]. Defaults: 30,000 rows, 784
 // features (tests use Dim=64 for speed).
 func MNIST(cfg Config) *dataset.Dataset {
-	cfg = cfg.withDefaults(30000, 784)
+	cfg = cfg.withDefaults(defaultShape("mnist"))
 	const k = 10
 	rng := stat.NewRNG(mix(cfg.Seed, 0x3157))
 	protos := make([][]float64, k)
@@ -212,7 +212,7 @@ func MNIST(cfg Config) *dataset.Dataset {
 // Zipf vocabulary mixed with one of five rating-specific topics. Defaults:
 // 30,000 rows, 10,000 vocabulary terms, 5 classes.
 func Yelp(cfg Config) *dataset.Dataset {
-	cfg = cfg.withDefaults(30000, 10000)
+	cfg = cfg.withDefaults(defaultShape("yelp"))
 	const k = 5
 	rng := stat.NewRNG(mix(cfg.Seed, 0x9E12))
 	global := stat.NewZipf(rng, cfg.Dim, 1.05)
@@ -255,7 +255,7 @@ func Yelp(cfg Config) *dataset.Dataset {
 // regression as a supported GLM): event counts with a log-linear rate.
 // Defaults: 30,000 rows, 20 features.
 func Counts(cfg Config) *dataset.Dataset {
-	cfg = cfg.withDefaults(30000, 20)
+	cfg = cfg.withDefaults(defaultShape("counts"))
 	rng := stat.NewRNG(mix(cfg.Seed, 0x70C7))
 	theta := groundTruth(rng, cfg.Dim, 0.25)
 	ds := &dataset.Dataset{Dim: cfg.Dim, Task: dataset.Regression, Name: "counts"}
@@ -271,27 +271,58 @@ func Counts(cfg Config) *dataset.Dataset {
 	return ds
 }
 
+// generators is the single registry of synthetic workloads: each entry
+// carries the generator's default rows × dim (laptop-scaled stand-ins for
+// the paper's Table 2 sizes) and its builder, so Shape and Generate can
+// never drift apart on which names exist.
+var generators = map[string]struct {
+	rows, dim int
+	build     func(Config) *dataset.Dataset
+}{}
+
+// The registry is filled in init (not a composite literal) because the
+// builders themselves read their defaults back out of it.
+func init() {
+	reg := func(name string, rows, dim int, build func(Config) *dataset.Dataset) {
+		generators[name] = struct {
+			rows, dim int
+			build     func(Config) *dataset.Dataset
+		}{rows, dim, build}
+	}
+	reg("gas", 50000, 57, Gas)
+	reg("power", 50000, 114, Power)
+	reg("criteo", 60000, 5000, Criteo)
+	reg("higgs", 60000, 28, Higgs)
+	reg("mnist", 30000, 784, MNIST)
+	reg("yelp", 30000, 10000, Yelp)
+	reg("counts", 30000, 20, Counts)
+}
+
+func defaultShape(name string) (rows, dim int) {
+	g := generators[name]
+	return g.rows, g.dim
+}
+
+// Shape returns the rows × dim a Generate(name, cfg) call would produce —
+// the per-dataset defaults applied to cfg — without generating anything.
+// Schedulers use it to size work for a synthetic workload before (or
+// instead of) materializing it.
+func Shape(name string, cfg Config) (rows, dim int, err error) {
+	if _, ok := generators[name]; !ok {
+		return 0, 0, fmt.Errorf("datagen: unknown dataset %q", name)
+	}
+	cfg = cfg.withDefaults(defaultShape(name))
+	return cfg.Rows, cfg.Dim, nil
+}
+
 // Generate dispatches by dataset name ("gas", "power", "criteo", "higgs",
 // "mnist", "yelp", "counts").
 func Generate(name string, cfg Config) (*dataset.Dataset, error) {
-	switch name {
-	case "gas":
-		return Gas(cfg), nil
-	case "power":
-		return Power(cfg), nil
-	case "criteo":
-		return Criteo(cfg), nil
-	case "higgs":
-		return Higgs(cfg), nil
-	case "mnist":
-		return MNIST(cfg), nil
-	case "yelp":
-		return Yelp(cfg), nil
-	case "counts":
-		return Counts(cfg), nil
-	default:
+	g, ok := generators[name]
+	if !ok {
 		return nil, fmt.Errorf("datagen: unknown dataset %q", name)
 	}
+	return g.build(cfg), nil
 }
 
 // groundTruth draws a fixed parameter vector with the given scale.

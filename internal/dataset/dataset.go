@@ -9,6 +9,7 @@
 package dataset
 
 import (
+	"errors"
 	"fmt"
 	"math"
 
@@ -223,6 +224,49 @@ func (d *Dataset) Subset(idx []int) *Dataset {
 	return sub
 }
 
+// FromDense builds a Dataset from dense row-major data: the shared
+// materialization path for inline payloads (serving-layer requests, cluster
+// task payloads). For MultiClassification, classes 0 infers K from the
+// labels. The result is validated.
+func FromDense(task Task, x [][]float64, y []float64, classes int) (*Dataset, error) {
+	if len(x) == 0 {
+		return nil, errors.New("dataset: no rows")
+	}
+	dim := len(x[0])
+	if dim == 0 {
+		return nil, errors.New("dataset: rows are empty")
+	}
+	ds := &Dataset{Dim: dim, Task: task, Name: "inline"}
+	ds.X = make([]Row, len(x))
+	for i, row := range x {
+		if len(row) != dim {
+			return nil, fmt.Errorf("dataset: row %d has %d features, want %d", i, len(row), dim)
+		}
+		ds.X[i] = DenseRow(row)
+	}
+	if task != Unsupervised {
+		if len(y) != len(x) {
+			return nil, fmt.Errorf("dataset: %d rows but %d labels", len(x), len(y))
+		}
+		ds.Y = y
+	}
+	if task == MultiClassification {
+		k := classes
+		if k == 0 {
+			for _, v := range y {
+				if c := int(v) + 1; c > k {
+					k = c
+				}
+			}
+		}
+		ds.NumClasses = k
+	}
+	if err := ds.Validate(); err != nil {
+		return nil, err
+	}
+	return ds, nil
+}
+
 // SampleWithoutReplacement returns n distinct uniform indices into a
 // population of the given size, using a partial Fisher-Yates shuffle
 // (O(size) memory, O(n) swaps). It panics if n > size; callers are expected
@@ -256,6 +300,19 @@ type Split struct {
 // clamped so every part gets at least one row when n >= 3.
 func NewSplit(rng *stat.RNG, n int, holdoutFrac, testFrac float64) Split {
 	perm := rng.Perm(n)
+	h, t := SplitSizes(n, holdoutFrac, testFrac)
+	return Split{
+		Holdout: perm[:h:h],
+		Test:    perm[h : h+t : h+t],
+		Train:   perm[h+t:],
+	}
+}
+
+// SplitSizes returns the holdout and test row counts NewSplit would carve
+// from n rows, without building the permutation. It exists so a scheduler
+// can know a pool's size (n − holdout − test) from dataset metadata alone —
+// no rows touched, no O(n) index allocation.
+func SplitSizes(n int, holdoutFrac, testFrac float64) (holdout, test int) {
 	h := int(float64(n) * holdoutFrac)
 	t := int(float64(n) * testFrac)
 	if n >= 3 {
@@ -269,9 +326,5 @@ func NewSplit(rng *stat.RNG, n int, holdoutFrac, testFrac float64) Split {
 	if h+t > n {
 		h, t = n/2, n-n/2
 	}
-	return Split{
-		Holdout: perm[:h:h],
-		Test:    perm[h : h+t : h+t],
-		Train:   perm[h+t:],
-	}
+	return h, t
 }

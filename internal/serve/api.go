@@ -7,6 +7,7 @@
 //
 //	POST   /v1/train               enqueue a training job, returns a job id
 //	POST   /v1/tune                enqueue a hyperparameter search, returns a job id
+//	GET    /v1/jobs                list jobs (?state= filters by state)
 //	GET    /v1/jobs/{id}           job status + Figure-8 phase breakdown (+ tune leaderboard)
 //	DELETE /v1/jobs/{id}           cancel a queued or running job
 //	POST   /v1/datasets            streaming CSV/LibSVM upload into the dataset store
@@ -19,6 +20,10 @@
 //	POST   /v1/models/{id}/predict batched prediction over many rows
 //	GET    /healthz                liveness + registry/store/queue snapshot
 //	GET    /metrics                expvar counters
+//
+// In cluster mode (Config.Cluster) the coordinator protocol is mounted
+// under /v1/cluster (see internal/cluster) and jobs execute on remote
+// blinkml-worker processes instead of in-process.
 //
 // Training and tuning requests reference data three ways: synthetic
 // workloads, inline rows, or a dataset_id naming a stored upload — the
@@ -158,42 +163,7 @@ func (d *InlineData) Build() (*dataset.Dataset, error) {
 	if err != nil {
 		return nil, err
 	}
-	if len(d.X) == 0 {
-		return nil, errors.New("serve: inline dataset has no rows")
-	}
-	dim := len(d.X[0])
-	if dim == 0 {
-		return nil, errors.New("serve: inline rows are empty")
-	}
-	ds := &dataset.Dataset{Dim: dim, Task: task, Name: "inline"}
-	ds.X = make([]dataset.Row, len(d.X))
-	for i, row := range d.X {
-		if len(row) != dim {
-			return nil, fmt.Errorf("serve: inline row %d has %d features, want %d", i, len(row), dim)
-		}
-		ds.X[i] = dataset.DenseRow(row)
-	}
-	if task != dataset.Unsupervised {
-		if len(d.Y) != len(d.X) {
-			return nil, fmt.Errorf("serve: %d rows but %d labels", len(d.X), len(d.Y))
-		}
-		ds.Y = d.Y
-	}
-	if task == dataset.MultiClassification {
-		k := d.Classes
-		if k == 0 {
-			for _, y := range d.Y {
-				if c := int(y) + 1; c > k {
-					k = c
-				}
-			}
-		}
-		ds.NumClasses = k
-	}
-	if err := ds.Validate(); err != nil {
-		return nil, err
-	}
-	return ds, nil
+	return dataset.FromDense(task, d.X, d.Y, d.Classes)
 }
 
 // TrainResponse acknowledges an enqueued job.
@@ -226,6 +196,11 @@ type JobStatus struct {
 // Done reports whether the job has reached a terminal state.
 func (s JobStatus) Done() bool {
 	return s.State == JobSucceeded || s.State == JobFailed || s.State == JobCancelled
+}
+
+// JobList is the body of GET /v1/jobs (oldest first; ?state= filters).
+type JobList struct {
+	Jobs []JobStatus `json:"jobs"`
 }
 
 // PhaseBreakdown is the paper's Figure-8a decomposition of where training
@@ -337,11 +312,24 @@ type Health struct {
 	Parallelism int `json:"parallelism"`
 	// UptimeSeconds is time since the server was constructed.
 	UptimeSeconds float64 `json:"uptime_seconds"`
+	// Cluster reports coordinator state (cluster mode only).
+	Cluster *ClusterHealth `json:"cluster,omitempty"`
 }
 
-// ErrorResponse is the uniform error body.
+// ClusterHealth is the healthz view of the embedded coordinator.
+type ClusterHealth struct {
+	// Workers is the number of registered, live cluster workers.
+	Workers int `json:"workers"`
+	// TasksPending and TasksLeased snapshot the coordinator's task queue.
+	TasksPending int `json:"tasks_pending"`
+	TasksLeased  int `json:"tasks_leased"`
+}
+
+// ErrorResponse is the uniform error body. Jobs carries the referencing job
+// ids when a dataset delete is refused with 409.
 type ErrorResponse struct {
-	Error string `json:"error"`
+	Error string   `json:"error"`
+	Jobs  []string `json:"jobs,omitempty"`
 }
 
 // RunReport is the machine-readable result of a one-shot blinkml CLI run

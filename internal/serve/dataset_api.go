@@ -7,6 +7,7 @@ import (
 	"mime"
 	"net/http"
 	"strconv"
+	"strings"
 	"time"
 
 	"blinkml/internal/store"
@@ -263,7 +264,20 @@ func (s *Server) handleDatasetGet(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleDatasetDelete(w http.ResponseWriter, r *http.Request) {
-	if err := s.store.Delete(r.PathValue("id")); err != nil {
+	id := r.PathValue("id")
+	// A dataset referenced by queued or running work must not be pulled out
+	// from under it: the job would fail mid-task with a read error. 409
+	// names the jobs so the client can cancel or wait them out. (A job
+	// admitted between this check and the delete loses the race and fails
+	// when it resolves the id — the honest outcome either way.)
+	if jobs := s.queue.ActiveDatasetJobs(id); len(jobs) > 0 {
+		writeJSON(w, http.StatusConflict, ErrorResponse{
+			Error: fmt.Sprintf("serve: dataset %s is referenced by active jobs: %s", id, strings.Join(jobs, ", ")),
+			Jobs:  jobs,
+		})
+		return
+	}
+	if err := s.store.Delete(id); err != nil {
 		status := http.StatusNotFound
 		if !errors.Is(err, store.ErrNotFound) {
 			status = http.StatusInternalServerError

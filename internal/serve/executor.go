@@ -1,0 +1,293 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"time"
+
+	"blinkml/internal/cluster"
+	"blinkml/internal/core"
+	"blinkml/internal/datagen"
+	"blinkml/internal/optimize"
+	"blinkml/internal/tune"
+)
+
+// executor is where a queued job's work actually runs. The queue stays the
+// single admission/cancellation point; the executor decides *where*
+// training happens: in this process (localExecutor — the default, exactly
+// the pre-cluster behavior) or fanned out to cluster workers
+// (clusterExecutor, when the server runs as a coordinator).
+type executor interface {
+	execTrain(ctx context.Context, req TrainRequest) (TaskResult, error)
+	execTune(ctx context.Context, req TuneRequest) (TaskResult, error)
+}
+
+// trainCoreOptions maps a train request to core options (shared by both
+// executors so the contract is identical wherever the job runs).
+func trainCoreOptions(req TrainRequest) core.Options {
+	return core.Options{
+		Epsilon:           req.Epsilon,
+		Delta:             req.Delta,
+		Seed:              req.Options.Seed,
+		InitialSampleSize: req.Options.InitialSampleSize,
+		MinSampleSize:     req.Options.MinSampleSize,
+		WarmStart:         req.Options.WarmStart,
+		Optimizer:         optimize.Options{MaxIters: req.Options.MaxIters},
+	}
+}
+
+// tuneConfig maps a tune request to a search config. The queue's worker
+// pool is the service's concurrency budget; a tune job's internal training
+// pool must not multiply it, so the per-request worker count is clamped to
+// the server's own worker setting.
+func (s *Server) tuneConfig(req TuneRequest) tune.Config {
+	tf := req.Options.TestFraction
+	if tf == 0 {
+		tf = 0.15
+	}
+	workers := req.Options.Workers
+	if workers <= 0 || workers > s.cfg.Workers {
+		workers = s.cfg.Workers
+	}
+	return tune.Config{
+		Train: core.Options{
+			Epsilon:           req.Epsilon,
+			Delta:             req.Delta,
+			Seed:              req.Options.Seed,
+			InitialSampleSize: req.Options.InitialSampleSize,
+			TestFraction:      tf,
+			Optimizer:         optimize.Options{MaxIters: req.Options.MaxIters},
+		},
+		Workers: workers,
+		Halving: req.Options.Halving,
+		Rungs:   req.Options.Rungs,
+		Eta:     req.Options.Eta,
+		Seed:    req.Options.Seed,
+	}
+}
+
+// finishTune registers the search winner and builds the job result (shared
+// executor tail). dim is the dataset's feature dimension.
+func (s *Server) finishTune(res *tune.Result, dim int, elapsed time.Duration) (TaskResult, error) {
+	s.m.TuneRuns.Add(1)
+	s.m.TuneLatencyMsSum.Add(float64(elapsed) / float64(time.Millisecond))
+	s.m.TuneCandidates.Add(int64(res.Evaluated))
+	s.m.TuneCandidatesPruned.Add(int64(res.Pruned))
+	best := res.Best
+	id, err := s.registerModel(best.Spec, best.Theta, dim, &core.Result{
+		SampleSize:       best.SampleSize,
+		PoolSize:         best.PoolSize,
+		EstimatedEpsilon: best.EstimatedEpsilon,
+		UsedInitialModel: best.UsedInitialModel,
+		Diag:             best.Diag,
+	})
+	if err != nil {
+		return TaskResult{}, err
+	}
+	rep, err := NewTuneReport(res)
+	if err != nil {
+		return TaskResult{}, err
+	}
+	return TaskResult{
+		ModelID:     id,
+		Diagnostics: NewPhaseBreakdown(best.Diag),
+		Tune:        rep,
+	}, nil
+}
+
+// localExecutor runs jobs in-process — the pre-cluster path, bit for bit.
+type localExecutor struct{ s *Server }
+
+func (e localExecutor) execTrain(ctx context.Context, req TrainRequest) (TaskResult, error) {
+	s := e.s
+	spec, err := req.Model.Spec()
+	if err != nil {
+		return TaskResult{}, err
+	}
+	src, err := s.buildSource(req.Dataset)
+	if err != nil {
+		return TaskResult{}, err
+	}
+	start := time.Now()
+	res, err := core.TrainSourceContext(ctx, spec, src, trainCoreOptions(req))
+	if err != nil {
+		return TaskResult{}, err
+	}
+	s.m.TrainRuns.Add(1)
+	s.m.TrainLatencyMsSum.Add(float64(time.Since(start)) / float64(time.Millisecond))
+	s.m.SampleSizeSum.Add(int64(res.SampleSize))
+	s.m.SampleSizeLast.Set(int64(res.SampleSize))
+	id, err := s.registerModel(spec, res.Theta, src.Meta().Dim, res)
+	if err != nil {
+		return TaskResult{}, err
+	}
+	return TaskResult{ModelID: id, Diagnostics: NewPhaseBreakdown(res.Diag)}, nil
+}
+
+func (e localExecutor) execTune(ctx context.Context, req TuneRequest) (TaskResult, error) {
+	s := e.s
+	space, err := req.Space.Space()
+	if err != nil {
+		return TaskResult{}, err
+	}
+	src, err := s.buildSource(req.Dataset)
+	if err != nil {
+		return TaskResult{}, err
+	}
+	start := time.Now()
+	res, err := tune.RunSource(ctx, space, src, s.tuneConfig(req))
+	if err != nil {
+		return TaskResult{}, err
+	}
+	return s.finishTune(res, src.Meta().Dim, time.Since(start))
+}
+
+// clusterExecutor dispatches jobs to the embedded coordinator's workers. A
+// train job becomes one remote task; a tune job keeps its leaderboard logic
+// here and ships every trial (each halving rung, each contract training) as
+// its own task, so one search spreads across the fleet.
+type clusterExecutor struct {
+	s     *Server
+	coord *cluster.Coordinator
+}
+
+func (e *clusterExecutor) execTrain(ctx context.Context, req TrainRequest) (TaskResult, error) {
+	s := e.s
+	if _, err := req.Model.Spec(); err != nil {
+		return TaskResult{}, err
+	}
+	ref, _, err := s.clusterDatasetRef(req.Dataset)
+	if err != nil {
+		return TaskResult{}, err
+	}
+	opts := trainCoreOptions(req)
+	start := time.Now()
+	id, err := e.coord.Submit(cluster.TaskSpec{Kind: cluster.KindTrain, Train: &cluster.TrainTask{
+		Spec:    req.Model,
+		Dataset: ref,
+		Options: clusterTrainOptions(opts),
+	}})
+	if err != nil {
+		return TaskResult{}, err
+	}
+	payload, err := e.coord.Await(ctx, id)
+	if err != nil {
+		return TaskResult{}, err
+	}
+	m, err := cluster.DecodeModel(payload.Model)
+	if err != nil {
+		return TaskResult{}, err
+	}
+	res := &core.Result{
+		Theta:            m.Theta,
+		SampleSize:       m.SampleSize,
+		EstimatedEpsilon: m.EstimatedEpsilon,
+		UsedInitialModel: m.UsedInitialModel,
+		PoolSize:         m.PoolSize,
+		Diag:             m.Diag,
+	}
+	s.m.TrainRuns.Add(1)
+	s.m.TrainLatencyMsSum.Add(float64(time.Since(start)) / float64(time.Millisecond))
+	s.m.SampleSizeSum.Add(int64(res.SampleSize))
+	s.m.SampleSizeLast.Set(int64(res.SampleSize))
+	// The worker shipped the model through modelio; registering its decoded
+	// spec (which carries trained derived state — PPCA's σ² — exactly as
+	// the local path's spec instance would) re-encodes the same bytes, so
+	// the registry entry is identical to a locally trained one.
+	mid, err := s.registerModel(m.Spec, m.Theta, m.Dim, res)
+	if err != nil {
+		return TaskResult{}, err
+	}
+	return TaskResult{ModelID: mid, Diagnostics: NewPhaseBreakdown(res.Diag)}, nil
+}
+
+func (e *clusterExecutor) execTune(ctx context.Context, req TuneRequest) (TaskResult, error) {
+	s := e.s
+	space, err := req.Space.Space()
+	if err != nil {
+		return TaskResult{}, err
+	}
+	ref, shape, err := s.clusterDatasetRef(req.Dataset)
+	if err != nil {
+		return TaskResult{}, err
+	}
+	cfg := s.tuneConfig(req)
+	// tuneConfig's worker clamp protects local CPU, but cluster trials run
+	// on remote machines: the right bound is the fleet's capacity (what can
+	// actually execute at once), not this process's queue width. An
+	// explicit request still wins; a little headroom keeps the queue fed
+	// as workers join mid-search.
+	if req.Options.Workers > 0 {
+		cfg.Workers = req.Options.Workers
+	} else if fleet := e.coord.TotalCapacity(); fleet > cfg.Workers {
+		cfg.Workers = fleet + 2
+	}
+	runner := cluster.NewTrialRunner(e.coord, ref, clusterTrainOptions(cfg.Train), core.PoolSize(shape.rows, cfg.Train))
+	start := time.Now()
+	res, err := tune.SearchRunner(ctx, space, runner, cfg)
+	if err != nil {
+		return TaskResult{}, err
+	}
+	return s.finishTune(res, shape.dim, time.Since(start))
+}
+
+// dataShape is a dataset's rows × dim, known without materializing it.
+type dataShape struct{ rows, dim int }
+
+// clusterDatasetRef converts a request's dataset reference to the cluster
+// wire form, pinning stored datasets to their content checksums, and
+// reports the dataset's shape (what sizes a search's pool).
+func (s *Server) clusterDatasetRef(ref DatasetRef) (cluster.DatasetRef, dataShape, error) {
+	switch {
+	case ref.ID != "":
+		h, err := s.store.Get(ref.ID)
+		if err != nil {
+			return cluster.DatasetRef{}, dataShape{}, err
+		}
+		man := h.Manifest()
+		return cluster.DatasetRef{
+			ID:         ref.ID,
+			Rows:       man.Rows,
+			RowCRC32:   man.RowCRC32,
+			IndexCRC32: man.IndexCRC32,
+		}, dataShape{man.Rows, man.Dim}, nil
+	case ref.Synthetic != nil:
+		r := ref.Synthetic
+		rows, dim, err := datagen.Shape(r.Name, datagen.Config{Rows: r.Rows, Dim: r.Dim})
+		if err != nil {
+			return cluster.DatasetRef{}, dataShape{}, err
+		}
+		return cluster.DatasetRef{Synthetic: &cluster.Synth{
+			Name: r.Name, Rows: r.Rows, Dim: r.Dim, Seed: r.Seed,
+		}}, dataShape{rows, dim}, nil
+	case ref.Inline != nil:
+		// Validated at admission, so the shape is trustworthy here.
+		dim := 0
+		if len(ref.Inline.X) > 0 {
+			dim = len(ref.Inline.X[0])
+		}
+		return cluster.DatasetRef{Inline: &cluster.Inline{
+			Task:    ref.Inline.Task,
+			X:       ref.Inline.X,
+			Y:       ref.Inline.Y,
+			Classes: ref.Inline.Classes,
+		}}, dataShape{len(ref.Inline.X), dim}, nil
+	default:
+		return cluster.DatasetRef{}, dataShape{}, errors.New("serve: missing dataset")
+	}
+}
+
+// clusterTrainOptions maps core options to the wire subset workers rebuild
+// them from.
+func clusterTrainOptions(o core.Options) cluster.TrainOptions {
+	return cluster.TrainOptions{
+		Epsilon:           o.Epsilon,
+		Delta:             o.Delta,
+		Seed:              o.Seed,
+		InitialSampleSize: o.InitialSampleSize,
+		MinSampleSize:     o.MinSampleSize,
+		MaxIters:          o.Optimizer.MaxIters,
+		WarmStart:         o.WarmStart,
+		TestFraction:      o.TestFraction,
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 )
@@ -47,12 +48,22 @@ type TaskResult struct {
 	Tune *TuneReport
 }
 
+// datasetTask is implemented by tasks that reference a stored dataset; the
+// queue records the id so the dataset API can refuse to delete a dataset
+// out from under queued or running work.
+type datasetTask interface {
+	datasetID() string
+}
+
 // Job is one queued or running task. All mutable state is behind mu;
 // handlers read consistent snapshots via Status.
 type Job struct {
 	ID   string
 	kind string
-	task Task
+	// dataset is the stored-dataset id the task references ("" when the job
+	// trains on synthetic or inline data). Immutable after Enqueue.
+	dataset string
+	task    Task
 
 	ctx    context.Context
 	cancel context.CancelFunc
@@ -187,6 +198,9 @@ func (q *Queue) Enqueue(task Task) (*Job, error) {
 		state:      JobQueued,
 		enqueuedAt: time.Now(),
 	}
+	if dt, ok := task.(datasetTask); ok {
+		job.dataset = dt.datasetID()
+	}
 	select {
 	case q.ch <- job:
 	default:
@@ -226,6 +240,51 @@ func (q *Queue) Len() int {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	return len(q.jobs)
+}
+
+// List snapshots every known job in id order (oldest first), optionally
+// filtered to one state ("" keeps all).
+func (q *Queue) List(state string) []JobStatus {
+	q.mu.Lock()
+	jobs := make([]*Job, 0, len(q.jobs))
+	for _, job := range q.jobs {
+		jobs = append(jobs, job)
+	}
+	q.mu.Unlock()
+	sort.Slice(jobs, func(i, j int) bool { return jobs[i].ID < jobs[j].ID })
+	out := make([]JobStatus, 0, len(jobs))
+	for _, job := range jobs {
+		st := job.Status()
+		if state == "" || st.State == state {
+			out = append(out, st)
+		}
+	}
+	return out
+}
+
+// ActiveDatasetJobs returns the ids of queued or running jobs that
+// reference the stored dataset, in id order. The dataset API consults it
+// before a delete.
+func (q *Queue) ActiveDatasetJobs(datasetID string) []string {
+	if datasetID == "" {
+		return nil
+	}
+	q.mu.Lock()
+	var ids []string
+	for _, job := range q.jobs {
+		if job.dataset != datasetID {
+			continue
+		}
+		job.mu.Lock()
+		active := job.state == JobQueued || job.state == JobRunning
+		job.mu.Unlock()
+		if active {
+			ids = append(ids, job.ID)
+		}
+	}
+	q.mu.Unlock()
+	sort.Strings(ids)
+	return ids
 }
 
 // Cancel stops a job: a queued job is marked cancelled immediately (the

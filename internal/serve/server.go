@@ -10,15 +10,14 @@ import (
 	"path/filepath"
 	"time"
 
+	"blinkml/internal/cluster"
 	"blinkml/internal/compute"
 	"blinkml/internal/core"
 	"blinkml/internal/datagen"
 	"blinkml/internal/dataset"
 	"blinkml/internal/modelio"
 	"blinkml/internal/models"
-	"blinkml/internal/optimize"
 	"blinkml/internal/store"
-	"blinkml/internal/tune"
 )
 
 // Config sizes a Server. Dir is required; everything else has defaults.
@@ -48,6 +47,12 @@ type Config struct {
 	// Parallelism−1 helper goroutines process-wide, so W concurrent jobs
 	// never fan out into W×Parallelism goroutines.
 	Parallelism int
+	// Cluster, when non-nil, runs the server as a cluster coordinator:
+	// train and tune jobs are dispatched to registered blinkml-worker
+	// processes instead of training in-process (tune jobs are decomposed to
+	// per-trial tasks), and the cluster protocol is mounted under
+	// /v1/cluster. Nil keeps the fully local, single-process behavior.
+	Cluster *cluster.Config
 }
 
 func (c Config) withDefaults() Config {
@@ -77,6 +82,8 @@ type Server struct {
 	reg     *Registry
 	store   *store.Store
 	queue   *Queue
+	coord   *cluster.Coordinator // non-nil in cluster mode
+	exec    executor
 	mux     *http.ServeMux
 	m       *Metrics
 	started time.Time
@@ -109,6 +116,12 @@ func New(cfg Config) (*Server, error) {
 	s.m.ModelsStored.Set(int64(reg.Len()))
 	s.refreshStoreGauges()
 	s.queue = NewQueue(cfg.Workers, cfg.QueueDepth, s.m)
+	if cfg.Cluster != nil {
+		s.coord = cluster.NewCoordinator(*cfg.Cluster, st)
+		s.exec = &clusterExecutor{s: s, coord: s.coord}
+	} else {
+		s.exec = localExecutor{s: s}
+	}
 	s.mux = http.NewServeMux()
 	s.routes()
 	return s, nil
@@ -123,8 +136,19 @@ func (s *Server) Registry() *Registry { return s.reg }
 // Store exposes the dataset store (used by the CLI and tests).
 func (s *Server) Store() *store.Store { return s.store }
 
+// Coordinator returns the embedded cluster coordinator (nil outside
+// cluster mode).
+func (s *Server) Coordinator() *cluster.Coordinator { return s.coord }
+
 // Close cancels all outstanding jobs and waits for the workers to drain.
-func (s *Server) Close() { s.queue.Close() }
+// In cluster mode the coordinator is closed first, so jobs blocked on
+// remote tasks fail fast instead of waiting out their contexts.
+func (s *Server) Close() {
+	if s.coord != nil {
+		s.coord.Close()
+	}
+	s.queue.Close()
+}
 
 func (s *Server) routes() {
 	s.mux.HandleFunc("POST /v1/train", s.handleTrain)
@@ -133,6 +157,7 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /v1/datasets", s.handleDatasetList)
 	s.mux.HandleFunc("GET /v1/datasets/{id}", s.handleDatasetGet)
 	s.mux.HandleFunc("DELETE /v1/datasets/{id}", s.handleDatasetDelete)
+	s.mux.HandleFunc("GET /v1/jobs", s.handleJobList)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
 	s.mux.HandleFunc("GET /v1/models", s.handleModelList)
@@ -141,11 +166,14 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("POST /v1/models/{id}/predict", s.handlePredict)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.Handle("GET /metrics", expvar.Handler())
+	if s.coord != nil {
+		s.coord.Mount(s.mux)
+	}
 }
 
-// trainTask is the queued form of POST /v1/train: materialize the dataset,
-// run the BlinkML coordinator under the job's context, and persist the
-// result.
+// trainTask is the queued form of POST /v1/train; its work runs through the
+// server's executor — in-process by default, on cluster workers in
+// coordinator mode.
 type trainTask struct {
 	s   *Server
 	req TrainRequest
@@ -154,44 +182,16 @@ type trainTask struct {
 // Kind implements Task.
 func (trainTask) Kind() string { return "train" }
 
+// datasetID implements datasetTask.
+func (t trainTask) datasetID() string { return t.req.Dataset.ID }
+
 // Run implements Task.
 func (t trainTask) Run(ctx context.Context) (TaskResult, error) {
-	s, req := t.s, t.req
-	spec, err := req.Model.Spec()
-	if err != nil {
-		return TaskResult{}, err
-	}
-	src, err := s.buildSource(req.Dataset)
-	if err != nil {
-		return TaskResult{}, err
-	}
-	cfg := core.Options{
-		Epsilon:           req.Epsilon,
-		Delta:             req.Delta,
-		Seed:              req.Options.Seed,
-		InitialSampleSize: req.Options.InitialSampleSize,
-		MinSampleSize:     req.Options.MinSampleSize,
-		WarmStart:         req.Options.WarmStart,
-		Optimizer:         optimize.Options{MaxIters: req.Options.MaxIters},
-	}
-	start := time.Now()
-	res, err := core.TrainSourceContext(ctx, spec, src, cfg)
-	if err != nil {
-		return TaskResult{}, err
-	}
-	s.m.TrainRuns.Add(1)
-	s.m.TrainLatencyMsSum.Add(float64(time.Since(start)) / float64(time.Millisecond))
-	s.m.SampleSizeSum.Add(int64(res.SampleSize))
-	s.m.SampleSizeLast.Set(int64(res.SampleSize))
-	id, err := s.registerModel(spec, res.Theta, src.Meta().Dim, res)
-	if err != nil {
-		return TaskResult{}, err
-	}
-	return TaskResult{ModelID: id, Diagnostics: NewPhaseBreakdown(res.Diag)}, nil
+	return t.s.exec.execTrain(ctx, t.req)
 }
 
-// tuneTask is the queued form of POST /v1/tune: run the search under the
-// job's context, register the winning model, and report the leaderboard.
+// tuneTask is the queued form of POST /v1/tune; like trainTask it runs
+// through the server's executor.
 type tuneTask struct {
 	s   *Server
 	req TuneRequest
@@ -200,72 +200,12 @@ type tuneTask struct {
 // Kind implements Task.
 func (tuneTask) Kind() string { return "tune" }
 
+// datasetID implements datasetTask.
+func (t tuneTask) datasetID() string { return t.req.Dataset.ID }
+
 // Run implements Task.
 func (t tuneTask) Run(ctx context.Context) (TaskResult, error) {
-	s, req := t.s, t.req
-	space, err := req.Space.Space()
-	if err != nil {
-		return TaskResult{}, err
-	}
-	src, err := s.buildSource(req.Dataset)
-	if err != nil {
-		return TaskResult{}, err
-	}
-	tf := req.Options.TestFraction
-	if tf == 0 {
-		tf = 0.15
-	}
-	// The queue's worker pool is the service's concurrency budget; a tune
-	// job's internal training pool must not multiply it, so the per-request
-	// worker count is clamped to the server's own worker setting.
-	workers := req.Options.Workers
-	if workers <= 0 || workers > s.cfg.Workers {
-		workers = s.cfg.Workers
-	}
-	cfg := tune.Config{
-		Train: core.Options{
-			Epsilon:           req.Epsilon,
-			Delta:             req.Delta,
-			Seed:              req.Options.Seed,
-			InitialSampleSize: req.Options.InitialSampleSize,
-			TestFraction:      tf,
-			Optimizer:         optimize.Options{MaxIters: req.Options.MaxIters},
-		},
-		Workers: workers,
-		Halving: req.Options.Halving,
-		Rungs:   req.Options.Rungs,
-		Eta:     req.Options.Eta,
-		Seed:    req.Options.Seed,
-	}
-	start := time.Now()
-	res, err := tune.RunSource(ctx, space, src, cfg)
-	if err != nil {
-		return TaskResult{}, err
-	}
-	s.m.TuneRuns.Add(1)
-	s.m.TuneLatencyMsSum.Add(float64(time.Since(start)) / float64(time.Millisecond))
-	s.m.TuneCandidates.Add(int64(res.Evaluated))
-	s.m.TuneCandidatesPruned.Add(int64(res.Pruned))
-	best := res.Best
-	id, err := s.registerModel(best.Spec, best.Theta, src.Meta().Dim, &core.Result{
-		SampleSize:       best.SampleSize,
-		PoolSize:         best.PoolSize,
-		EstimatedEpsilon: best.EstimatedEpsilon,
-		UsedInitialModel: best.UsedInitialModel,
-		Diag:             best.Diag,
-	})
-	if err != nil {
-		return TaskResult{}, err
-	}
-	rep, err := NewTuneReport(res)
-	if err != nil {
-		return TaskResult{}, err
-	}
-	return TaskResult{
-		ModelID:     id,
-		Diagnostics: NewPhaseBreakdown(best.Diag),
-		Tune:        rep,
-	}, nil
+	return t.s.exec.execTune(ctx, t.req)
 }
 
 // registerModel persists a trained model and refreshes the stored-models
@@ -361,6 +301,20 @@ func (s *Server) enqueue(w http.ResponseWriter, task Task) {
 	}
 	w.Header().Set("Location", "/v1/jobs/"+job.ID)
 	writeJSON(w, http.StatusAccepted, TrainResponse{JobID: job.ID, State: JobQueued})
+}
+
+// handleJobList is GET /v1/jobs: every known job, oldest first, optionally
+// filtered with ?state=queued|running|succeeded|failed|cancelled.
+func (s *Server) handleJobList(w http.ResponseWriter, r *http.Request) {
+	state := r.URL.Query().Get("state")
+	switch state {
+	case "", JobQueued, JobRunning, JobSucceeded, JobFailed, JobCancelled:
+	default:
+		writeError(w, http.StatusBadRequest,
+			fmt.Errorf("serve: unknown state filter %q (want queued|running|succeeded|failed|cancelled)", state))
+		return
+	}
+	writeJSON(w, http.StatusOK, JobList{Jobs: s.queue.List(state)})
 }
 
 func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
@@ -471,7 +425,7 @@ func predictBatch(spec models.Spec, theta []float64, rows [][]float64) []float64
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, Health{
+	h := Health{
 		Status:        "ok",
 		Models:        s.reg.Len(),
 		Datasets:      s.store.Len(),
@@ -479,7 +433,16 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Workers:       s.queue.Workers(),
 		Parallelism:   compute.Parallelism(),
 		UptimeSeconds: time.Since(s.started).Seconds(),
-	})
+	}
+	if s.coord != nil {
+		st := s.coord.Status()
+		h.Cluster = &ClusterHealth{
+			Workers:      len(st.Workers),
+			TasksPending: st.TasksPending,
+			TasksLeased:  st.TasksLeased,
+		}
+	}
+	writeJSON(w, http.StatusOK, h)
 }
 
 // readJSON decodes the request body into v, writing a 400 on failure.

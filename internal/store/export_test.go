@@ -1,0 +1,144 @@
+package store
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"blinkml/internal/dataset"
+)
+
+// exportBundle round-trips h through the bundle format into a fresh store.
+func exportBundle(t *testing.T, h *Handle) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := h.ExportTo(&buf); err != nil {
+		t.Fatalf("export: %v", err)
+	}
+	return buf.Bytes()
+}
+
+func TestBundleRoundTrip(t *testing.T) {
+	_, h := ingestCSV(t, t.TempDir())
+	raw := exportBundle(t, h)
+
+	dst, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatalf("open dst: %v", err)
+	}
+	h2, err := dst.ImportBundle(h.ID, bytes.NewReader(raw))
+	if err != nil {
+		t.Fatalf("import: %v", err)
+	}
+	if h2.ID != h.ID {
+		t.Fatalf("imported id %q, want %q", h2.ID, h.ID)
+	}
+	if got, want := h2.Manifest(), h.Manifest(); got.RowCRC32 != want.RowCRC32 || got.IndexCRC32 != want.IndexCRC32 {
+		t.Fatalf("manifest checksums differ after import")
+	}
+	if err := h2.Verify(); err != nil {
+		t.Fatalf("verify imported: %v", err)
+	}
+	// Content must be byte-identical row by row.
+	want, _ := h.Materialize([]int{0, 1, 2, 3, 4})
+	got, err := h2.Materialize([]int{0, 1, 2, 3, 4})
+	if err != nil {
+		t.Fatalf("materialize imported: %v", err)
+	}
+	sameRows(t, got, want, "imported bundle")
+
+	// The imported dataset must survive a store reopen like any ingest.
+	dst2, err := Open(dst.Dir())
+	if err != nil {
+		t.Fatalf("reopen dst: %v", err)
+	}
+	if _, err := dst2.Get(h.ID); err != nil {
+		t.Fatalf("imported dataset lost on reopen: %v", err)
+	}
+}
+
+func TestBundleImportSparse(t *testing.T) {
+	st, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	in := "1 1:0.5 4:-2\n0 2:1.5\n1 1:3 2:4 5:5\n"
+	h, err := st.Ingest(strings.NewReader(in), IngestOptions{
+		Format: "libsvm", Task: dataset.BinaryClassification, Dim: 6,
+	})
+	if err != nil {
+		t.Fatalf("ingest: %v", err)
+	}
+	raw := exportBundle(t, h)
+	dst, _ := Open(t.TempDir())
+	h2, err := dst.ImportBundle(h.ID, bytes.NewReader(raw))
+	if err != nil {
+		t.Fatalf("import: %v", err)
+	}
+	want, _ := h.Materialize([]int{0, 1, 2})
+	got, err := h2.Materialize([]int{0, 1, 2})
+	if err != nil {
+		t.Fatalf("materialize: %v", err)
+	}
+	sameRows(t, got, want, "sparse bundle")
+}
+
+func TestBundleImportDetectsCorruption(t *testing.T) {
+	_, h := ingestCSV(t, t.TempDir())
+	raw := exportBundle(t, h)
+
+	// Flip one payload byte (past the header+manifest region).
+	bad := bytes.Clone(raw)
+	bad[len(bad)-10] ^= 0xFF
+	dst, _ := Open(t.TempDir())
+	if _, err := dst.ImportBundle(h.ID, bytes.NewReader(bad)); err == nil {
+		t.Fatal("import accepted a corrupted bundle")
+	}
+	if dst.Len() != 0 {
+		t.Fatalf("corrupt import left %d datasets behind", dst.Len())
+	}
+
+	// Truncation must fail too (and leave nothing behind).
+	if _, err := dst.ImportBundle(h.ID, bytes.NewReader(raw[:len(raw)-4])); err == nil {
+		t.Fatal("import accepted a truncated bundle")
+	}
+	if dst.Len() != 0 {
+		t.Fatalf("truncated import left %d datasets behind", dst.Len())
+	}
+
+	// Garbage magic.
+	if _, err := dst.ImportBundle(h.ID, strings.NewReader("not a bundle at all")); err == nil {
+		t.Fatal("import accepted garbage")
+	}
+}
+
+func TestBundleImportIdempotent(t *testing.T) {
+	_, h := ingestCSV(t, t.TempDir())
+	raw := exportBundle(t, h)
+	dst, _ := Open(t.TempDir())
+	h1, err := dst.ImportBundle(h.ID, bytes.NewReader(raw))
+	if err != nil {
+		t.Fatalf("first import: %v", err)
+	}
+	h2, err := dst.ImportBundle(h.ID, bytes.NewReader(raw))
+	if err != nil {
+		t.Fatalf("second import: %v", err)
+	}
+	if h1 != h2 {
+		t.Fatal("re-import did not return the cached handle")
+	}
+	if dst.Len() != 1 {
+		t.Fatalf("store has %d datasets, want 1", dst.Len())
+	}
+}
+
+func TestBundleImportRejectsBadID(t *testing.T) {
+	_, h := ingestCSV(t, t.TempDir())
+	raw := exportBundle(t, h)
+	dst, _ := Open(t.TempDir())
+	for _, id := range []string{"", "d-", "../../etc", "d-12x", "m-000001"} {
+		if _, err := dst.ImportBundle(id, bytes.NewReader(raw)); err == nil {
+			t.Fatalf("import accepted id %q", id)
+		}
+	}
+}

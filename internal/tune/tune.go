@@ -153,6 +153,17 @@ func Search(ctx context.Context, space Space, env *core.Env, cfg Config) (*Resul
 		// the whole search.
 		cfg.Seed = env.Seed()
 	}
+	return SearchRunner(ctx, space, NewEnvRunner(env, cfg.Train), cfg)
+}
+
+// SearchRunner evaluates space with an explicit trial Runner — the
+// decomposition point for distributed search: every candidate training
+// (each halving rung and each contract run) is one Trial, and the runner
+// decides where it executes. With the default EnvRunner this is exactly
+// Search; with a remote runner the leaderboard logic stays here while the
+// training fans out to workers.
+func SearchRunner(ctx context.Context, space Space, runner Runner, cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
 	if cfg.Train.Epsilon <= 0 || cfg.Train.Epsilon > 1 {
 		return nil, fmt.Errorf("tune: Train.Epsilon must be in (0,1], got %v", cfg.Train.Epsilon)
 	}
@@ -176,7 +187,7 @@ func Search(ctx context.Context, space Space, env *core.Env, cfg Config) (*Resul
 		states[i] = &candState{cand: c, index: i, testError: math.NaN(), pruneScore: math.NaN()}
 	}
 
-	s := &searcher{env: env, cfg: cfg}
+	s := &searcher{runner: runner, cfg: cfg}
 	if cfg.Halving {
 		err = s.runHalving(ctx, states)
 	} else {
@@ -188,7 +199,7 @@ func Search(ctx context.Context, space Space, env *core.Env, cfg Config) (*Resul
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("tune: search cancelled: %w", err)
 	}
-	return assemble(states, env.PoolLen(), time.Since(start))
+	return assemble(states, runner.PoolLen(), time.Since(start))
 }
 
 // candState is the mutable per-candidate record; each candidate is owned by
@@ -210,8 +221,8 @@ type candState struct {
 }
 
 type searcher struct {
-	env *core.Env
-	cfg Config
+	runner Runner
+	cfg    Config
 }
 
 // runFlat trains every candidate under the full contract.
@@ -228,15 +239,11 @@ func (s *searcher) runHalving(ctx context.Context, states []*candState) error {
 	copy(active, states)
 	n := s.cfg.Train.InitialSampleSize
 	for rung := 0; rung < s.cfg.Rungs && len(active) > 1; rung++ {
-		if n >= s.env.PoolLen() {
+		if n >= s.runner.PoolLen() {
 			break // the "subsample" would be the whole pool; skip straight to the contract stage
 		}
-		sample, err := s.env.SharedSample(n) // materialize once, outside the pool
-		if err != nil {
-			return err
-		}
 		if err := forEach(ctx, s.cfg.Workers, len(active), func(i int) {
-			s.trainRung(ctx, active[i], sample, rung)
+			s.trainRung(ctx, active[i], n, rung)
 		}); err != nil {
 			return err
 		}
@@ -259,75 +266,40 @@ func (s *searcher) runHalving(ctx context.Context, states []*candState) error {
 // trainRung fits one candidate on the rung's shared subsample (warm-started
 // from its previous rung — legitimate because SharedSample nests) and
 // scores it on the holdout for the pruning decision.
-func (s *searcher) trainRung(ctx context.Context, st *candState, sample *dataset.Dataset, rung int) {
+func (s *searcher) trainRung(ctx context.Context, st *candState, n, rung int) {
 	if st.err != nil {
 		return
 	}
 	t0 := time.Now()
-	warm := st.theta
-	if dim := st.cand.Spec.ParamDim(sample); len(warm) != dim {
-		warm = nil
-	}
-	res, err := models.Train(st.cand.Spec, sample, warm, core.WithCancel(ctx, s.cfg.Train.Optimizer))
+	res, err := s.runner.RunTrial(ctx, Trial{Spec: st.cand.Spec, N: n, Rung: rung, Warm: st.theta})
 	st.wall += time.Since(t0)
 	if err != nil {
-		st.err = fmt.Errorf("rung %d (n=%d): %w", rung, sample.Len(), err)
+		st.err = fmt.Errorf("rung %d (n=%d): %w", rung, n, err)
 		return
 	}
 	st.theta = res.Theta
 	st.rung = rung + 1
-	st.sampleSize = sample.Len()
-	st.pruneScore = evalError(st.cand.Spec, res.Theta, s.pruneSet())
+	st.sampleSize = res.SampleSize
+	st.pruneScore = res.Score
 }
 
-// trainContract runs the full BlinkML workflow for one candidate on the
-// shared environment and scores it on the evaluation set.
+// trainContract runs the full BlinkML workflow for one candidate and scores
+// it on the evaluation set.
 func (s *searcher) trainContract(ctx context.Context, st *candState) {
 	if st.err != nil {
 		return
 	}
 	t0 := time.Now()
-	res, err := s.env.TrainApproxContext(ctx, st.cand.Spec, s.cfg.Train)
+	res, err := s.runner.RunTrial(ctx, Trial{Spec: st.cand.Spec, Contract: true})
 	st.wall += time.Since(t0)
 	if err != nil {
 		st.err = err
 		return
 	}
-	st.res = res
+	st.res = res.Res
 	st.theta = res.Theta
 	st.sampleSize = res.SampleSize
-	st.testError = evalError(st.cand.Spec, res.Theta, s.evalSet())
-}
-
-// evalSet is where final leaderboard scores come from: the test split when
-// the environment has one, the holdout otherwise.
-func (s *searcher) evalSet() *dataset.Dataset {
-	if s.env.Test() != nil && s.env.Test().Len() > 0 {
-		return s.env.Test()
-	}
-	return s.env.Holdout()
-}
-
-// pruneSet is where halving decisions come from — the holdout, so the test
-// set stays untouched until the final ranking.
-func (s *searcher) pruneSet() *dataset.Dataset {
-	if s.env.Holdout() != nil && s.env.Holdout().Len() > 0 {
-		return s.env.Holdout()
-	}
-	return s.env.Test()
-}
-
-// evalError is the candidate score: models.GeneralizationError (lower is
-// better) when the model class and dataset support a supervised test
-// metric, NaN otherwise (NaN ranks last).
-func evalError(spec models.Spec, theta []float64, ds *dataset.Dataset) float64 {
-	if ds == nil || ds.Len() == 0 || len(theta) == 0 {
-		return math.NaN()
-	}
-	if spec.Task() == dataset.Unsupervised || ds.Task == dataset.Unsupervised {
-		return math.NaN()
-	}
-	return models.GeneralizationError(spec, theta, ds)
+	st.testError = res.Score
 }
 
 // survivors drops errored candidates and sorts the rest best-first by
