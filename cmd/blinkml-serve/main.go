@@ -24,7 +24,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -32,6 +32,7 @@ import (
 	"time"
 
 	"blinkml/internal/cluster"
+	"blinkml/internal/obs"
 	"blinkml/internal/serve"
 )
 
@@ -44,6 +45,8 @@ func main() {
 		depth       = flag.Int("queue", 64, "max queued training jobs (backpressure beyond this)")
 		upload      = flag.Int64("max-upload", 0, "max dataset upload bytes (0 = default 4 GiB)")
 		parallelism = flag.Int("parallelism", 0, "compute-pool degree shared by all training kernels (0 = GOMAXPROCS)")
+		spanLog     = flag.String("span-log", "", "append completed job spans as JSONL to this file")
+		debugAddr   = flag.String("debug-addr", "", "serve net/http/pprof and /metrics on this extra address (off by default)")
 
 		clusterMode = flag.Bool("cluster", false, "run as a cluster coordinator: dispatch jobs to blinkml-worker processes")
 		hbTimeout   = flag.Duration("cluster-heartbeat-timeout", 0, "declare a worker dead after this silence (default 6s)")
@@ -54,14 +57,15 @@ func main() {
 	if *clusterMode {
 		ccfg = &cluster.Config{HeartbeatTimeout: *hbTimeout, MaxAttempts: *maxAttempts}
 	}
-	if err := run(*addr, *dir, *dataDir, *workers, *depth, *upload, *parallelism, ccfg); err != nil {
+	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
+	if err := run(*addr, *dir, *dataDir, *workers, *depth, *upload, *parallelism, *spanLog, *debugAddr, ccfg, logger); err != nil {
 		fmt.Fprintln(os.Stderr, "blinkml-serve:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, dir, dataDir string, workers, depth int, maxUpload int64, parallelism int, ccfg *cluster.Config) error {
-	s, err := serve.New(serve.Config{Dir: dir, DataDir: dataDir, Workers: workers, QueueDepth: depth, MaxUploadBytes: maxUpload, Parallelism: parallelism, Cluster: ccfg})
+func run(addr, dir, dataDir string, workers, depth int, maxUpload int64, parallelism int, spanLog, debugAddr string, ccfg *cluster.Config, logger *slog.Logger) error {
+	s, err := serve.New(serve.Config{Dir: dir, DataDir: dataDir, Workers: workers, QueueDepth: depth, MaxUploadBytes: maxUpload, Parallelism: parallelism, Cluster: ccfg, Logger: logger, SpanLog: spanLog})
 	if err != nil {
 		return err
 	}
@@ -69,6 +73,20 @@ func run(addr, dir, dataDir string, workers, depth int, maxUpload int64, paralle
 		Addr:              addr,
 		Handler:           s.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
+	}
+	if debugAddr != "" {
+		debugServer := &http.Server{
+			Addr:              debugAddr,
+			Handler:           obs.DebugHandler(),
+			ReadHeaderTimeout: 10 * time.Second,
+		}
+		go func() {
+			logger.Info("debug endpoint listening", "addr", debugAddr)
+			if err := debugServer.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				logger.Warn("debug endpoint failed", "err", err)
+			}
+		}()
+		defer debugServer.Close()
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -80,8 +98,8 @@ func run(addr, dir, dataDir string, workers, depth int, maxUpload int64, paralle
 		if ccfg != nil {
 			mode = "cluster coordinator"
 		}
-		log.Printf("blinkml-serve listening on %s (registry %s, %d models, %d workers, %s)",
-			addr, dir, s.Registry().Len(), workers, mode)
+		logger.Info("blinkml-serve listening",
+			"addr", addr, "registry", dir, "models", s.Registry().Len(), "workers", workers, "mode", mode)
 		errc <- httpServer.ListenAndServe()
 	}()
 
@@ -90,7 +108,7 @@ func run(addr, dir, dataDir string, workers, depth int, maxUpload int64, paralle
 		s.Close()
 		return err
 	case <-ctx.Done():
-		log.Print("shutting down: draining HTTP, cancelling training jobs")
+		logger.Info("shutting down: draining HTTP, cancelling training jobs")
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		err := httpServer.Shutdown(shutdownCtx)

@@ -18,12 +18,16 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"blinkml/internal/cluster"
 	"blinkml/internal/compute"
+	"blinkml/internal/obs"
 )
 
 func main() {
@@ -33,6 +37,7 @@ func main() {
 		capacity    = flag.Int("capacity", 1, "concurrent tasks (each task already uses the full compute pool)")
 		dataDir     = flag.String("data-dir", "", "dataset cache directory (default: a temporary directory)")
 		parallelism = flag.Int("parallelism", 0, "compute-pool degree for training kernels (0 = GOMAXPROCS)")
+		debugAddr   = flag.String("debug-addr", "", "serve net/http/pprof and /metrics on this address (off by default)")
 	)
 	flag.Parse()
 	if *coordinator == "" {
@@ -42,11 +47,27 @@ func main() {
 	if *parallelism > 0 {
 		compute.SetParallelism(*parallelism)
 	}
+	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
+	if *debugAddr != "" {
+		debugServer := &http.Server{
+			Addr:              *debugAddr,
+			Handler:           obs.DebugHandler(),
+			ReadHeaderTimeout: 10 * time.Second,
+		}
+		go func() {
+			logger.Info("debug endpoint listening", "addr", *debugAddr)
+			if err := debugServer.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				logger.Warn("debug endpoint failed", "err", err)
+			}
+		}()
+		defer debugServer.Close()
+	}
 	w, err := cluster.NewWorker(cluster.WorkerConfig{
 		Coordinator: *coordinator,
 		Name:        *name,
 		Capacity:    *capacity,
 		DataDir:     *dataDir,
+		Log:         logger,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "blinkml-worker:", err)

@@ -51,6 +51,7 @@ import (
 
 	"blinkml/internal/core"
 	"blinkml/internal/modelio"
+	"blinkml/internal/obs"
 	"blinkml/internal/optimize"
 )
 
@@ -68,7 +69,11 @@ const (
 // TaskSpec is the wire form of one schedulable unit. Exactly one payload
 // field is set, matching Kind.
 type TaskSpec struct {
-	Kind  TaskKind   `json:"kind"`
+	Kind TaskKind `json:"kind"`
+	// Trace is the originating request's trace ID; it travels with the task
+	// (and in the X-Blinkml-Trace header of lease responses) so worker-side
+	// spans and log lines rejoin the submitting job's trace.
+	Trace string     `json:"trace,omitempty"`
 	Train *TrainTask `json:"train,omitempty"`
 	Trial *TrialTask `json:"trial,omitempty"`
 }
@@ -248,6 +253,10 @@ type TaskResultPayload struct {
 	Score *float64 `json:"score,omitempty"`
 	// SampleSize is the rows of the training run (rung trials).
 	SampleSize int `json:"sample_size,omitempty"`
+	// Spans are the pipeline-stage spans the worker recorded while running
+	// the task, stamped with the worker's name; the coordinator merges them
+	// into the originating job's trace.
+	Spans []obs.Span `json:"spans,omitempty"`
 }
 
 // TaskError is the structured terminal error of a task that exhausted its

@@ -16,6 +16,7 @@ import (
 	"blinkml/internal/datagen"
 	"blinkml/internal/modelio"
 	"blinkml/internal/models"
+	"blinkml/internal/obs"
 	"blinkml/internal/store"
 	"blinkml/internal/tune"
 )
@@ -46,7 +47,7 @@ func (tc *testCluster) startWorker(t *testing.T, name string) *Worker {
 		Coordinator: tc.server.URL,
 		Name:        name,
 		DataDir:     t.TempDir(),
-		Logf:        func(string, ...any) {},
+		Log:         obs.Discard(),
 	})
 	if err != nil {
 		t.Fatalf("new worker: %v", err)

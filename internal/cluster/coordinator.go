@@ -4,10 +4,12 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"sort"
 	"sync"
 	"time"
 
+	"blinkml/internal/obs"
 	"blinkml/internal/store"
 )
 
@@ -25,6 +27,9 @@ type Config struct {
 	// SweepInterval is the liveness-check period (default
 	// HeartbeatInterval/2, floored at 10ms).
 	SweepInterval time.Duration
+	// Logger receives worker join/loss and task requeue/failure events.
+	// Nil discards (tests).
+	Logger *slog.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -79,11 +84,12 @@ type task struct {
 	id   string
 	spec TaskSpec
 
-	state     string
-	worker    string // current leaseholder ("" when pending/terminal)
-	attempts  int    // leases consumed
-	cancelled bool   // cancellation requested
-	log       []string
+	state       string
+	worker      string // current leaseholder ("" when pending/terminal)
+	attempts    int    // leases consumed
+	cancelled   bool   // cancellation requested
+	submittedAt time.Time
+	log         []string
 
 	result *TaskResultPayload
 	err    error
@@ -107,6 +113,7 @@ type Coordinator struct {
 	cfg   Config
 	store *store.Store
 	m     *Metrics
+	log   *slog.Logger
 
 	mu      sync.Mutex
 	closed  bool
@@ -124,16 +131,27 @@ type Coordinator struct {
 // NewCoordinator starts a coordinator. st may be nil when no stored
 // datasets will be referenced (tests); the dataset-export endpoint then 404s.
 func NewCoordinator(cfg Config, st *store.Store) *Coordinator {
+	log := cfg.Logger
+	if log == nil {
+		log = obs.Discard()
+	}
 	c := &Coordinator{
 		cfg:       cfg.withDefaults(),
 		store:     st,
 		m:         sharedMetrics(),
+		log:       log,
 		workers:   make(map[string]*workerState),
 		tasks:     make(map[string]*task),
 		wake:      make(chan struct{}),
 		stopSweep: make(chan struct{}),
 		sweepDone: make(chan struct{}),
 	}
+	// The shared-metrics gauges outlive any one coordinator (expvar
+	// singletons); resync them to this coordinator's actual — empty — state
+	// so a reconstructed coordinator doesn't report its predecessor's
+	// workers and queue.
+	c.m.Workers.Set(0)
+	c.refreshGaugesLocked()
 	go c.sweeper()
 	return c
 }
@@ -176,10 +194,11 @@ func (c *Coordinator) Submit(spec TaskSpec) (string, error) {
 	}
 	c.taskSeq++
 	t := &task{
-		id:    fmt.Sprintf("t-%06d", c.taskSeq),
-		spec:  spec,
-		state: taskPending,
-		done:  make(chan struct{}),
+		id:          fmt.Sprintf("t-%06d", c.taskSeq),
+		spec:        spec,
+		state:       taskPending,
+		submittedAt: time.Now(),
+		done:        make(chan struct{}),
 	}
 	c.tasks[t.id] = t
 	c.pending = append(c.pending, t)
@@ -264,6 +283,7 @@ func (c *Coordinator) Register(req RegisterRequest) (RegisterResponse, error) {
 	}
 	c.m.WorkersJoined.Add(1)
 	c.m.Workers.Set(int64(len(c.workers)))
+	c.log.Info("worker joined", "worker", id, "name", name, "capacity", cap, "parallelism", req.Parallelism)
 	return RegisterResponse{
 		WorkerID:            id,
 		HeartbeatIntervalMs: c.cfg.HeartbeatInterval.Milliseconds(),
@@ -321,6 +341,7 @@ func (c *Coordinator) Lease(ctx context.Context, workerID string, wait time.Dura
 			w.leased[t.id] = t
 			resp := &LeaseResponse{TaskID: t.id, Spec: t.spec, Cancel: c.cancellationsLocked(w)}
 			c.m.LeasesGranted.Add(1)
+			c.m.TaskLeaseWait.Observe(float64(time.Since(t.submittedAt)) / float64(time.Millisecond))
 			c.refreshGaugesLocked()
 			c.mu.Unlock()
 			return resp, nil
@@ -423,6 +444,7 @@ func (c *Coordinator) requeueLocked(t *task, reason string) {
 	t.state = taskPending
 	c.pending = append(c.pending, t)
 	c.m.TasksRequeued.Add(1)
+	c.log.Info("task requeued", "task", t.id, "trace", t.spec.Trace, "attempt", t.attempts, "reason", reason)
 	c.refreshGaugesLocked()
 	c.wakeAllLocked()
 }
@@ -439,6 +461,7 @@ func (c *Coordinator) finishLocked(t *task, state string, result *TaskResultPayl
 		c.m.TasksSucceeded.Add(1)
 	case taskFailed:
 		c.m.TasksFailed.Add(1)
+		c.log.Warn("task failed", "task", t.id, "trace", t.spec.Trace, "err", err)
 	case taskCancelled:
 		c.m.TasksCancelled.Add(1)
 	}
@@ -499,6 +522,7 @@ func (c *Coordinator) reapDead(now time.Time) {
 		delete(c.workers, id)
 		c.m.WorkersLost.Add(1)
 		c.m.Workers.Set(int64(len(c.workers)))
+		c.log.Warn("worker lost", "worker", id, "name", w.name, "leased", len(w.leased))
 		// Requeue in task-id order so recovery is deterministic.
 		ids := make([]string, 0, len(w.leased))
 		for tid := range w.leased {

@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"net/http"
 	"time"
+
+	"blinkml/internal/obs"
 )
 
 // maxProtocolBody caps coordinator-side protocol request bodies. Trial
@@ -72,6 +74,9 @@ func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
 	if resp == nil {
 		w.WriteHeader(http.StatusNoContent)
 		return
+	}
+	if resp.Spec.Trace != "" {
+		w.Header().Set(obs.TraceHeader, resp.Spec.Trace)
 	}
 	writeProtoJSON(w, http.StatusOK, resp)
 }

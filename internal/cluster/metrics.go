@@ -3,6 +3,8 @@ package cluster
 import (
 	"expvar"
 	"sync"
+
+	"blinkml/internal/obs"
 )
 
 // Metrics are the cluster's expvar counters, published once under the
@@ -22,6 +24,9 @@ type Metrics struct {
 	TasksCancelled *expvar.Int
 	TasksRequeued  *expvar.Int // requeues after worker loss / give-back
 	LeasesGranted  *expvar.Int
+	// TaskLeaseWait is how long a task sat queued before a worker leased it
+	// (ms) — the scheduling delay a fleet that is too small shows first.
+	TaskLeaseWait *obs.Histogram
 
 	DatasetsExported *expvar.Int // bundle downloads served to workers
 }
@@ -53,6 +58,8 @@ func sharedMetrics() *Metrics {
 			LeasesGranted:    newInt("leases_granted"),
 			DatasetsExported: newInt("datasets_exported"),
 		}
+		metrics.TaskLeaseWait = obs.NewHistogram()
+		m.Set("task_lease_wait_ms", metrics.TaskLeaseWait)
 	})
 	return metrics
 }

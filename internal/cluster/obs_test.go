@@ -1,0 +1,96 @@
+package cluster
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"blinkml/internal/modelio"
+)
+
+// TestSharedGaugesResyncOnNewCoordinator guards against gauge drift: the
+// expvar vars under "blinkml_cluster" are process singletons, so a
+// coordinator constructed after another one died must reset the gauges to
+// its own (empty) state instead of inheriting the predecessor's workers and
+// queue depth.
+func TestSharedGaugesResyncOnNewCoordinator(t *testing.T) {
+	m := sharedMetrics()
+
+	c1 := NewCoordinator(testConfig(), nil)
+	if _, err := c1.Register(RegisterRequest{Name: "drift", Capacity: 1, Parallelism: 1}); err != nil {
+		t.Fatalf("register: %v", err)
+	}
+	if _, err := c1.Submit(TaskSpec{Kind: KindTrain, Train: &TrainTask{
+		Spec:    modelio.SpecJSON{Name: "logistic"},
+		Dataset: syntheticRef(),
+		Options: testTrainOptions(),
+	}}); err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	if m.Workers.Value() != 1 {
+		t.Fatalf("workers gauge %d after register, want 1", m.Workers.Value())
+	}
+	if m.TasksPending.Value() != 1 {
+		t.Fatalf("pending gauge %d after submit, want 1", m.TasksPending.Value())
+	}
+	// Close without draining: the dead coordinator leaves the gauges at
+	// whatever it last set (Close clears pending but the worker gauge keeps
+	// its final value).
+	c1.Close()
+
+	c2 := NewCoordinator(testConfig(), nil)
+	defer c2.Close()
+	if m.Workers.Value() != 0 {
+		t.Fatalf("workers gauge %d on fresh coordinator, want 0", m.Workers.Value())
+	}
+	if m.TasksPending.Value() != 0 || m.TasksLeased.Value() != 0 {
+		t.Fatalf("task gauges pending=%d leased=%d on fresh coordinator, want 0/0",
+			m.TasksPending.Value(), m.TasksLeased.Value())
+	}
+}
+
+// TestTaskTraceReachesWorkerSpans checks the wire-level half of trace
+// propagation: a trace id attached to a submitted task must come back on
+// the worker-recorded spans in the completion payload, each stamped with
+// the worker's name.
+func TestTaskTraceReachesWorkerSpans(t *testing.T) {
+	tc := newTestCluster(t, testConfig(), nil)
+	tc.startWorker(t, "w-obs")
+
+	const trace = "feedc0de12345678"
+	id, err := tc.coord.Submit(TaskSpec{Kind: KindTrain, Trace: trace, Train: &TrainTask{
+		Spec:    modelio.SpecJSON{Name: "logistic"},
+		Dataset: syntheticRef(),
+		Options: testTrainOptions(),
+	}})
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	payload, err := tc.coord.Await(ctx, id)
+	if err != nil {
+		t.Fatalf("await: %v", err)
+	}
+	if len(payload.Spans) == 0 {
+		t.Fatal("completion payload carries no spans")
+	}
+	names := make(map[string]bool)
+	for _, sp := range payload.Spans {
+		if sp.Trace != trace {
+			t.Fatalf("span %q has trace %q, want %q", sp.Name, sp.Trace, trace)
+		}
+		if sp.Worker != "w-obs" {
+			t.Fatalf("span %q has worker %q, want w-obs", sp.Name, sp.Worker)
+		}
+		if sp.DurMs < 0 {
+			t.Fatalf("span %q has negative duration %v", sp.Name, sp.DurMs)
+		}
+		names[sp.Name] = true
+	}
+	for _, want := range []string{"ingest", "sample", "optimize", "statistics", "probe"} {
+		if !names[want] {
+			t.Fatalf("worker spans missing stage %q (got %v)", want, names)
+		}
+	}
+}

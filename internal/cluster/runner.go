@@ -8,6 +8,7 @@ import (
 
 	"blinkml/internal/core"
 	"blinkml/internal/modelio"
+	"blinkml/internal/obs"
 	"blinkml/internal/tune"
 )
 
@@ -41,7 +42,7 @@ func (r *TrialRunner) RunTrial(ctx context.Context, t tune.Trial) (tune.TrialRes
 	if err != nil {
 		return tune.TrialResult{}, err
 	}
-	id, err := r.coord.Submit(TaskSpec{Kind: KindTrial, Trial: &TrialTask{
+	id, err := r.coord.Submit(TaskSpec{Kind: KindTrial, Trace: obs.TraceID(ctx), Trial: &TrialTask{
 		Spec:     sj,
 		Dataset:  r.dataset,
 		Options:  r.options,
@@ -57,6 +58,8 @@ func (r *TrialRunner) RunTrial(ctx context.Context, t tune.Trial) (tune.TrialRes
 	if err != nil {
 		return tune.TrialResult{}, err
 	}
+	// Worker-side spans rejoin the submitting job's trace.
+	obs.RecorderFrom(ctx).Add(payload.Spans)
 	res := tune.TrialResult{
 		Theta:      payload.Theta,
 		Score:      DecodeScore(payload.Score),

@@ -7,7 +7,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"log"
+	"log/slog"
 	"math"
 	"net/http"
 	"os"
@@ -20,6 +20,7 @@ import (
 	"blinkml/internal/dataset"
 	"blinkml/internal/modelio"
 	"blinkml/internal/models"
+	"blinkml/internal/obs"
 	"blinkml/internal/store"
 	"blinkml/internal/tune"
 )
@@ -39,8 +40,9 @@ type WorkerConfig struct {
 	// Client is the HTTP client (default: http.DefaultClient with generous
 	// timeouts handled per-call).
 	Client *http.Client
-	// Logf sinks progress lines (default log.Printf; tests silence it).
-	Logf func(format string, args ...any)
+	// Log receives structured progress events, scoped per task by trace ID
+	// (default slog.Default; tests pass obs.Discard()).
+	Log *slog.Logger
 }
 
 // Worker executes coordinator tasks: it registers, heartbeats, leases,
@@ -49,7 +51,7 @@ type WorkerConfig struct {
 type Worker struct {
 	cfg    WorkerConfig
 	client *http.Client
-	logf   func(string, ...any)
+	log    *slog.Logger
 	cache  *store.Store
 
 	regMu     sync.Mutex // serializes (re-)registration
@@ -105,14 +107,14 @@ func NewWorker(cfg WorkerConfig) (*Worker, error) {
 	if client == nil {
 		client = &http.Client{}
 	}
-	logf := cfg.Logf
-	if logf == nil {
-		logf = log.Printf
+	logger := cfg.Log
+	if logger == nil {
+		logger = slog.Default()
 	}
 	return &Worker{
 		cfg:       cfg,
 		client:    client,
-		logf:      logf,
+		log:       logger,
 		cache:     cache,
 		running:   make(map[string]*runningTask),
 		envs:      make(map[string]*envEntry),
@@ -159,7 +161,7 @@ loop:
 			if ctx.Err() != nil {
 				break loop
 			}
-			w.logf("blinkml-worker: lease: %v (retrying)", err)
+			w.log.Warn("lease failed, retrying", "err", err)
 			select {
 			case <-time.After(500 * time.Millisecond):
 			case <-ctx.Done():
@@ -213,11 +215,11 @@ func (w *Worker) register(ctx context.Context, staleID string) error {
 				w.hbEvery = 2 * time.Second
 			}
 			w.mu.Unlock()
-			w.logf("blinkml-worker: registered as %s (capacity %d, parallelism %d)",
-				resp.WorkerID, req.Capacity, req.Parallelism)
+			w.log.Info("registered with coordinator",
+				"worker", resp.WorkerID, "capacity", req.Capacity, "parallelism", req.Parallelism)
 			return nil
 		}
-		w.logf("blinkml-worker: register: %v (retrying)", err)
+		w.log.Warn("register failed, retrying", "err", err)
 		select {
 		case <-time.After(time.Second):
 		case <-ctx.Done():
@@ -258,7 +260,7 @@ func (w *Worker) heartbeatLoop(ctx context.Context) {
 			if ctx.Err() != nil {
 				return
 			}
-			w.logf("blinkml-worker: heartbeat: %v", err)
+			w.log.Warn("heartbeat failed", "err", err)
 			continue
 		}
 		w.applyCancels(resp.Cancel)
@@ -302,7 +304,10 @@ func (w *Worker) lease(ctx context.Context) (*LeaseResponse, error) {
 	return &resp, nil
 }
 
-// execute runs one leased task and reports its outcome.
+// execute runs one leased task and reports its outcome. The lease's trace
+// id (minted at the coordinator's API admission) scopes the task's spans and
+// log lines; recorded spans ship back in the completion payload so they
+// rejoin the submitting job's trace on the coordinator.
 func (w *Worker) execute(ctx context.Context, lease *LeaseResponse) {
 	taskCtx, cancel := context.WithCancel(ctx)
 	rt := &runningTask{cancel: cancel}
@@ -317,11 +322,28 @@ func (w *Worker) execute(ctx context.Context, lease *LeaseResponse) {
 		w.mu.Unlock()
 	}()
 
+	rec := obs.NewRecorder(lease.Spec.Trace)
+	tlog := w.log.With("task", lease.TaskID)
+	if lease.Spec.Trace != "" {
+		tlog = tlog.With("trace", lease.Spec.Trace)
+	}
+	taskCtx = obs.WithTrace(taskCtx, lease.Spec.Trace)
+	taskCtx = obs.WithRecorder(taskCtx, rec)
+	taskCtx = obs.WithLogger(taskCtx, tlog)
+	tlog.Info("task leased", "kind", lease.Spec.Kind)
+
+	start := time.Now()
 	result, err := w.runTask(taskCtx, lease.Spec)
 	comp := CompleteRequest{WorkerID: workerID, TaskID: lease.TaskID}
 	switch {
 	case err == nil:
+		spans := rec.Spans()
+		for i := range spans {
+			spans[i].Worker = w.cfg.Name
+		}
+		result.Spans = spans
 		comp.Result = result
+		tlog.Info("task done", "dur_ms", float64(time.Since(start))/float64(time.Millisecond))
 	default:
 		w.mu.Lock()
 		cancelled := rt.cancelled
@@ -344,6 +366,8 @@ func (w *Worker) execute(ctx context.Context, lease *LeaseResponse) {
 		default:
 			comp.Error = err.Error()
 		}
+		tlog.Warn("task not completed", "err", err,
+			"cancelled", comp.Cancelled, "requeue", comp.Requeue)
 	}
 	w.complete(comp)
 }
@@ -361,10 +385,10 @@ func (w *Worker) complete(comp CompleteRequest) {
 		// A fenced (stale) or unknown completion is final: the coordinator
 		// has moved on; our result is void.
 		if isStatus(err, http.StatusConflict) || isStatus(err, http.StatusNotFound) {
-			w.logf("blinkml-worker: task %s result discarded: %v", comp.TaskID, err)
+			w.log.Warn("task result discarded", "task", comp.TaskID, "err", err)
 			return
 		}
-		w.logf("blinkml-worker: complete %s: %v (retrying)", comp.TaskID, err)
+		w.log.Warn("complete failed, retrying", "task", comp.TaskID, "err", err)
 		time.Sleep(time.Duration(attempt+1) * 200 * time.Millisecond)
 	}
 }
@@ -555,7 +579,7 @@ func (w *Worker) fetchDataset(ctx context.Context, ref DatasetRef) (*store.Handl
 		// on the coordinator are fine.
 		return nil, fmt.Errorf("%w: %v", errInfra, err)
 	}
-	w.logf("blinkml-worker: cached dataset %s (%d rows)", ref.ID, h.Manifest().Rows)
+	w.log.Info("cached dataset", "dataset", ref.ID, "rows", h.Manifest().Rows)
 	return h, nil
 }
 
@@ -629,6 +653,9 @@ func (w *Worker) call(ctx context.Context, path string, in, out any) error {
 		return err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if trace := obs.TraceID(ctx); trace != "" {
+		req.Header.Set(obs.TraceHeader, trace)
+	}
 	resp, err := w.client.Do(req)
 	if err != nil {
 		return err

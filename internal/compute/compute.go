@@ -21,6 +21,9 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"blinkml/internal/obs"
 )
 
 // state is the immutable pool configuration; SetParallelism swaps the
@@ -107,6 +110,10 @@ func Run(tasks int, fn func(task int)) {
 	}
 	metrics.parallelCalls.Add(1)
 	metrics.tasksRun.Add(int64(tasks))
+	start := time.Now()
+	defer func() {
+		metrics.runLatency.Observe(float64(time.Since(start)) / float64(time.Millisecond))
+	}()
 	var next atomic.Int64
 	work := func() {
 		for {
@@ -224,11 +231,12 @@ func TriangleRanges(n int) []Range {
 // "blinkml_compute" (scraped together with the serve metrics at
 // /metrics).
 var metrics = func() struct {
-	parallelism    *expvar.Int // gauge: configured degree
-	parallelCalls  *expvar.Int // Run invocations that went parallel
-	tasksRun       *expvar.Int // tasks executed by parallel Run calls
-	helpersSpawned *expvar.Int // helper goroutines actually obtained
-	helpersBusy    *expvar.Int // gauge: helpers currently executing
+	parallelism    *expvar.Int    // gauge: configured degree
+	parallelCalls  *expvar.Int    // Run invocations that went parallel
+	tasksRun       *expvar.Int    // tasks executed by parallel Run calls
+	helpersSpawned *expvar.Int    // helper goroutines actually obtained
+	helpersBusy    *expvar.Int    // gauge: helpers currently executing
+	runLatency     *obs.Histogram // wall time of parallel Run calls (ms)
 } {
 	m := expvar.NewMap("blinkml_compute")
 	newInt := func(name string) *expvar.Int {
@@ -236,17 +244,21 @@ var metrics = func() struct {
 		m.Set(name, v)
 		return v
 	}
+	h := obs.NewHistogram()
+	m.Set("run_ms", h)
 	return struct {
 		parallelism    *expvar.Int
 		parallelCalls  *expvar.Int
 		tasksRun       *expvar.Int
 		helpersSpawned *expvar.Int
 		helpersBusy    *expvar.Int
+		runLatency     *obs.Histogram
 	}{
 		parallelism:    newInt("parallelism"),
 		parallelCalls:  newInt("parallel_calls"),
 		tasksRun:       newInt("tasks_run"),
 		helpersSpawned: newInt("helpers_spawned"),
 		helpersBusy:    newInt("helpers_busy"),
+		runLatency:     h,
 	}
 }()

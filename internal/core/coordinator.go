@@ -9,6 +9,7 @@ import (
 
 	"blinkml/internal/dataset"
 	"blinkml/internal/models"
+	"blinkml/internal/obs"
 	"blinkml/internal/optimize"
 	"blinkml/internal/stat"
 )
@@ -260,7 +261,9 @@ func TrainSourceContext(ctx context.Context, spec models.Spec, src dataset.Sourc
 	if err := opt.validate(); err != nil {
 		return nil, err
 	}
+	endIngest := obs.StartSpan(ctx, "ingest")
 	env, err := NewEnvFromSource(src, opt)
+	endIngest()
 	if err != nil {
 		return nil, err
 	}
@@ -296,11 +299,15 @@ func (e *Env) TrainApproxContext(ctx context.Context, spec models.Spec, opt Opti
 		return nil, err
 	}
 	start := time.Now()
+	endSample := obs.StartSpan(ctx, "sample")
 	sample0, err := e.Sample(rng, n0)
+	endSample()
 	if err != nil {
 		return nil, err
 	}
+	endOpt := obs.StartSpan(ctx, "optimize")
 	m0, err := models.Train(spec, sample0, nil, opt.Optimizer)
+	endOpt()
 	if err != nil {
 		return nil, fmt.Errorf("core: initial training failed: %w", err)
 	}
@@ -324,7 +331,9 @@ func (e *Env) TrainApproxContext(ctx context.Context, spec models.Spec, opt Opti
 		return nil, err
 	}
 	start = time.Now()
+	endStats := obs.StartSpan(ctx, "statistics")
 	stats, err := ComputeStatistics(spec, sample0, m0.Theta, opt)
+	endStats()
 	if err != nil {
 		return nil, fmt.Errorf("core: statistics computation failed: %w", err)
 	}
@@ -335,9 +344,11 @@ func (e *Env) TrainApproxContext(ctx context.Context, spec models.Spec, opt Opti
 
 	// Phase 3: accuracy estimate for m₀; early exit if it already meets ε.
 	start = time.Now()
+	endProbe := obs.StartSpan(ctx, "probe")
 	est := EstimateAccuracy(spec, m0.Theta, factor, Alpha(n0, bigN), e.holdout, opt.K, opt.Delta, rng)
 	diag.InitialEpsilon = est.Epsilon
 	if est.Epsilon <= opt.Epsilon {
+		endProbe()
 		diag.SampleSearch = time.Since(start)
 		return &Result{
 			Theta:            m0.Theta,
@@ -352,6 +363,7 @@ func (e *Env) TrainApproxContext(ctx context.Context, spec models.Spec, opt Opti
 	// Phase 3b: minimum sample size via two-stage sampling + binary search.
 	searcher := NewSearcher(spec, m0.Theta, factor, n0, bigN, e.holdout, opt.Epsilon, opt.Delta, opt.K, rng)
 	sres := searcher.Search()
+	endProbe()
 	diag.SampleSearch = time.Since(start)
 	diag.Probes = sres.Probes
 	n := sres.N
@@ -367,7 +379,9 @@ func (e *Env) TrainApproxContext(ctx context.Context, spec models.Spec, opt Opti
 		return nil, err
 	}
 	start = time.Now()
+	endSampleN := obs.StartSpan(ctx, "sample")
 	sampleN, err := e.Sample(rng, n)
+	endSampleN()
 	if err != nil {
 		return nil, err
 	}
@@ -375,7 +389,9 @@ func (e *Env) TrainApproxContext(ctx context.Context, spec models.Spec, opt Opti
 	if opt.WarmStart {
 		warm = m0.Theta
 	}
+	endOptN := obs.StartSpan(ctx, "optimize")
 	mn, err := models.Train(spec, sampleN, warm, opt.Optimizer)
+	endOptN()
 	if err != nil {
 		return nil, fmt.Errorf("core: final training failed: %w", err)
 	}

@@ -12,6 +12,7 @@ import (
 	"blinkml/internal/dataset"
 	"blinkml/internal/linalg"
 	"blinkml/internal/models"
+	"blinkml/internal/obs"
 	"blinkml/internal/optimize"
 	"blinkml/internal/stat"
 )
@@ -28,8 +29,15 @@ type BenchResult struct {
 	// Rows and Dim describe the generated dataset.
 	Rows int `json:"rows"`
 	Dim  int `json:"dim"`
-	// NsPerOp is the end-to-end BlinkML training time in nanoseconds.
+	// NsPerOp is the mean end-to-end BlinkML training time in nanoseconds
+	// across Iters repeated runs.
 	NsPerOp int64 `json:"ns_per_op"`
+	// Iters is how many timed training runs the row aggregates; P50Ms and
+	// P99Ms are histogram-derived latency quantiles across them, so the
+	// trajectory tracks tail behavior, not just the mean.
+	Iters int     `json:"iters"`
+	P50Ms float64 `json:"p50_ms"`
+	P99Ms float64 `json:"p99_ms"`
 	// SampleSize is the number of rows the returned model trained on, out
 	// of PoolSize.
 	SampleSize int `json:"sample_size"`
@@ -50,6 +58,10 @@ type BenchResult struct {
 type KernelResult struct {
 	Name    string `json:"name"`
 	NsPerOp int64  `json:"ns_per_op"`
+	// P50Ms and P99Ms are per-iteration latency quantiles from the same
+	// timed loop NsPerOp averages over.
+	P50Ms float64 `json:"p50_ms"`
+	P99Ms float64 `json:"p99_ms"`
 	// Parallelism is the compute-pool degree the kernel ran at.
 	Parallelism int `json:"parallelism"`
 }
@@ -133,32 +145,47 @@ func benchKernels(seed int64) ([]KernelResult, error) {
 	}
 	out := make([]KernelResult, 0, len(kernels))
 	for _, k := range kernels {
-		ns, err := timeKernel(k.fn)
+		ns, hist, err := timeKernel(k.fn)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: kernel bench %s: %w", k.name, err)
 		}
-		out = append(out, KernelResult{Name: k.name, NsPerOp: ns, Parallelism: compute.Parallelism()})
+		out = append(out, KernelResult{
+			Name:        k.name,
+			NsPerOp:     ns,
+			P50Ms:       hist.Quantile(0.50),
+			P99Ms:       hist.Quantile(0.99),
+			Parallelism: compute.Parallelism(),
+		})
 	}
 	return out, nil
 }
 
-// timeKernel reports the mean wall time of fn: one warm-up call, then as
-// many timed iterations as fit in ~300 ms (at least 3).
-func timeKernel(fn func() error) (int64, error) {
+// timeKernel reports the mean wall time of fn plus a per-iteration latency
+// histogram: one warm-up call, then as many timed iterations as fit in
+// ~300 ms (at least 3).
+func timeKernel(fn func() error) (int64, *obs.Histogram, error) {
 	if err := fn(); err != nil {
-		return 0, err
+		return 0, nil, err
 	}
 	const budget = 300 * time.Millisecond
+	hist := obs.NewHistogram()
 	var iters int
 	start := time.Now()
 	for elapsed := time.Duration(0); iters < 3 || elapsed < budget; elapsed = time.Since(start) {
+		it := time.Now()
 		if err := fn(); err != nil {
-			return 0, err
+			return 0, nil, err
 		}
+		hist.Observe(float64(time.Since(it)) / float64(time.Millisecond))
 		iters++
 	}
-	return time.Since(start).Nanoseconds() / int64(iters), nil
+	return time.Since(start).Nanoseconds() / int64(iters), hist, nil
 }
+
+// benchIters is how many timed training runs one workload row aggregates —
+// enough for a meaningful p50 (the p99 saturates to the slowest run at this
+// count) while keeping the full small-scale suite in tens of seconds.
+const benchIters = 5
 
 func benchWorkload(w Workload, scale Scale, seed int64) (BenchResult, error) {
 	ds := w.Data(scale, seed)
@@ -169,10 +196,20 @@ func benchWorkload(w Workload, scale Scale, seed int64) (BenchResult, error) {
 		InitialSampleSize: initialSampleSize(scale),
 		K:                 paramSamples(scale),
 	}
+	// Every iteration reruns the same seeded training, so the model outputs
+	// are identical; only the wall time varies. The histogram turns those
+	// repeats into tail quantiles.
+	hist := obs.NewHistogram()
+	var res *core.Result
 	start := time.Now()
-	res, err := core.Train(w.Spec(scale), ds, opt)
-	if err != nil {
-		return BenchResult{}, err
+	for i := 0; i < benchIters; i++ {
+		it := time.Now()
+		r, err := core.Train(w.Spec(scale), ds, opt)
+		if err != nil {
+			return BenchResult{}, err
+		}
+		hist.Observe(float64(time.Since(it)) / float64(time.Millisecond))
+		res = r
 	}
 	elapsed := time.Since(start)
 	return BenchResult{
@@ -180,7 +217,10 @@ func benchWorkload(w Workload, scale Scale, seed int64) (BenchResult, error) {
 		Scale:            scale.String(),
 		Rows:             ds.Len(),
 		Dim:              ds.Dim,
-		NsPerOp:          elapsed.Nanoseconds(),
+		NsPerOp:          elapsed.Nanoseconds() / benchIters,
+		Iters:            benchIters,
+		P50Ms:            hist.Quantile(0.50),
+		P99Ms:            hist.Quantile(0.99),
 		SampleSize:       res.SampleSize,
 		PoolSize:         res.PoolSize,
 		Epsilon:          res.EstimatedEpsilon,

@@ -73,12 +73,15 @@ func TestBenchWorkloadJSON(t *testing.T) {
 	if r.SampleSize <= 0 || r.SampleSize > r.PoolSize || r.Epsilon <= 0 {
 		t.Fatalf("bench row has bad sample/epsilon fields: %+v", r)
 	}
+	if r.Iters != benchIters || r.P50Ms <= 0 || r.P99Ms < r.P50Ms {
+		t.Fatalf("bench row has bad tail-latency fields: %+v", r)
+	}
 	sum := &BenchSummary{Scale: "small", Seed: 3, Results: []BenchResult{r}}
 	var buf strings.Builder
 	if err := sum.WriteJSON(&buf); err != nil {
 		t.Fatalf("write json: %v", err)
 	}
-	for _, want := range []string{`"name": "lr-higgs"`, `"ns_per_op"`, `"sample_size"`, `"epsilon"`} {
+	for _, want := range []string{`"name": "lr-higgs"`, `"ns_per_op"`, `"p50_ms"`, `"p99_ms"`, `"sample_size"`, `"epsilon"`} {
 		if !strings.Contains(buf.String(), want) {
 			t.Fatalf("json summary missing %s:\n%s", want, buf.String())
 		}

@@ -1,0 +1,24 @@
+package obs
+
+import (
+	"expvar"
+	"net/http"
+	"net/http/pprof"
+)
+
+// DebugHandler is the mux served on an opt-in -debug-addr: net/http/pprof
+// profiles, the raw expvar JSON, and the Prometheus exposition. It is a
+// separate listener on purpose — profiling endpoints never share a port
+// with the public API.
+func DebugHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.Handle("/metrics", MetricsHandler())
+	mux.Handle("/metrics.json", expvar.Handler())
+	return mux
+}

@@ -1,0 +1,36 @@
+package obs
+
+import (
+	"context"
+	"log/slog"
+)
+
+// Discard returns a logger that drops everything — the test default, so
+// suites stay quiet without ad-hoc nil checks at call sites.
+func Discard() *slog.Logger {
+	return slog.New(slog.DiscardHandler)
+}
+
+// WithLogger returns ctx carrying the logger.
+func WithLogger(ctx context.Context, l *slog.Logger) context.Context {
+	if l == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, loggerKey, l)
+}
+
+// Logger returns the request-scoped logger: the context's logger (or
+// slog.Default), with the context's trace ID attached as a "trace" attr so
+// every line of one request is greppable by ID.
+func Logger(ctx context.Context) *slog.Logger {
+	l := slog.Default()
+	if ctx != nil {
+		if cl, ok := ctx.Value(loggerKey).(*slog.Logger); ok {
+			l = cl
+		}
+	}
+	if t := TraceID(ctx); t != "" {
+		l = l.With("trace", t)
+	}
+	return l
+}

@@ -1,0 +1,82 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// MetricsHandler serves every blinkml* expvar map in Prometheus text
+// exposition format. Scalar vars become one sample named <map>_<key>;
+// Histogram vars expand to the standard cumulative _bucket/_sum/_count
+// series plus _p50/_p95/_p99 convenience gauges so tails are readable
+// without a query engine. The raw expvar JSON stays available on
+// /metrics.json for callers that predate this endpoint.
+func MetricsHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		var b strings.Builder
+		expvar.Do(func(kv expvar.KeyValue) {
+			m, ok := kv.Value.(*expvar.Map)
+			if !ok || !strings.HasPrefix(kv.Key, "blinkml") {
+				return
+			}
+			prefix := sanitizeName(kv.Key)
+			m.Do(func(e expvar.KeyValue) {
+				name := prefix + "_" + sanitizeName(e.Key)
+				switch v := e.Value.(type) {
+				case *expvar.Int:
+					fmt.Fprintf(&b, "%s %d\n", name, v.Value())
+				case *expvar.Float:
+					fmt.Fprintf(&b, "%s %s\n", name, promFloat(v.Value()))
+				case *Histogram:
+					writeHistogram(&b, name, v)
+				}
+			})
+		})
+		_, _ = w.Write([]byte(b.String()))
+	})
+}
+
+// writeHistogram renders h as a Prometheus histogram plus quantile gauges.
+func writeHistogram(b *strings.Builder, name string, h *Histogram) {
+	c, total := h.snapshot()
+	fmt.Fprintf(b, "# TYPE %s histogram\n", name)
+	var cum uint64
+	for i := 0; i < numBounds; i++ {
+		cum += c[i]
+		fmt.Fprintf(b, "%s_bucket{le=%q} %d\n", name, promFloat(bounds[i]), cum)
+	}
+	fmt.Fprintf(b, "%s_bucket{le=\"+Inf\"} %d\n", name, total)
+	fmt.Fprintf(b, "%s_sum %s\n", name, promFloat(h.SumMs()))
+	fmt.Fprintf(b, "%s_count %d\n", name, total)
+	for _, q := range [...]struct {
+		suffix string
+		q      float64
+	}{{"p50", 0.50}, {"p95", 0.95}, {"p99", 0.99}} {
+		fmt.Fprintf(b, "%s_%s %s\n", name, q.suffix, promFloat(quantileOf(c, total, q.q)))
+	}
+}
+
+// promFloat formats a float for the exposition format.
+func promFloat(f float64) string {
+	return strconv.FormatFloat(f, 'g', -1, 64)
+}
+
+// sanitizeName maps an expvar key to a legal Prometheus metric-name
+// fragment: [a-zA-Z0-9_], everything else collapsed to '_'.
+func sanitizeName(s string) string {
+	var b strings.Builder
+	b.Grow(len(s))
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,37 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+)
+
+// SpanWriter appends finished spans to an io.Writer as JSONL — one span
+// object per line, in the Span JSON schema — so a long-lived server can
+// stream every job's trace to a file for offline analysis (-span-log).
+type SpanWriter struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+// NewSpanWriter wraps w. Writes from concurrent jobs are serialized.
+func NewSpanWriter(w io.Writer) *SpanWriter {
+	return &SpanWriter{w: w}
+}
+
+// Write appends each span as one JSON line. Encoding errors stop the batch
+// and are returned; the writer stays usable.
+func (s *SpanWriter) Write(spans []Span) error {
+	if s == nil || len(spans) == 0 {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	enc := json.NewEncoder(s.w)
+	for _, sp := range spans {
+		if err := enc.Encode(sp); err != nil {
+			return err
+		}
+	}
+	return nil
+}

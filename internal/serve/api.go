@@ -19,7 +19,8 @@
 //	DELETE /v1/models/{id}         evict a model from registry and disk
 //	POST   /v1/models/{id}/predict batched prediction over many rows
 //	GET    /healthz                liveness + registry/store/queue snapshot
-//	GET    /metrics                expvar counters
+//	GET    /metrics                Prometheus text exposition (counters + latency histograms)
+//	GET    /metrics.json           raw expvar JSON (the pre-Prometheus /metrics shape)
 //
 // In cluster mode (Config.Cluster) the coordinator protocol is mounted
 // under /v1/cluster (see internal/cluster) and jobs execute on remote
@@ -43,6 +44,7 @@ import (
 	"blinkml/internal/core"
 	"blinkml/internal/dataset"
 	"blinkml/internal/modelio"
+	"blinkml/internal/obs"
 )
 
 // TrainRequest is the body of POST /v1/train: a model spec, a dataset
@@ -171,6 +173,10 @@ type TrainResponse struct {
 	JobID string `json:"job_id"`
 	// State is the state at admission ("queued").
 	State string `json:"state"`
+	// TraceID identifies the request's trace: the caller's X-Blinkml-Trace
+	// header value, or a freshly minted ID. Every span and log line the job
+	// produces — locally or on a cluster worker — carries it.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // JobStatus is the body of GET /v1/jobs/{id}.
@@ -187,10 +193,28 @@ type JobStatus struct {
 	// (for tune jobs, the winning candidate's breakdown).
 	Diagnostics *PhaseBreakdown `json:"diagnostics,omitempty"`
 	// Tune carries the search leaderboard for finished tune jobs.
-	Tune       *TuneReport `json:"tune,omitempty"`
-	EnqueuedAt time.Time   `json:"enqueued_at"`
-	StartedAt  time.Time   `json:"started_at,omitzero"`
-	FinishedAt time.Time   `json:"finished_at,omitzero"`
+	Tune *TuneReport `json:"tune,omitempty"`
+	// TraceID is the job's trace identity (also inside Trace, but present
+	// from admission — before any span exists).
+	TraceID string `json:"trace_id,omitempty"`
+	// Trace is the per-stage timing breakdown recorded while the job ran
+	// (set once spans exist, i.e. when the job has finished or is far
+	// enough along to have recorded stages).
+	Trace      *TraceReport `json:"trace,omitempty"`
+	EnqueuedAt time.Time    `json:"enqueued_at"`
+	StartedAt  time.Time    `json:"started_at,omitzero"`
+	FinishedAt time.Time    `json:"finished_at,omitzero"`
+}
+
+// TraceReport is a finished job's span breakdown: per-stage aggregates in
+// pipeline order (ingest, sample, statistics, probe, optimize, registry),
+// plus the raw spans. Spans recorded on cluster workers carry the worker
+// name. DroppedSpans counts overflow beyond the per-job recording cap.
+type TraceReport struct {
+	TraceID      string      `json:"trace_id"`
+	Stages       []obs.Stage `json:"stages"`
+	Spans        []obs.Span  `json:"spans,omitempty"`
+	DroppedSpans int         `json:"dropped_spans,omitempty"`
 }
 
 // Done reports whether the job has reached a terminal state.

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"blinkml/internal/cluster"
+	"blinkml/internal/obs"
 )
 
 // clusterTestConfig keeps heartbeats fast; the liveness timeout stays far
@@ -47,7 +48,7 @@ func startClusterWorker(t *testing.T, url, name string) {
 		Coordinator: url,
 		Name:        name,
 		DataDir:     t.TempDir(),
-		Logf:        func(string, ...any) {},
+		Log:         obs.Discard(),
 	})
 	if err != nil {
 		t.Fatalf("new worker: %v", err)

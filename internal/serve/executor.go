@@ -8,6 +8,7 @@ import (
 	"blinkml/internal/cluster"
 	"blinkml/internal/core"
 	"blinkml/internal/datagen"
+	"blinkml/internal/obs"
 	"blinkml/internal/optimize"
 	"blinkml/internal/tune"
 )
@@ -68,12 +69,13 @@ func (s *Server) tuneConfig(req TuneRequest) tune.Config {
 
 // finishTune registers the search winner and builds the job result (shared
 // executor tail). dim is the dataset's feature dimension.
-func (s *Server) finishTune(res *tune.Result, dim int, elapsed time.Duration) (TaskResult, error) {
+func (s *Server) finishTune(ctx context.Context, res *tune.Result, dim int, elapsed time.Duration) (TaskResult, error) {
 	s.m.TuneRuns.Add(1)
-	s.m.TuneLatencyMsSum.Add(float64(elapsed) / float64(time.Millisecond))
+	s.m.TuneLatency.Observe(float64(elapsed) / float64(time.Millisecond))
 	s.m.TuneCandidates.Add(int64(res.Evaluated))
 	s.m.TuneCandidatesPruned.Add(int64(res.Pruned))
 	best := res.Best
+	endReg := obs.StartSpan(ctx, "registry")
 	id, err := s.registerModel(best.Spec, best.Theta, dim, &core.Result{
 		SampleSize:       best.SampleSize,
 		PoolSize:         best.PoolSize,
@@ -81,6 +83,7 @@ func (s *Server) finishTune(res *tune.Result, dim int, elapsed time.Duration) (T
 		UsedInitialModel: best.UsedInitialModel,
 		Diag:             best.Diag,
 	})
+	endReg()
 	if err != nil {
 		return TaskResult{}, err
 	}
@@ -114,10 +117,12 @@ func (e localExecutor) execTrain(ctx context.Context, req TrainRequest) (TaskRes
 		return TaskResult{}, err
 	}
 	s.m.TrainRuns.Add(1)
-	s.m.TrainLatencyMsSum.Add(float64(time.Since(start)) / float64(time.Millisecond))
+	s.m.TrainLatency.Observe(float64(time.Since(start)) / float64(time.Millisecond))
 	s.m.SampleSizeSum.Add(int64(res.SampleSize))
 	s.m.SampleSizeLast.Set(int64(res.SampleSize))
+	endReg := obs.StartSpan(ctx, "registry")
 	id, err := s.registerModel(spec, res.Theta, src.Meta().Dim, res)
+	endReg()
 	if err != nil {
 		return TaskResult{}, err
 	}
@@ -139,7 +144,7 @@ func (e localExecutor) execTune(ctx context.Context, req TuneRequest) (TaskResul
 	if err != nil {
 		return TaskResult{}, err
 	}
-	return s.finishTune(res, src.Meta().Dim, time.Since(start))
+	return s.finishTune(ctx, res, src.Meta().Dim, time.Since(start))
 }
 
 // clusterExecutor dispatches jobs to the embedded coordinator's workers. A
@@ -162,7 +167,7 @@ func (e *clusterExecutor) execTrain(ctx context.Context, req TrainRequest) (Task
 	}
 	opts := trainCoreOptions(req)
 	start := time.Now()
-	id, err := e.coord.Submit(cluster.TaskSpec{Kind: cluster.KindTrain, Train: &cluster.TrainTask{
+	id, err := e.coord.Submit(cluster.TaskSpec{Kind: cluster.KindTrain, Trace: obs.TraceID(ctx), Train: &cluster.TrainTask{
 		Spec:    req.Model,
 		Dataset: ref,
 		Options: clusterTrainOptions(opts),
@@ -174,6 +179,9 @@ func (e *clusterExecutor) execTrain(ctx context.Context, req TrainRequest) (Task
 	if err != nil {
 		return TaskResult{}, err
 	}
+	// The worker recorded its own pipeline spans; rejoin them to this job's
+	// trace so the stage breakdown covers remote work too.
+	obs.RecorderFrom(ctx).Add(payload.Spans)
 	m, err := cluster.DecodeModel(payload.Model)
 	if err != nil {
 		return TaskResult{}, err
@@ -187,14 +195,16 @@ func (e *clusterExecutor) execTrain(ctx context.Context, req TrainRequest) (Task
 		Diag:             m.Diag,
 	}
 	s.m.TrainRuns.Add(1)
-	s.m.TrainLatencyMsSum.Add(float64(time.Since(start)) / float64(time.Millisecond))
+	s.m.TrainLatency.Observe(float64(time.Since(start)) / float64(time.Millisecond))
 	s.m.SampleSizeSum.Add(int64(res.SampleSize))
 	s.m.SampleSizeLast.Set(int64(res.SampleSize))
 	// The worker shipped the model through modelio; registering its decoded
 	// spec (which carries trained derived state — PPCA's σ² — exactly as
 	// the local path's spec instance would) re-encodes the same bytes, so
 	// the registry entry is identical to a locally trained one.
+	endReg := obs.StartSpan(ctx, "registry")
 	mid, err := s.registerModel(m.Spec, m.Theta, m.Dim, res)
+	endReg()
 	if err != nil {
 		return TaskResult{}, err
 	}
@@ -228,7 +238,7 @@ func (e *clusterExecutor) execTune(ctx context.Context, req TuneRequest) (TaskRe
 	if err != nil {
 		return TaskResult{}, err
 	}
-	return s.finishTune(res, shape.dim, time.Since(start))
+	return s.finishTune(ctx, res, shape.dim, time.Since(start))
 }
 
 // dataShape is a dataset's rows × dim, known without materializing it.

@@ -13,6 +13,7 @@ import (
 	"blinkml/internal/cluster"
 	"blinkml/internal/datagen"
 	"blinkml/internal/dataset"
+	"blinkml/internal/obs"
 	"blinkml/internal/store"
 )
 
@@ -250,7 +251,7 @@ func TestClusterWorkerGracefulShutdownRequeues(t *testing.T) {
 
 	w, err := cluster.NewWorker(cluster.WorkerConfig{
 		Coordinator: ts.URL, Name: "leaving", DataDir: t.TempDir(),
-		Logf: func(string, ...any) {},
+		Log: obs.Discard(),
 	})
 	if err != nil {
 		t.Fatalf("new worker: %v", err)

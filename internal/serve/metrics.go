@@ -4,11 +4,16 @@ import (
 	"expvar"
 	"sync"
 	"time"
+
+	"blinkml/internal/obs"
 )
 
-// Metrics are the service's expvar counters, published once under the
-// "blinkml" map so repeated server construction (tests, restarts in one
-// process) reuses the same vars instead of panicking on re-publish.
+// Metrics are the service's expvar counters and latency histograms,
+// published once under the "blinkml" map so repeated server construction
+// (tests, restarts in one process) reuses the same vars instead of
+// panicking on re-publish. Latencies are obs.Histograms — mergeable
+// log-scale buckets with p50/p95/p99 at read time — rendered in Prometheus
+// text form on GET /metrics and as JSON summaries on GET /metrics.json.
 type Metrics struct {
 	JobsQueued    *expvar.Int // total jobs admitted
 	JobsRunning   *expvar.Int // gauge: jobs currently training
@@ -16,26 +21,27 @@ type Metrics struct {
 	JobsFailed    *expvar.Int
 	JobsCancelled *expvar.Int
 
-	TrainRuns         *expvar.Int   // completed training runs
-	TrainLatencyMsSum *expvar.Float // sum of wall-clock train latencies (ms)
-	SampleSizeSum     *expvar.Int   // sum of chosen sample sizes n
-	SampleSizeLast    *expvar.Int   // most recent chosen n
+	TrainRuns      *expvar.Int    // completed training runs
+	TrainLatency   *obs.Histogram // wall-clock train latency (ms)
+	SampleSizeSum  *expvar.Int    // sum of chosen sample sizes n
+	SampleSizeLast *expvar.Int    // most recent chosen n
 
-	TuneRuns             *expvar.Int   // completed hyperparameter searches
-	TuneLatencyMsSum     *expvar.Float // sum of wall-clock search latencies (ms)
-	TuneCandidates       *expvar.Int   // candidates entered across searches
-	TuneCandidatesPruned *expvar.Int   // candidates dropped by successive halving
+	TuneRuns             *expvar.Int    // completed hyperparameter searches
+	TuneLatency          *obs.Histogram // wall-clock search latency (ms)
+	TuneCandidates       *expvar.Int    // candidates entered across searches
+	TuneCandidatesPruned *expvar.Int    // candidates dropped by successive halving
 
-	PredictRequests   *expvar.Int // predict calls
-	PredictionsServed *expvar.Int // individual rows predicted
-	ModelsStored      *expvar.Int // gauge: models in the registry
+	PredictRequests   *expvar.Int    // predict calls
+	PredictionsServed *expvar.Int    // individual rows predicted
+	PredictLatency    *obs.Histogram // per-request predict latency (ms)
+	ModelsStored      *expvar.Int    // gauge: models in the registry
 
-	DatasetsStored         *expvar.Int   // gauge: datasets in the store
-	DatasetBytes           *expvar.Int   // gauge: store bytes on disk
-	IngestRows             *expvar.Int   // rows ingested across uploads
-	IngestMsSum            *expvar.Float // sum of ingest wall times (ms) — rows/sec is IngestRows/IngestMsSum
-	SampleRows             *expvar.Int   // rows materialized from the store
-	SampleMaterializeMsSum *expvar.Float // sum of sample-materialization latencies (ms)
+	DatasetsStored     *expvar.Int    // gauge: datasets in the store
+	DatasetBytes       *expvar.Int    // gauge: store bytes on disk
+	IngestRows         *expvar.Int    // rows ingested across uploads
+	IngestLatency      *obs.Histogram // per-upload ingest latency (ms)
+	SampleRows         *expvar.Int    // rows materialized from the store
+	MaterializeLatency *obs.Histogram // per-sample materialization latency (ms)
 }
 
 var (
@@ -53,8 +59,8 @@ func sharedMetrics() *Metrics {
 			m.Set(name, v)
 			return v
 		}
-		newFloat := func(name string) *expvar.Float {
-			v := new(expvar.Float)
+		newHist := func(name string) *obs.Histogram {
+			v := obs.NewHistogram()
 			m.Set(name, v)
 			return v
 		}
@@ -65,23 +71,24 @@ func sharedMetrics() *Metrics {
 			JobsFailed:           newInt("jobs_failed"),
 			JobsCancelled:        newInt("jobs_cancelled"),
 			TrainRuns:            newInt("train_runs"),
-			TrainLatencyMsSum:    newFloat("train_latency_ms_sum"),
+			TrainLatency:         newHist("train_latency_ms"),
 			SampleSizeSum:        newInt("sample_size_sum"),
 			SampleSizeLast:       newInt("sample_size_last"),
 			TuneRuns:             newInt("tune_runs"),
-			TuneLatencyMsSum:     newFloat("tune_latency_ms_sum"),
+			TuneLatency:          newHist("tune_latency_ms"),
 			TuneCandidates:       newInt("tune_candidates"),
 			TuneCandidatesPruned: newInt("tune_candidates_pruned"),
 			PredictRequests:      newInt("predict_requests"),
 			PredictionsServed:    newInt("predictions_served"),
+			PredictLatency:       newHist("predict_latency_ms"),
 			ModelsStored:         newInt("models_stored"),
 
-			DatasetsStored:         newInt("datasets_stored"),
-			DatasetBytes:           newInt("dataset_bytes"),
-			IngestRows:             newInt("ingest_rows"),
-			IngestMsSum:            newFloat("ingest_ms_sum"),
-			SampleRows:             newInt("sample_rows_materialized"),
-			SampleMaterializeMsSum: newFloat("sample_materialize_ms_sum"),
+			DatasetsStored:     newInt("datasets_stored"),
+			DatasetBytes:       newInt("dataset_bytes"),
+			IngestRows:         newInt("ingest_rows"),
+			IngestLatency:      newHist("ingest_ms"),
+			SampleRows:         newInt("sample_rows_materialized"),
+			MaterializeLatency: newHist("sample_materialize_ms"),
 		}
 	})
 	return metrics
@@ -93,10 +100,10 @@ type storeObserver struct{ m *Metrics }
 
 func (o storeObserver) IngestDone(rows int, bytes int64, d time.Duration) {
 	o.m.IngestRows.Add(int64(rows))
-	o.m.IngestMsSum.Add(float64(d) / float64(time.Millisecond))
+	o.m.IngestLatency.Observe(float64(d) / float64(time.Millisecond))
 }
 
 func (o storeObserver) Materialized(rows int, d time.Duration) {
 	o.m.SampleRows.Add(int64(rows))
-	o.m.SampleMaterializeMsSum.Add(float64(d) / float64(time.Millisecond))
+	o.m.MaterializeLatency.Observe(float64(d) / float64(time.Millisecond))
 }

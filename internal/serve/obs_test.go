@@ -1,0 +1,316 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"blinkml/internal/obs"
+)
+
+// postTrainWithTrace submits a train request carrying an explicit trace
+// header and returns the decoded ack plus the response headers.
+func postTrainWithTrace(t *testing.T, ts *httptest.Server, req TrainRequest, trace string) (TrainResponse, http.Header) {
+	t.Helper()
+	raw, err := json.Marshal(req)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	hr, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/train", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatalf("new request: %v", err)
+	}
+	hr.Header.Set("Content-Type", "application/json")
+	hr.Header.Set(obs.TraceHeader, trace)
+	resp, err := ts.Client().Do(hr)
+	if err != nil {
+		t.Fatalf("train: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("train status %d", resp.StatusCode)
+	}
+	var ack TrainResponse
+	if err := json.NewDecoder(resp.Body).Decode(&ack); err != nil {
+		t.Fatalf("decode ack: %v", err)
+	}
+	return ack, resp.Header
+}
+
+// TestTraceAndStageBreakdown drives one local training job under a
+// caller-supplied trace id and checks the full observability contract: the
+// trace id is echoed on the ack, survives to the job status, scopes every
+// recorded span, and the per-stage breakdown accounts for the training
+// wall-clock the diagnostics report.
+func TestTraceAndStageBreakdown(t *testing.T) {
+	s, err := New(Config{Dir: t.TempDir(), Workers: 1, QueueDepth: 8})
+	if err != nil {
+		t.Fatalf("new server: %v", err)
+	}
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	const trace = "0badc0ffee015eed"
+	ack, hdr := postTrainWithTrace(t, ts, trainBody(), trace)
+	if ack.TraceID != trace {
+		t.Fatalf("ack trace %q, want %q", ack.TraceID, trace)
+	}
+	if got := hdr.Get(obs.TraceHeader); got != trace {
+		t.Fatalf("ack header trace %q, want %q", got, trace)
+	}
+
+	st := waitJob(t, ts.Client(), ts.URL, ack.JobID, 90*time.Second)
+	if st.State != JobSucceeded {
+		t.Fatalf("job %+v, want succeeded", st)
+	}
+	if st.TraceID != trace {
+		t.Fatalf("job status trace %q, want %q", st.TraceID, trace)
+	}
+	if st.Trace == nil || st.Trace.TraceID != trace {
+		t.Fatalf("job status missing trace report: %+v", st.Trace)
+	}
+	for _, sp := range st.Trace.Spans {
+		if sp.Trace != trace {
+			t.Fatalf("span %q has trace %q, want %q", sp.Name, sp.Trace, trace)
+		}
+	}
+	stages := make(map[string]float64)
+	var sum float64
+	for _, stage := range st.Trace.Stages {
+		stages[stage.Name] = stage.Ms
+		sum += stage.Ms
+	}
+	for _, want := range []string{"ingest", "sample", "optimize", "statistics", "probe", "registry"} {
+		if _, ok := stages[want]; !ok {
+			t.Fatalf("stage breakdown missing %q (got %v)", want, stages)
+		}
+	}
+	// The spans wrap the same code the diagnostics timers wrap (plus ingest
+	// and registry, which diagnostics exclude), so the stage sum must
+	// account for the diagnostics wall-clock.
+	if st.Diagnostics == nil {
+		t.Fatal("job has no diagnostics")
+	}
+	if sum < 0.9*st.Diagnostics.TotalMs {
+		t.Fatalf("stage sum %.2fms accounts for less than 90%% of training wall-clock %.2fms (stages %v)",
+			sum, st.Diagnostics.TotalMs, stages)
+	}
+
+	// A submission without the header mints a fresh id.
+	ack2, _ := postTrainWithTrace(t, ts, trainBody(), "")
+	if ack2.TraceID == "" || ack2.TraceID == trace {
+		t.Fatalf("minted trace %q, want a fresh non-empty id", ack2.TraceID)
+	}
+}
+
+// TestStoreGaugesResyncOnNewServer guards the expvar gauge-drift fix: the
+// "blinkml" vars are process singletons, so a server constructed after
+// another one died must resync the registry/store gauges from its own disk
+// state instead of inheriting the predecessor's values.
+func TestStoreGaugesResyncOnNewServer(t *testing.T) {
+	s1, err := New(Config{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatalf("new server: %v", err)
+	}
+	// Simulate a dead server's leftovers on the shared gauges.
+	s1.m.ModelsStored.Set(7)
+	s1.m.DatasetsStored.Set(3)
+	s1.m.DatasetBytes.Set(1 << 20)
+	s1.Close()
+
+	s2, err := New(Config{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatalf("second server: %v", err)
+	}
+	defer s2.Close()
+	if got := s2.m.ModelsStored.Value(); got != 0 {
+		t.Fatalf("models_stored gauge %d on fresh server, want 0", got)
+	}
+	if got := s2.m.DatasetsStored.Value(); got != 0 {
+		t.Fatalf("datasets_stored gauge %d on fresh server, want 0", got)
+	}
+	if got := s2.m.DatasetBytes.Value(); got != 0 {
+		t.Fatalf("dataset_bytes gauge %d on fresh server, want 0", got)
+	}
+}
+
+// promSamples parses Prometheus text exposition into name{labels} -> value.
+func promSamples(t *testing.T, body io.Reader) map[string]float64 {
+	t.Helper()
+	out := make(map[string]float64)
+	sc := bufio.NewScanner(body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		idx := strings.LastIndexByte(line, ' ')
+		if idx < 0 {
+			t.Fatalf("unparsable metrics line %q", line)
+		}
+		v, err := strconv.ParseFloat(line[idx+1:], 64)
+		if err != nil {
+			t.Fatalf("unparsable value in %q: %v", line, err)
+		}
+		out[line[:idx]] = v
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatalf("scan metrics: %v", err)
+	}
+	return out
+}
+
+// TestMetricsPrometheusHistograms trains a model and runs predictions, then
+// asserts GET /metrics serves Prometheus-text histograms for train and
+// predict latency with coherent counts, cumulative buckets, and quantiles.
+func TestMetricsPrometheusHistograms(t *testing.T) {
+	s, err := New(Config{Dir: t.TempDir(), Workers: 1, QueueDepth: 8})
+	if err != nil {
+		t.Fatalf("new server: %v", err)
+	}
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	client := ts.Client()
+
+	st := runJob(t, ts, "/v1/train", trainBody())
+	if st.State != JobSucceeded {
+		t.Fatalf("job %+v", st)
+	}
+	// The trained model is 8-dimensional (trainBody's synthetic higgs); any
+	// finite rows of matching width exercise the predict path.
+	rows := make([][]float64, 32)
+	for i := range rows {
+		row := make([]float64, 8)
+		for j := range row {
+			row[j] = float64(i+1) * 0.1 * float64(j+1)
+		}
+		rows[i] = row
+	}
+	var pr PredictResponse
+	if code := doJSON(t, client, http.MethodPost, ts.URL+"/v1/models/"+st.ModelID+"/predict", PredictRequest{Rows: rows}, &pr); code != http.StatusOK {
+		t.Fatalf("predict status %d", code)
+	}
+
+	resp, err := client.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatalf("metrics: %v", err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("metrics content type %q, want text/plain exposition", ct)
+	}
+	samples := promSamples(t, resp.Body)
+
+	// The serve metrics are process singletons, so counts reflect every test
+	// run so far in this process — at least the one train and one predict
+	// batch issued above.
+	for _, h := range []string{"blinkml_train_latency_ms", "blinkml_predict_latency_ms"} {
+		count, ok := samples[h+"_count"]
+		if !ok || count < 1 {
+			t.Fatalf("%s_count = %v, want >= 1", h, count)
+		}
+		inf, ok := samples[h+`_bucket{le="+Inf"}`]
+		if !ok || inf != count {
+			t.Fatalf("%s +Inf bucket %v != count %v", h, inf, count)
+		}
+		if sum := samples[h+"_sum"]; sum <= 0 {
+			t.Fatalf("%s_sum = %v, want > 0", h, sum)
+		}
+		p50, p95, p99 := samples[h+"_p50"], samples[h+"_p95"], samples[h+"_p99"]
+		if p50 <= 0 || p50 > p95 || p95 > p99 {
+			t.Fatalf("%s quantiles not monotone: p50=%v p95=%v p99=%v", h, p50, p95, p99)
+		}
+		// Buckets are cumulative, so none may exceed the total count (full
+		// monotonicity is covered by the obs package tests).
+		for name, v := range samples {
+			if strings.HasPrefix(name, h+"_bucket") && v > count {
+				t.Fatalf("%s bucket %s = %v exceeds count %v", h, name, v, count)
+			}
+		}
+	}
+
+	// The compute plane is on the same page (its run histogram is a
+	// package-level var, so it is always published). The blinkml_cluster map
+	// only exists once a coordinator has been constructed in the process, so
+	// its presence is asserted by the cluster smoke in CI, not here.
+	if _, ok := samples[`blinkml_compute_run_ms_bucket{le="+Inf"}`]; !ok {
+		t.Fatal("metrics output missing blinkml_compute_run_ms histogram")
+	}
+
+	// The raw expvar JSON stays available for programmatic consumers.
+	jr, err := client.Get(ts.URL + "/metrics.json")
+	if err != nil {
+		t.Fatalf("metrics.json: %v", err)
+	}
+	defer jr.Body.Close()
+	var all map[string]json.RawMessage
+	if err := json.NewDecoder(jr.Body).Decode(&all); err != nil {
+		t.Fatalf("metrics.json is not a JSON object: %v", err)
+	}
+	if _, ok := all["blinkml"]; !ok {
+		t.Fatal("metrics.json missing blinkml map")
+	}
+}
+
+// TestClusterTraceRoundTrip is the end-to-end tracing acceptance check: a
+// trace id injected at /v1/train on a coordinator-mode server must come back
+// on worker-side spans in the job's stage breakdown.
+func TestClusterTraceRoundTrip(t *testing.T) {
+	_, ts := newClusterServer(t, clusterTestConfig())
+	startClusterWorker(t, ts.URL, "w-trace")
+
+	const trace = "cafebabe87654321"
+	ack, _ := postTrainWithTrace(t, ts, trainBody(), trace)
+	if ack.TraceID != trace {
+		t.Fatalf("ack trace %q, want %q", ack.TraceID, trace)
+	}
+	st := waitJob(t, ts.Client(), ts.URL, ack.JobID, 90*time.Second)
+	if st.State != JobSucceeded {
+		t.Fatalf("job %+v, want succeeded", st)
+	}
+	if st.Trace == nil || st.Trace.TraceID != trace {
+		t.Fatalf("job trace report %+v, want trace %q", st.Trace, trace)
+	}
+	remote := 0
+	names := make(map[string]bool)
+	for _, sp := range st.Trace.Spans {
+		if sp.Trace != trace {
+			t.Fatalf("span %q has trace %q, want %q", sp.Name, sp.Trace, trace)
+		}
+		if sp.Worker != "" {
+			if sp.Worker != "w-trace" {
+				t.Fatalf("span %q from unexpected worker %q", sp.Name, sp.Worker)
+			}
+			remote++
+			names[sp.Name] = true
+		}
+	}
+	if remote == 0 {
+		t.Fatal("no worker-side spans rejoined the job's trace")
+	}
+	for _, want := range []string{"sample", "optimize", "statistics"} {
+		if !names[want] {
+			t.Fatalf("worker-side spans missing stage %q (got %v)", want, names)
+		}
+	}
+	// The coordinator-side registry span coexists with the remote ones.
+	local := false
+	for _, stage := range st.Trace.Stages {
+		if stage.Name == "registry" {
+			local = true
+		}
+	}
+	if !local {
+		t.Fatal("stage breakdown missing coordinator-side registry stage")
+	}
+}

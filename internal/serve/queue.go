@@ -4,9 +4,12 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"sort"
 	"sync"
 	"time"
+
+	"blinkml/internal/obs"
 )
 
 // Job states (wire values of JobStatus.State).
@@ -60,6 +63,9 @@ type datasetTask interface {
 type Job struct {
 	ID   string
 	kind string
+	// trace is the job's trace ID — client-supplied via the X-Blinkml-Trace
+	// header or minted at admission. Immutable after Enqueue.
+	trace string
 	// dataset is the stored-dataset id the task references ("" when the job
 	// trains on synthetic or inline data). Immutable after Enqueue.
 	dataset string
@@ -68,23 +74,29 @@ type Job struct {
 	ctx    context.Context
 	cancel context.CancelFunc
 
-	mu         sync.Mutex
-	state      string
-	errMsg     string
-	result     TaskResult
-	enqueuedAt time.Time
-	startedAt  time.Time
-	finishedAt time.Time
+	mu           sync.Mutex
+	state        string
+	errMsg       string
+	result       TaskResult
+	spans        []obs.Span
+	droppedSpans int
+	enqueuedAt   time.Time
+	startedAt    time.Time
+	finishedAt   time.Time
 }
+
+// Trace returns the job's trace ID.
+func (j *Job) Trace() string { return j.trace }
 
 // Status returns a consistent snapshot.
 func (j *Job) Status() JobStatus {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	return JobStatus{
+	st := JobStatus{
 		ID:          j.ID,
 		Kind:        j.kind,
 		State:       j.state,
+		TraceID:     j.trace,
 		ModelID:     j.result.ModelID,
 		Error:       j.errMsg,
 		Diagnostics: j.result.Diagnostics,
@@ -93,6 +105,15 @@ func (j *Job) Status() JobStatus {
 		StartedAt:   j.startedAt,
 		FinishedAt:  j.finishedAt,
 	}
+	if len(j.spans) > 0 {
+		st.Trace = &TraceReport{
+			TraceID:      j.trace,
+			Stages:       obs.AggregateStages(j.spans),
+			Spans:        append([]obs.Span(nil), j.spans...),
+			DroppedSpans: j.droppedSpans,
+		}
+	}
+	return st
 }
 
 // markRunning transitions queued → running; it reports false when the job
@@ -106,6 +127,15 @@ func (j *Job) markRunning() bool {
 	j.state = JobRunning
 	j.startedAt = time.Now()
 	return true
+}
+
+// setSpans stores the job's recorded spans (before finish, so a Status read
+// after the terminal state always sees them).
+func (j *Job) setSpans(spans []obs.Span, dropped int) {
+	j.mu.Lock()
+	j.spans = spans
+	j.droppedSpans = dropped
+	j.mu.Unlock()
 }
 
 // finish records a terminal state. The task is dropped so a finished job
@@ -130,6 +160,13 @@ func (j *Job) finish(state, errMsg string, result TaskResult) {
 type Queue struct {
 	m       *Metrics
 	workers int
+
+	// SpanSink, when set before any Enqueue, receives every finished job's
+	// spans (the -span-log JSONL export hook). Called from worker goroutines.
+	SpanSink func([]obs.Span)
+	// Log receives job lifecycle events and becomes the request-scoped
+	// logger for job work; nil discards (tests, embedded queues).
+	Log *slog.Logger
 
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
@@ -179,9 +216,18 @@ func NewQueue(workers, depth int, m *Metrics) *Queue {
 // Workers returns the worker-pool size.
 func (q *Queue) Workers() int { return q.workers }
 
-// Enqueue admits a task, returning the new job or ErrQueueFull /
-// ErrQueueClosed.
+// Enqueue admits a task with a freshly minted trace ID, returning the new
+// job or ErrQueueFull / ErrQueueClosed.
 func (q *Queue) Enqueue(task Task) (*Job, error) {
+	return q.EnqueueTrace(task, "")
+}
+
+// EnqueueTrace is Enqueue with a caller-supplied trace ID (the value of the
+// request's X-Blinkml-Trace header); empty mints a new one.
+func (q *Queue) EnqueueTrace(task Task, trace string) (*Job, error) {
+	if trace == "" {
+		trace = obs.NewTraceID()
+	}
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	if q.closed {
@@ -192,6 +238,7 @@ func (q *Queue) Enqueue(task Task) (*Job, error) {
 	job := &Job{
 		ID:         fmt.Sprintf("j-%06d", q.seq),
 		kind:       task.Kind(),
+		trace:      trace,
 		task:       task,
 		ctx:        ctx,
 		cancel:     cancel,
@@ -347,19 +394,36 @@ func (q *Queue) runJob(job *Job) {
 		return // cancelled while queued
 	}
 	q.m.JobsRunning.Add(1)
-	result, err := job.task.Run(job.ctx)
+	rec := obs.NewRecorder(job.trace)
+	ctx := obs.WithRecorder(obs.WithTrace(job.ctx, job.trace), rec)
+	logger := q.Log
+	if logger == nil {
+		logger = obs.Discard() // embedded/test queues stay quiet unless wired
+	}
+	ctx = obs.WithLogger(ctx, logger)
+	log := obs.Logger(ctx).With("job", job.ID, "kind", job.kind)
+	log.Info("job started")
+	start := time.Now()
+	result, err := job.task.Run(ctx)
 	q.m.JobsRunning.Add(-1)
+	job.setSpans(rec.Spans(), rec.Dropped())
 	switch {
 	case err == nil:
 		job.finish(JobSucceeded, "", result)
 		q.m.JobsSucceeded.Add(1)
+		log.Info("job succeeded", "elapsed", time.Since(start), "model", result.ModelID)
 	case errors.Is(err, context.Canceled) || job.ctx.Err() != nil:
 		job.finish(JobCancelled, "cancelled: "+err.Error(), TaskResult{Diagnostics: result.Diagnostics})
 		q.m.JobsCancelled.Add(1)
+		log.Info("job cancelled", "elapsed", time.Since(start))
 	default:
 		job.finish(JobFailed, err.Error(), TaskResult{Diagnostics: result.Diagnostics})
 		q.m.JobsFailed.Add(1)
+		log.Warn("job failed", "elapsed", time.Since(start), "err", err)
 	}
 	job.cancel() // release the context's resources
 	q.recordDone(job.ID)
+	if q.SpanSink != nil {
+		q.SpanSink(rec.Spans())
+	}
 }

@@ -6,7 +6,9 @@ import (
 	"errors"
 	"expvar"
 	"fmt"
+	"log/slog"
 	"net/http"
+	"os"
 	"path/filepath"
 	"time"
 
@@ -17,6 +19,7 @@ import (
 	"blinkml/internal/dataset"
 	"blinkml/internal/modelio"
 	"blinkml/internal/models"
+	"blinkml/internal/obs"
 	"blinkml/internal/store"
 )
 
@@ -53,6 +56,13 @@ type Config struct {
 	// per-trial tasks), and the cluster protocol is mounted under
 	// /v1/cluster. Nil keeps the fully local, single-process behavior.
 	Cluster *cluster.Config
+	// Logger receives structured job/coordinator lifecycle events, scoped
+	// per request by trace ID. Nil discards (tests, embedded servers);
+	// blinkml-serve passes a real slog handler.
+	Logger *slog.Logger
+	// SpanLog, when non-empty, appends every finished job's spans to this
+	// file as JSONL (one obs.Span object per line).
+	SpanLog string
 }
 
 func (c Config) withDefaults() Config {
@@ -78,15 +88,17 @@ func (c Config) withDefaults() Config {
 // front of the BlinkML coordinator, plus a persistent model registry for
 // the models it produces.
 type Server struct {
-	cfg     Config
-	reg     *Registry
-	store   *store.Store
-	queue   *Queue
-	coord   *cluster.Coordinator // non-nil in cluster mode
-	exec    executor
-	mux     *http.ServeMux
-	m       *Metrics
-	started time.Time
+	cfg      Config
+	reg      *Registry
+	store    *store.Store
+	queue    *Queue
+	coord    *cluster.Coordinator // non-nil in cluster mode
+	exec     executor
+	mux      *http.ServeMux
+	m        *Metrics
+	log      *slog.Logger
+	spanFile *os.File // open -span-log sink, closed by Close
+	started  time.Time
 }
 
 // New opens the registry at cfg.Dir and the dataset store at cfg.DataDir
@@ -105,19 +117,46 @@ func New(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
+	log := cfg.Logger
+	if log == nil {
+		log = obs.Discard()
+	}
 	s := &Server{
 		cfg:     cfg,
 		reg:     reg,
 		store:   st,
 		m:       sharedMetrics(),
+		log:     log,
 		started: time.Now(),
 	}
 	st.SetObserver(storeObserver{s.m})
+	// Gauges survive server reconstruction within one process (the expvar
+	// singletons outlive the server), so resync them from the actual
+	// registry/store state rather than trusting stale values.
 	s.m.ModelsStored.Set(int64(reg.Len()))
 	s.refreshStoreGauges()
 	s.queue = NewQueue(cfg.Workers, cfg.QueueDepth, s.m)
+	s.queue.Log = cfg.Logger // nil keeps job logs silent
+	if cfg.SpanLog != "" {
+		f, err := os.OpenFile(cfg.SpanLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			s.queue.Close()
+			return nil, fmt.Errorf("serve: open span log: %w", err)
+		}
+		s.spanFile = f
+		sink := obs.NewSpanWriter(f)
+		s.queue.SpanSink = func(spans []obs.Span) {
+			if err := sink.Write(spans); err != nil {
+				log.Warn("span log write failed", "err", err)
+			}
+		}
+	}
 	if cfg.Cluster != nil {
-		s.coord = cluster.NewCoordinator(*cfg.Cluster, st)
+		ccfg := *cfg.Cluster
+		if ccfg.Logger == nil {
+			ccfg.Logger = log
+		}
+		s.coord = cluster.NewCoordinator(ccfg, st)
 		s.exec = &clusterExecutor{s: s, coord: s.coord}
 	} else {
 		s.exec = localExecutor{s: s}
@@ -148,6 +187,9 @@ func (s *Server) Close() {
 		s.coord.Close()
 	}
 	s.queue.Close()
+	if s.spanFile != nil {
+		_ = s.spanFile.Close()
+	}
 }
 
 func (s *Server) routes() {
@@ -165,7 +207,8 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("DELETE /v1/models/{id}", s.handleModelDelete)
 	s.mux.HandleFunc("POST /v1/models/{id}/predict", s.handlePredict)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
-	s.mux.Handle("GET /metrics", expvar.Handler())
+	s.mux.Handle("GET /metrics", obs.MetricsHandler())
+	s.mux.Handle("GET /metrics.json", expvar.Handler())
 	if s.coord != nil {
 		s.coord.Mount(s.mux)
 	}
@@ -258,7 +301,7 @@ func (s *Server) handleTrain(w http.ResponseWriter, r *http.Request) {
 	if !s.checkDatasetRef(w, req.Dataset) {
 		return
 	}
-	s.enqueue(w, trainTask{s: s, req: req})
+	s.enqueue(w, r, trainTask{s: s, req: req})
 }
 
 func (s *Server) handleTune(w http.ResponseWriter, r *http.Request) {
@@ -273,7 +316,7 @@ func (s *Server) handleTune(w http.ResponseWriter, r *http.Request) {
 	if !s.checkDatasetRef(w, req.Dataset) {
 		return
 	}
-	s.enqueue(w, tuneTask{s: s, req: req})
+	s.enqueue(w, r, tuneTask{s: s, req: req})
 }
 
 // checkDatasetRef rejects a dataset_id that is not in the store at submit
@@ -292,15 +335,19 @@ func (s *Server) checkDatasetRef(w http.ResponseWriter, ref DatasetRef) bool {
 }
 
 // enqueue admits a task and writes the 202 acknowledgement (or the 503
-// backpressure error).
-func (s *Server) enqueue(w http.ResponseWriter, task Task) {
-	job, err := s.queue.Enqueue(task)
+// backpressure error). The trace ID is minted here — at API admission — or
+// adopted from the request's X-Blinkml-Trace header, and echoed in both the
+// response body and header.
+func (s *Server) enqueue(w http.ResponseWriter, r *http.Request, task Task) {
+	job, err := s.queue.EnqueueTrace(task, r.Header.Get(obs.TraceHeader))
 	if err != nil {
 		writeError(w, http.StatusServiceUnavailable, err)
 		return
 	}
+	s.log.Info("job enqueued", "job", job.ID, "kind", task.Kind(), "trace", job.Trace())
 	w.Header().Set("Location", "/v1/jobs/"+job.ID)
-	writeJSON(w, http.StatusAccepted, TrainResponse{JobID: job.ID, State: JobQueued})
+	w.Header().Set(obs.TraceHeader, job.Trace())
+	writeJSON(w, http.StatusAccepted, TrainResponse{JobID: job.ID, State: JobQueued, TraceID: job.Trace()})
 }
 
 // handleJobList is GET /v1/jobs: every known job, oldest first, optionally
@@ -405,7 +452,9 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.m.PredictRequests.Add(1)
+	start := time.Now()
 	preds := predictBatch(m.Spec, m.Theta, req.Rows)
+	s.m.PredictLatency.Observe(float64(time.Since(start)) / float64(time.Millisecond))
 	s.m.PredictionsServed.Add(int64(len(preds)))
 	writeJSON(w, http.StatusOK, PredictResponse{ModelID: id, Predictions: preds})
 }

@@ -7,6 +7,7 @@ import (
 	"blinkml/internal/core"
 	"blinkml/internal/dataset"
 	"blinkml/internal/models"
+	"blinkml/internal/obs"
 )
 
 // Trial is one unit of search work: either a full (ε, δ) contract training
@@ -87,7 +88,9 @@ func (r *EnvRunner) RunTrial(ctx context.Context, t Trial) (TrialResult, error) 
 			Res:        res,
 		}, nil
 	}
+	endSample := obs.StartSpan(ctx, "sample")
 	sample, err := r.env.SharedSample(t.N)
+	endSample()
 	if err != nil {
 		return TrialResult{}, err
 	}
@@ -95,7 +98,9 @@ func (r *EnvRunner) RunTrial(ctx context.Context, t Trial) (TrialResult, error) 
 	if dim := t.Spec.ParamDim(sample); len(warm) != dim {
 		warm = nil
 	}
+	endOpt := obs.StartSpan(ctx, "optimize")
 	res, err := models.Train(t.Spec, sample, warm, core.WithCancel(ctx, r.opts.Optimizer))
+	endOpt()
 	if err != nil {
 		return TrialResult{}, err
 	}
