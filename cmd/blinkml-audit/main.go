@@ -1,0 +1,205 @@
+// Command blinkml-audit drives the guarantee-audit plane of a running
+// blinkml-serve instance from the shell: trigger replays of pending
+// calibration records, read the per-family coverage report, and export
+// the raw record/replay pairs as JSONL for offline analysis.
+//
+// Usage:
+//
+//	blinkml-audit report -addr http://localhost:8080 [-json]
+//	blinkml-audit replay -addr http://localhost:8080 [-model m-000001] [-max 10]
+//	blinkml-audit export -addr http://localhost:8080 [-out FILE]
+//
+// `report` prints one row per model family: records, replays, empirical
+// coverage Pr[v ≤ ε̂] against the 1−δ target, and the mean calibration
+// ratio ε̂ / realized. `replay` blocks while the server retrains the
+// full-data models, so expect it to take roughly as long as the original
+// jobs did.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"text/tabwriter"
+	"time"
+
+	"blinkml/internal/audit"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "report":
+		err = cmdReport(os.Args[2:])
+	case "replay":
+		err = cmdReplay(os.Args[2:])
+	case "export":
+		err = cmdExport(os.Args[2:])
+	case "-h", "--help", "help":
+		usage()
+		return
+	default:
+		fmt.Fprintf(os.Stderr, "blinkml-audit: unknown command %q\n\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "blinkml-audit:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `blinkml-audit inspects and drives a server's guarantee audits.
+
+commands:
+  report   per-family empirical (ε, δ) coverage against the 1−δ target
+  replay   replay pending calibration records (train the full-data models)
+  export   stream raw calibration records + replays as JSONL
+
+run "blinkml-audit <command> -h" for the command's flags
+`)
+}
+
+func addrFlag(fs *flag.FlagSet) *string {
+	return fs.String("addr", "http://localhost:8080", "blinkml-serve base URL")
+}
+
+// getJSON decodes a GET response, surfacing non-2xx bodies as errors.
+func getJSON(addr, path string, out any) error {
+	resp, err := http.Get(strings.TrimRight(addr, "/") + path)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return fmt.Errorf("GET %s: %s: %s", path, resp.Status, bytes.TrimSpace(body))
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+func cmdReport(args []string) error {
+	fs := flag.NewFlagSet("report", flag.ExitOnError)
+	addr := addrFlag(fs)
+	asJSON := fs.Bool("json", false, "print the raw report JSON")
+	fs.Parse(args)
+
+	var rep audit.Report
+	if err := getJSON(*addr, "/v1/audit", &rep); err != nil {
+		return err
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(rep)
+	}
+	fmt.Printf("records %d  replayed %d  pending %d  failures %d\n\n",
+		rep.Records, rep.Replayed, rep.Pending, rep.Failures)
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "FAMILY\tRECORDS\tREPLAYED\tVIOLATIONS\tCOVERAGE\tTARGET\tCALIBRATION\tSTATUS")
+	for _, fr := range rep.Families {
+		status := "-"
+		if fr.Replayed > 0 {
+			if fr.Coverage >= fr.Target {
+				status = "ok"
+			} else {
+				status = "BELOW TARGET"
+			}
+		}
+		cal := "-"
+		if fr.MeanCalibration > 0 {
+			cal = fmt.Sprintf("%.2fx", fr.MeanCalibration)
+		}
+		cov := "-"
+		if fr.Replayed > 0 {
+			cov = fmt.Sprintf("%.3f", fr.Coverage)
+		}
+		fmt.Fprintf(w, "%s\t%d\t%d\t%d\t%s\t%.3f\t%s\t%s\n",
+			fr.Family, fr.Records, fr.Replayed, fr.Violations, cov, fr.Target, cal, status)
+	}
+	return w.Flush()
+}
+
+func cmdReplay(args []string) error {
+	fs := flag.NewFlagSet("replay", flag.ExitOnError)
+	addr := addrFlag(fs)
+	model := fs.String("model", "", "replay this single model ID (retries errored replays too)")
+	max := fs.Int("max", 0, "replay at most this many pending records (0 = all)")
+	timeout := fs.Duration("timeout", 0, "client-side timeout (0 = none; replays retrain full models)")
+	fs.Parse(args)
+
+	body, err := json.Marshal(map[string]any{"model_id": *model, "max": *max})
+	if err != nil {
+		return err
+	}
+	client := &http.Client{Timeout: *timeout}
+	resp, err := client.Post(strings.TrimRight(*addr, "/")+"/v1/audit/replay", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	var rr struct {
+		Replayed int          `json:"replayed"`
+		Entry    *audit.Entry `json:"entry,omitempty"`
+		Error    string       `json:"error,omitempty"`
+	}
+	if err := json.Unmarshal(raw, &rr); err != nil {
+		return fmt.Errorf("POST /v1/audit/replay: %s: %s", resp.Status, bytes.TrimSpace(raw))
+	}
+	if resp.StatusCode/100 != 2 {
+		return fmt.Errorf("replayed %d before failing: %s", rr.Replayed, rr.Error)
+	}
+	fmt.Printf("replayed %d record(s)\n", rr.Replayed)
+	if e := rr.Entry; e != nil && e.Replay != nil {
+		fmt.Printf("%s: realized %.6f vs ε̂ %.6f (satisfied=%v, full-theta %s, %s)\n",
+			e.Record.ModelID, e.Replay.Realized, e.Replay.EpsilonHat, e.Replay.Satisfied,
+			e.Replay.FullThetaFNV, time.Duration(e.Replay.ElapsedMs*float64(time.Millisecond)).Round(time.Millisecond))
+	}
+	return nil
+}
+
+func cmdExport(args []string) error {
+	fs := flag.NewFlagSet("export", flag.ExitOnError)
+	addr := addrFlag(fs)
+	out := fs.String("out", "", "write JSONL here instead of stdout")
+	fs.Parse(args)
+
+	var entries []audit.Entry
+	if err := getJSON(*addr, "/v1/audit/records", &entries); err != nil {
+		return err
+	}
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		bw := bufio.NewWriter(f)
+		defer bw.Flush()
+		w = bw
+	}
+	enc := json.NewEncoder(w)
+	for _, e := range entries {
+		if err := enc.Encode(e); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintf(os.Stderr, "exported %d entr(ies)\n", len(entries))
+	return nil
+}

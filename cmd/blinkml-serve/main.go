@@ -46,6 +46,9 @@ func main() {
 		upload      = flag.Int64("max-upload", 0, "max dataset upload bytes (0 = default 4 GiB)")
 		parallelism = flag.Int("parallelism", 0, "compute-pool degree shared by all training kernels (0 = GOMAXPROCS)")
 		spanLog     = flag.String("span-log", "", "append completed job spans as JSONL to this file")
+		spanLogMax  = flag.Int64("span-log-max-bytes", 0, "rotate the span log past this size, keeping one .old generation (0 = unbounded)")
+		auditEvery  = flag.Duration("audit-interval", 0, "background guarantee-audit pass interval (0 = on-demand only)")
+		auditFrac   = flag.Float64("audit-fraction", 1, "fraction of pending jobs each background audit pass replays")
 		debugAddr   = flag.String("debug-addr", "", "serve net/http/pprof and /metrics on this extra address (off by default)")
 
 		clusterMode = flag.Bool("cluster", false, "run as a cluster coordinator: dispatch jobs to blinkml-worker processes")
@@ -58,14 +61,28 @@ func main() {
 		ccfg = &cluster.Config{HeartbeatTimeout: *hbTimeout, MaxAttempts: *maxAttempts}
 	}
 	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
-	if err := run(*addr, *dir, *dataDir, *workers, *depth, *upload, *parallelism, *spanLog, *debugAddr, ccfg, logger); err != nil {
+	cfg := serve.Config{
+		Dir:             *dir,
+		DataDir:         *dataDir,
+		Workers:         *workers,
+		QueueDepth:      *depth,
+		MaxUploadBytes:  *upload,
+		Parallelism:     *parallelism,
+		Cluster:         ccfg,
+		Logger:          logger,
+		SpanLog:         *spanLog,
+		SpanLogMaxBytes: *spanLogMax,
+		AuditInterval:   *auditEvery,
+		AuditFraction:   *auditFrac,
+	}
+	if err := run(*addr, *debugAddr, cfg, logger); err != nil {
 		fmt.Fprintln(os.Stderr, "blinkml-serve:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, dir, dataDir string, workers, depth int, maxUpload int64, parallelism int, spanLog, debugAddr string, ccfg *cluster.Config, logger *slog.Logger) error {
-	s, err := serve.New(serve.Config{Dir: dir, DataDir: dataDir, Workers: workers, QueueDepth: depth, MaxUploadBytes: maxUpload, Parallelism: parallelism, Cluster: ccfg, Logger: logger, SpanLog: spanLog})
+func run(addr, debugAddr string, cfg serve.Config, logger *slog.Logger) error {
+	s, err := serve.New(cfg)
 	if err != nil {
 		return err
 	}
@@ -95,11 +112,11 @@ func run(addr, dir, dataDir string, workers, depth int, maxUpload int64, paralle
 	errc := make(chan error, 1)
 	go func() {
 		mode := "local execution"
-		if ccfg != nil {
+		if cfg.Cluster != nil {
 			mode = "cluster coordinator"
 		}
 		logger.Info("blinkml-serve listening",
-			"addr", addr, "registry", dir, "models", s.Registry().Len(), "workers", workers, "mode", mode)
+			"addr", addr, "registry", cfg.Dir, "models", s.Registry().Len(), "workers", cfg.Workers, "mode", mode)
 		errc <- httpServer.ListenAndServe()
 	}()
 

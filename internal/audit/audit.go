@@ -1,0 +1,133 @@
+// Package audit is the guarantee-calibration plane: every train/tune job
+// appends a durable record of the (ε, δ) contract it promised and the
+// decision it made (sample size, ε̂, model family, dataset fingerprint),
+// and an opt-in auditor later replays completed jobs — training the
+// full-data model the guarantee was stated against — to measure the
+// realized model difference v(m_n). Aggregating replays per model family
+// yields the empirical coverage Pr[v ≤ ε̂], the number the paper's
+// probabilistic contract says must be at least 1−δ.
+package audit
+
+import (
+	"encoding/json"
+	"time"
+
+	"blinkml/internal/core"
+	"blinkml/internal/modelio"
+	"blinkml/internal/optimize"
+)
+
+// Options is the JSON-safe mirror of the core.Options a job trained with,
+// captured after WithDefaults so a replay rebuilds the identical
+// environment (split seeds, holdout size, optimizer budget) even if the
+// server's defaults change later. core.Options itself is not recorded
+// directly because its optimizer carries callback fields.
+type Options struct {
+	Epsilon           float64 `json:"epsilon"`
+	Delta             float64 `json:"delta"`
+	K                 int     `json:"k"`
+	Method            int     `json:"method"`
+	Seed              int64   `json:"seed"`
+	InitialSampleSize int     `json:"initial_sample_size"`
+	MinSampleSize     int     `json:"min_sample_size,omitempty"`
+	HoldoutFraction   float64 `json:"holdout_fraction"`
+	MaxHoldout        int     `json:"max_holdout"`
+	TestFraction      float64 `json:"test_fraction,omitempty"`
+	WarmStart         bool    `json:"warm_start,omitempty"`
+	MaxIters          int     `json:"max_iters,omitempty"`
+}
+
+// FromCore captures the replay-relevant fields of o. Callers pass
+// o.WithDefaults() so the record holds resolved values, not zeros.
+func FromCore(o core.Options) Options {
+	return Options{
+		Epsilon:           o.Epsilon,
+		Delta:             o.Delta,
+		K:                 o.K,
+		Method:            int(o.Method),
+		Seed:              o.Seed,
+		InitialSampleSize: o.InitialSampleSize,
+		MinSampleSize:     o.MinSampleSize,
+		HoldoutFraction:   o.HoldoutFraction,
+		MaxHoldout:        o.MaxHoldout,
+		TestFraction:      o.TestFraction,
+		WarmStart:         o.WarmStart,
+		MaxIters:          o.Optimizer.MaxIters,
+	}
+}
+
+// Core reconstructs the training options for a replay.
+func (o Options) Core() core.Options {
+	return core.Options{
+		Epsilon:           o.Epsilon,
+		Delta:             o.Delta,
+		K:                 o.K,
+		Method:            core.Method(o.Method),
+		Seed:              o.Seed,
+		InitialSampleSize: o.InitialSampleSize,
+		MinSampleSize:     o.MinSampleSize,
+		HoldoutFraction:   o.HoldoutFraction,
+		MaxHoldout:        o.MaxHoldout,
+		TestFraction:      o.TestFraction,
+		WarmStart:         o.WarmStart,
+		Optimizer:         optimize.Options{MaxIters: o.MaxIters},
+	}
+}
+
+// Record is the durable calibration record appended when a job registers a
+// model: the contract, the decision, and everything a replay needs to
+// reconstruct the environment. Dataset is the serving layer's dataset
+// reference, kept opaque here so audit does not depend on serve's wire
+// types; Fingerprint identifies the bytes it resolves to.
+type Record struct {
+	ModelID string `json:"model_id"`
+	JobID   string `json:"job_id,omitempty"`
+	TraceID string `json:"trace_id,omitempty"`
+	// Kind is "train" or "tune".
+	Kind   string `json:"kind"`
+	Family string `json:"family"`
+	// Spec round-trips the winning model's hyperparameters.
+	Spec        modelio.SpecJSON `json:"spec"`
+	Dataset     json.RawMessage  `json:"dataset,omitempty"`
+	Fingerprint string           `json:"fingerprint,omitempty"`
+	// Contract: the requested bound and confidence, and the Monte-Carlo
+	// budget K the estimate was computed with.
+	Epsilon float64 `json:"epsilon"`
+	Delta   float64 `json:"delta"`
+	K       int     `json:"k"`
+	// Decision: the chosen sample size n out of pool N, the estimated
+	// bound ε̂ the model shipped with, and the first-stage ε₀.
+	SampleSize       int     `json:"sample_size"`
+	PoolSize         int     `json:"pool_size"`
+	EpsilonHat       float64 `json:"epsilon_hat"`
+	InitialEpsilon   float64 `json:"initial_epsilon,omitempty"`
+	UsedInitialModel bool    `json:"used_initial_model,omitempty"`
+	Options          Options `json:"options"`
+	CreatedAt        time.Time `json:"created_at"`
+}
+
+// Replay is the realized outcome of auditing one record: the full-data
+// model was trained at the recorded options and compared against the
+// approximate model the job shipped.
+type Replay struct {
+	ModelID string `json:"model_id"`
+	// Realized is v(m_n, m_N) on the recorded holdout split.
+	Realized float64 `json:"realized"`
+	// EpsilonHat echoes the record's bound so a replay line is
+	// self-contained in exports.
+	EpsilonHat float64 `json:"epsilon_hat"`
+	// Satisfied reports Realized ≤ EpsilonHat — one Bernoulli draw of the
+	// coverage probability the contract promises is ≥ 1−δ.
+	Satisfied bool `json:"satisfied"`
+	FullIters int  `json:"full_iters,omitempty"`
+	// FullThetaFNV is the hex FNV-1a fingerprint of the full model's
+	// parameter bits — the determinism witness: a second replay (or a
+	// direct training at the same seed and parallelism) must reproduce it
+	// exactly.
+	FullThetaFNV string  `json:"full_theta_fnv,omitempty"`
+	ElapsedMs    float64 `json:"elapsed_ms,omitempty"`
+	// Error is set when the replay itself failed (dataset gone, training
+	// diverged); failed replays count toward failures, never coverage.
+	Error      string    `json:"error,omitempty"`
+	ReplayedAt time.Time `json:"replayed_at"`
+}

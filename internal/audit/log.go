@@ -1,0 +1,374 @@
+package audit
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"log/slog"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+// event is one JSONL line of the audit log: exactly one of the fields is
+// set. Records and replays interleave in append order, so the file is a
+// faithful timeline of decisions and their later validations.
+type event struct {
+	Record *Record `json:"record,omitempty"`
+	Replay *Replay `json:"replay,omitempty"`
+}
+
+// Entry joins a calibration record with its replay, if one has run.
+type Entry struct {
+	Record Record  `json:"record"`
+	Replay *Replay `json:"replay,omitempty"`
+}
+
+// minReplaysForAlert is how many coverage samples a family needs before a
+// below-target coverage fires the alert hook — with fewer, a single
+// violation swings the estimate too hard to act on.
+const minReplaysForAlert = 5
+
+// Log is the durable audit log: an append-only JSONL file under the data
+// directory plus an in-memory index by model ID. Appends are crash-safe in
+// the registry's sense — each event is written as one buffered line ending
+// in '\n', and Open tolerates a torn final line, so a crash mid-append
+// loses at most the event being written.
+type Log struct {
+	path   string
+	logger *slog.Logger
+	m      *Metrics
+
+	mu      sync.Mutex
+	f       *os.File
+	entries map[string]*Entry
+	order   []string
+}
+
+// Open loads (or creates) the audit log in dir. Blank, torn, or
+// unparseable lines are skipped, as are replays for unknown models — the
+// log must load after any crash. Metric gauges are resynced to the loaded
+// state.
+func Open(dir string, logger *slog.Logger) (*Log, error) {
+	if logger == nil {
+		logger = slog.Default()
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("audit: create dir: %w", err)
+	}
+	l := &Log{
+		path:    filepath.Join(dir, "audit.jsonl"),
+		logger:  logger,
+		m:       sharedMetrics(),
+		entries: make(map[string]*Entry),
+	}
+	if err := l.load(); err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(l.path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("audit: open log: %w", err)
+	}
+	l.f = f
+	l.resyncLocked()
+	return l, nil
+}
+
+func (l *Log) load() error {
+	f, err := os.Open(l.path)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("audit: read log: %w", err)
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var ev event
+		if err := json.Unmarshal(line, &ev); err != nil {
+			continue // torn or corrupt line: skip, keep loading
+		}
+		switch {
+		case ev.Record != nil:
+			l.indexRecord(*ev.Record)
+		case ev.Replay != nil:
+			if e, ok := l.entries[ev.Replay.ModelID]; ok {
+				rep := *ev.Replay
+				e.Replay = &rep
+			}
+		}
+	}
+	return sc.Err()
+}
+
+func (l *Log) indexRecord(rec Record) {
+	if e, ok := l.entries[rec.ModelID]; ok {
+		e.Record = rec // re-registration wins; keep any replay
+		return
+	}
+	l.entries[rec.ModelID] = &Entry{Record: rec}
+	l.order = append(l.order, rec.ModelID)
+}
+
+// resyncLocked sets the gauge-style metrics from the loaded state so a
+// reopened log in the same process reports truth, not double counts.
+// Latency/ratio histograms only accumulate new replays.
+func (l *Log) resyncLocked() {
+	var records, replays, pending, failures int64
+	for _, e := range l.entries {
+		records++
+		switch {
+		case e.Replay == nil:
+			pending++
+		case e.Replay.Error != "":
+			replays++
+			failures++
+		default:
+			replays++
+		}
+	}
+	l.m.Records.Set(records)
+	l.m.Replays.Set(replays)
+	l.m.ReplaysPending.Set(pending)
+	l.m.ReplayFailures.Set(failures)
+	for fam, fr := range l.familiesLocked() {
+		if fr.Replayed > 0 {
+			l.m.Coverage.Set(fam, fr.Coverage)
+		}
+	}
+}
+
+// appendEvent writes one event as a single '\n'-terminated line in one
+// Write call, so concurrent appenders never interleave bytes and a crash
+// tears at most the line in flight.
+func (l *Log) appendEvent(ev event) error {
+	buf, err := json.Marshal(ev)
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	if _, err := l.f.Write(buf); err != nil {
+		return fmt.Errorf("audit: append: %w", err)
+	}
+	return nil
+}
+
+// Append durably records a job's calibration decision.
+func (l *Log) Append(rec Record) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.appendEvent(event{Record: &rec}); err != nil {
+		return err
+	}
+	l.indexRecord(rec)
+	l.m.Records.Add(1)
+	l.m.ReplaysPending.Add(1)
+	return nil
+}
+
+// AppendReplay durably records a replay outcome and folds it into the
+// coverage metrics. Replays for unknown models are rejected.
+func (l *Log) AppendReplay(rep Replay) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	e, ok := l.entries[rep.ModelID]
+	if !ok {
+		return fmt.Errorf("audit: no record for model %s", rep.ModelID)
+	}
+	if err := l.appendEvent(event{Replay: &rep}); err != nil {
+		return err
+	}
+	first := e.Replay == nil
+	r := rep
+	e.Replay = &r
+	l.m.Replays.Add(1)
+	if first {
+		l.m.ReplaysPending.Add(-1)
+	}
+	if rep.ElapsedMs > 0 {
+		l.m.ReplayLatency.Observe(rep.ElapsedMs)
+	}
+	if rep.Error != "" {
+		l.m.ReplayFailures.Add(1)
+		return nil
+	}
+	fam := e.Record.Family
+	if rep.Realized > 0 {
+		l.m.CalibrationRatio.With(fam).Observe(rep.EpsilonHat / rep.Realized)
+	}
+	fr := l.familiesLocked()[fam]
+	l.m.Coverage.Set(fam, fr.Coverage)
+	if !rep.Satisfied && fr.Replayed >= minReplaysForAlert && fr.Coverage < fr.Target {
+		l.m.CoverageAlerts.Add(1)
+		l.logger.Warn("audit coverage below guarantee target",
+			"family", fam,
+			"coverage", fr.Coverage,
+			"target", fr.Target,
+			"replayed", fr.Replayed,
+			"model_id", rep.ModelID,
+			"realized", rep.Realized,
+			"epsilon_hat", rep.EpsilonHat,
+		)
+	}
+	return nil
+}
+
+// Get returns the entry for a model ID.
+func (l *Log) Get(modelID string) (Entry, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	e, ok := l.entries[modelID]
+	if !ok {
+		return Entry{}, false
+	}
+	out := *e
+	if e.Replay != nil {
+		rep := *e.Replay
+		out.Replay = &rep
+	}
+	return out, true
+}
+
+// Entries returns all entries in append order.
+func (l *Log) Entries() []Entry {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]Entry, 0, len(l.order))
+	for _, id := range l.order {
+		e := l.entries[id]
+		cp := *e
+		if e.Replay != nil {
+			rep := *e.Replay
+			cp.Replay = &rep
+		}
+		out = append(out, cp)
+	}
+	return out
+}
+
+// Pending returns records not yet replayed, in append order. Records whose
+// replay errored are not pending — they were attempted and count as
+// failures; a retry is an explicit operator action.
+func (l *Log) Pending() []Record {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var out []Record
+	for _, id := range l.order {
+		if e := l.entries[id]; e.Replay == nil {
+			out = append(out, e.Record)
+		}
+	}
+	return out
+}
+
+// FamilyReport aggregates coverage per model family.
+type FamilyReport struct {
+	Family  string `json:"family"`
+	Records int    `json:"records"`
+	// Replayed counts successful replays — the coverage sample size.
+	Replayed   int `json:"replayed"`
+	Violations int `json:"violations"`
+	Failures   int `json:"failures,omitempty"`
+	// Coverage is the empirical Pr[v ≤ ε̂]; the contract demands
+	// Coverage ≥ Target.
+	Coverage float64 `json:"coverage"`
+	// Target is 1−δ̄, with δ̄ the mean requested δ across the family's
+	// records.
+	Target float64 `json:"target"`
+	// MeanBound and MeanRealized average ε̂ and v over successful replays;
+	// MeanCalibration is the mean ε̂/v ratio (how conservative the
+	// estimator runs — well above 1 means loose bounds).
+	MeanBound       float64 `json:"mean_bound,omitempty"`
+	MeanRealized    float64 `json:"mean_realized,omitempty"`
+	MeanCalibration float64 `json:"mean_calibration,omitempty"`
+}
+
+// Report is the rollup behind GET /v1/audit.
+type Report struct {
+	Records  int            `json:"records"`
+	Replayed int            `json:"replayed"`
+	Pending  int            `json:"pending"`
+	Failures int            `json:"failures"`
+	Families []FamilyReport `json:"families"`
+}
+
+func (l *Log) familiesLocked() map[string]FamilyReport {
+	fams := make(map[string]FamilyReport)
+	sumDelta := make(map[string]float64)
+	for _, e := range l.entries {
+		fr := fams[e.Record.Family]
+		fr.Family = e.Record.Family
+		fr.Records++
+		sumDelta[fr.Family] += e.Record.Delta
+		if e.Replay != nil {
+			if e.Replay.Error != "" {
+				fr.Failures++
+			} else {
+				fr.Replayed++
+				if !e.Replay.Satisfied {
+					fr.Violations++
+				}
+				fr.MeanBound += e.Replay.EpsilonHat
+				fr.MeanRealized += e.Replay.Realized
+				if e.Replay.Realized > 0 {
+					fr.MeanCalibration += e.Replay.EpsilonHat / e.Replay.Realized
+				}
+			}
+		}
+		fams[fr.Family] = fr
+	}
+	for fam, fr := range fams {
+		fr.Target = 1 - sumDelta[fam]/float64(fr.Records)
+		if fr.Replayed > 0 {
+			fr.Coverage = float64(fr.Replayed-fr.Violations) / float64(fr.Replayed)
+			fr.MeanBound /= float64(fr.Replayed)
+			fr.MeanRealized /= float64(fr.Replayed)
+			fr.MeanCalibration /= float64(fr.Replayed)
+		}
+		fams[fam] = fr
+	}
+	return fams
+}
+
+// Summary builds the per-family rollup.
+func (l *Log) Summary() Report {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var rep Report
+	fams := l.familiesLocked()
+	names := make([]string, 0, len(fams))
+	for fam := range fams {
+		names = append(names, fam)
+	}
+	sort.Strings(names)
+	for _, fam := range names {
+		fr := fams[fam]
+		rep.Records += fr.Records
+		rep.Replayed += fr.Replayed
+		rep.Failures += fr.Failures
+		rep.Families = append(rep.Families, fr)
+	}
+	rep.Pending = rep.Records - rep.Replayed - rep.Failures
+	return rep
+}
+
+// Close closes the underlying file. Appends are unbuffered at the
+// application layer (each event is one Write), so there is nothing to
+// flush.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return nil
+	}
+	err := l.f.Close()
+	l.f = nil
+	return err
+}

@@ -1,0 +1,62 @@
+package audit
+
+import (
+	"expvar"
+	"sync"
+
+	"blinkml/internal/obs"
+)
+
+// Metrics are the audit plane's expvar vars, published once under the
+// "blinkml_audit" map so repeated Log construction (tests, restarts in one
+// process) reuses the same vars instead of panicking on re-publish. The
+// gauges are resynced from the loaded log on Open.
+type Metrics struct {
+	Records        *expvar.Int // calibration records appended
+	Replays        *expvar.Int // replays completed (success or failure)
+	ReplaysPending *expvar.Int // gauge: records with no replay yet
+	ReplayFailures *expvar.Int // replays that errored (no coverage sample)
+	// CoverageAlerts counts coverage-below-target alert firings — the
+	// structured-log hook's machine-readable twin.
+	CoverageAlerts *expvar.Int
+	// ReplayLatency is wall time per replay (ms) — dominated by the
+	// full-data training the guarantee is checked against.
+	ReplayLatency *obs.Histogram
+	// Coverage is the per-family empirical Pr[v ≤ ε̂] over completed
+	// replays; the contract demands ≥ 1−δ.
+	Coverage *obs.GaugeVec
+	// CalibrationRatio is the per-replay ε̂/realized ratio distribution —
+	// how conservative the estimator runs (≫1: loose bounds; <1: a
+	// violation).
+	CalibrationRatio *obs.HistogramVec
+}
+
+var (
+	metricsOnce sync.Once
+	metrics     *Metrics
+)
+
+func sharedMetrics() *Metrics {
+	metricsOnce.Do(func() {
+		m := expvar.NewMap("blinkml_audit")
+		newInt := func(name string) *expvar.Int {
+			v := new(expvar.Int)
+			m.Set(name, v)
+			return v
+		}
+		metrics = &Metrics{
+			Records:        newInt("records"),
+			Replays:        newInt("replays"),
+			ReplaysPending: newInt("replays_pending"),
+			ReplayFailures: newInt("replay_failures"),
+			CoverageAlerts: newInt("coverage_alerts"),
+		}
+		metrics.ReplayLatency = obs.NewHistogram()
+		m.Set("replay_ms", metrics.ReplayLatency)
+		metrics.Coverage = obs.NewGaugeVec()
+		m.Set("coverage", metrics.Coverage)
+		metrics.CalibrationRatio = obs.NewHistogramVec()
+		m.Set("calibration_ratio", metrics.CalibrationRatio)
+	})
+	return metrics
+}

@@ -64,6 +64,10 @@ const (
 	// KindTrial is one hyperparameter-search trial: a halving rung or a
 	// contract training of a single candidate.
 	KindTrial TaskKind = "trial"
+	// KindAudit is a guarantee replay: train the full-data model at the
+	// recorded options and measure the realized difference against the
+	// shipped approximate model.
+	KindAudit TaskKind = "audit"
 )
 
 // TaskSpec is the wire form of one schedulable unit. Exactly one payload
@@ -76,6 +80,7 @@ type TaskSpec struct {
 	Trace string     `json:"trace,omitempty"`
 	Train *TrainTask `json:"train,omitempty"`
 	Trial *TrialTask `json:"trial,omitempty"`
+	Audit *AuditTask `json:"audit,omitempty"`
 }
 
 // Validate checks the spec shape before admission.
@@ -91,6 +96,14 @@ func (s *TaskSpec) Validate() error {
 			return errors.New("cluster: trial task without payload")
 		}
 		return s.Trial.Dataset.Validate()
+	case KindAudit:
+		if s.Audit == nil {
+			return errors.New("cluster: audit task without payload")
+		}
+		if len(s.Audit.Theta) == 0 {
+			return errors.New("cluster: audit task without approximate model parameters")
+		}
+		return s.Audit.Dataset.Validate()
 	default:
 		return fmt.Errorf("cluster: unknown task kind %q", s.Kind)
 	}
@@ -240,6 +253,20 @@ type TrialTask struct {
 	Warm []float64 `json:"warm,omitempty"`
 }
 
+// AuditTask is one guarantee replay. The worker rebuilds the recorded
+// environment from (Dataset, Options) — identical to the original job's by
+// determinism of the split — trains the full-data model, and compares the
+// shipped Theta against it at Bound.
+type AuditTask struct {
+	Spec    modelio.SpecJSON `json:"spec"`
+	Dataset DatasetRef       `json:"dataset"`
+	Options TrainOptions     `json:"options"`
+	// Theta is the approximate model under audit.
+	Theta []float64 `json:"theta"`
+	// Bound is the ε̂ the model shipped with.
+	Bound float64 `json:"bound"`
+}
+
 // TaskResultPayload is what a worker ships back for a finished task.
 type TaskResultPayload struct {
 	// Model is the modelio envelope of the trained model (train tasks and
@@ -257,6 +284,14 @@ type TaskResultPayload struct {
 	// the task, stamped with the worker's name; the coordinator merges them
 	// into the originating job's trace.
 	Spans []obs.Span `json:"spans,omitempty"`
+	// Audit-task results: the realized model difference, whether it stayed
+	// within the recorded bound, the full training's iteration count, and
+	// the hex FNV-1a fingerprint of the full model's parameter bits (the
+	// determinism witness).
+	Realized     float64 `json:"realized,omitempty"`
+	Satisfied    bool    `json:"satisfied,omitempty"`
+	FullIters    int     `json:"full_iters,omitempty"`
+	FullThetaFNV string  `json:"full_theta_fnv,omitempty"`
 }
 
 // TaskError is the structured terminal error of a task that exhausted its
@@ -351,7 +386,10 @@ type Status struct {
 	TasksLeased  int            `json:"tasks_leased"`
 }
 
-// WorkerStatus describes one live worker.
+// WorkerStatus describes one live worker, including its fleet-scoreboard
+// counters: lifetime completions and failures, the derived error rate, and
+// the p95 of lease-to-complete latency (how long tasks spend on this
+// worker once leased — a slow or overloaded box shows here first).
 type WorkerStatus struct {
 	ID          string    `json:"id"`
 	Name        string    `json:"name"`
@@ -359,4 +397,9 @@ type WorkerStatus struct {
 	Parallelism int       `json:"parallelism"`
 	Leased      int       `json:"leased"`
 	LastSeen    time.Time `json:"last_seen"`
+
+	TasksCompleted       int64   `json:"tasks_completed"`
+	TasksFailed          int64   `json:"tasks_failed"`
+	ErrorRate            float64 `json:"error_rate"`
+	P95LeaseToCompleteMs float64 `json:"p95_lease_to_complete_ms"`
 }

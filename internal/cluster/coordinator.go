@@ -89,6 +89,7 @@ type task struct {
 	attempts    int    // leases consumed
 	cancelled   bool   // cancellation requested
 	submittedAt time.Time
+	leasedAt    time.Time // when the current lease was granted
 	log         []string
 
 	result *TaskResultPayload
@@ -97,7 +98,8 @@ type task struct {
 	done chan struct{} // closed on terminal state
 }
 
-// workerState tracks one registered worker.
+// workerState tracks one registered worker. The completed/failed counters
+// and the lease-to-complete histogram feed the fleet scoreboard in Status.
 type workerState struct {
 	id          string
 	name        string
@@ -105,6 +107,10 @@ type workerState struct {
 	parallelism int
 	deadline    time.Time
 	leased      map[string]*task
+
+	completed int64
+	failed    int64
+	ltc       *obs.Histogram // lease-to-complete latency (ms)
 }
 
 // Coordinator owns the task queue and worker registry. All methods are safe
@@ -280,6 +286,7 @@ func (c *Coordinator) Register(req RegisterRequest) (RegisterResponse, error) {
 		parallelism: req.Parallelism,
 		deadline:    time.Now().Add(c.cfg.HeartbeatTimeout),
 		leased:      make(map[string]*task),
+		ltc:         obs.NewHistogram(),
 	}
 	c.m.WorkersJoined.Add(1)
 	c.m.Workers.Set(int64(len(c.workers)))
@@ -337,6 +344,7 @@ func (c *Coordinator) Lease(ctx context.Context, workerID string, wait time.Dura
 		if t := c.popPendingLocked(); t != nil {
 			t.state = taskLeased
 			t.worker = workerID
+			t.leasedAt = time.Now()
 			t.attempts++
 			w.leased[t.id] = t
 			resp := &LeaseResponse{TaskID: t.id, Spec: t.spec, Cancel: c.cancellationsLocked(w)}
@@ -397,7 +405,8 @@ func (c *Coordinator) Complete(req CompleteRequest) error {
 	if t.state != taskLeased || t.worker != req.WorkerID {
 		return fmt.Errorf("%w: task %s is not leased to %s", ErrStaleLease, req.TaskID, req.WorkerID)
 	}
-	if w, ok := c.workers[req.WorkerID]; ok {
+	w := c.workers[req.WorkerID]
+	if w != nil {
 		delete(w.leased, req.TaskID)
 		w.deadline = time.Now().Add(c.cfg.HeartbeatTimeout)
 	}
@@ -410,11 +419,23 @@ func (c *Coordinator) Complete(req CompleteRequest) error {
 		// Deterministic failure: the training itself errored. Rerunning the
 		// same pure function elsewhere yields the same error; fail now.
 		t.log = append(t.log, fmt.Sprintf("attempt %d on %s: %s", t.attempts, req.WorkerID, req.Error))
+		if w != nil {
+			w.failed++
+		}
 		c.finishLocked(t, taskFailed, nil, &TaskError{TaskID: t.id, Attempts: t.attempts, Reason: req.Error, Log: t.log})
 	case req.Result == nil:
 		t.log = append(t.log, fmt.Sprintf("attempt %d on %s: empty completion", t.attempts, req.WorkerID))
+		if w != nil {
+			w.failed++
+		}
 		c.finishLocked(t, taskFailed, nil, &TaskError{TaskID: t.id, Attempts: t.attempts, Reason: "worker sent an empty completion", Log: t.log})
 	default:
+		if w != nil {
+			w.completed++
+			ms := float64(time.Since(t.leasedAt)) / float64(time.Millisecond)
+			w.ltc.Observe(ms)
+			c.m.TaskLeaseToComplete.Observe(ms)
+		}
 		c.finishLocked(t, taskSucceeded, req.Result, nil)
 	}
 	return nil
@@ -554,14 +575,23 @@ func (c *Coordinator) Status() Status {
 	defer c.mu.Unlock()
 	st := Status{Workers: make([]WorkerStatus, 0, len(c.workers))}
 	for _, w := range c.workers {
-		st.Workers = append(st.Workers, WorkerStatus{
-			ID:          w.id,
-			Name:        w.name,
-			Capacity:    w.capacity,
-			Parallelism: w.parallelism,
-			Leased:      len(w.leased),
-			LastSeen:    w.deadline.Add(-c.cfg.HeartbeatTimeout),
-		})
+		ws := WorkerStatus{
+			ID:             w.id,
+			Name:           w.name,
+			Capacity:       w.capacity,
+			Parallelism:    w.parallelism,
+			Leased:         len(w.leased),
+			LastSeen:       w.deadline.Add(-c.cfg.HeartbeatTimeout),
+			TasksCompleted: w.completed,
+			TasksFailed:    w.failed,
+		}
+		if total := w.completed + w.failed; total > 0 {
+			ws.ErrorRate = float64(w.failed) / float64(total)
+		}
+		if w.completed > 0 {
+			ws.P95LeaseToCompleteMs = w.ltc.Quantile(0.95)
+		}
+		st.Workers = append(st.Workers, ws)
 	}
 	sort.Slice(st.Workers, func(i, j int) bool { return st.Workers[i].ID < st.Workers[j].ID })
 	for _, t := range c.tasks {

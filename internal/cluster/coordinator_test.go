@@ -356,3 +356,36 @@ func TestConfigKeepsIntervalBelowTimeout(t *testing.T) {
 		t.Fatalf("defaults changed: interval %v timeout %v", d.HeartbeatInterval, d.HeartbeatTimeout)
 	}
 }
+
+// TestStatusScoreboard: completions and failures feed the per-worker fleet
+// scoreboard — counts, error rate, and lease-to-complete p95.
+func TestStatusScoreboard(t *testing.T) {
+	c := NewCoordinator(testConfig(), nil)
+	defer c.Close()
+	w := registerWorker(t, c, "w1")
+	for i := 0; i < 3; i++ {
+		id, _ := c.Submit(trialSpec())
+		mustLease(t, c, w)
+		req := CompleteRequest{WorkerID: w, TaskID: id, Result: &TaskResultPayload{Theta: []float64{1}}}
+		if i == 2 {
+			req = CompleteRequest{WorkerID: w, TaskID: id, Error: "diverged"}
+		}
+		if err := c.Complete(req); err != nil {
+			t.Fatalf("complete %s: %v", id, err)
+		}
+	}
+	st := c.Status()
+	if len(st.Workers) != 1 {
+		t.Fatalf("workers = %d, want 1", len(st.Workers))
+	}
+	ws := st.Workers[0]
+	if ws.TasksCompleted != 2 || ws.TasksFailed != 1 {
+		t.Fatalf("scoreboard counts %d/%d, want 2/1", ws.TasksCompleted, ws.TasksFailed)
+	}
+	if ws.ErrorRate < 0.3 || ws.ErrorRate > 0.4 {
+		t.Fatalf("error rate %v, want 1/3", ws.ErrorRate)
+	}
+	if ws.P95LeaseToCompleteMs < 0 {
+		t.Fatalf("p95 lease-to-complete %v", ws.P95LeaseToCompleteMs)
+	}
+}

@@ -27,6 +27,9 @@ type Metrics struct {
 	// TaskLeaseWait is how long a task sat queued before a worker leased it
 	// (ms) — the scheduling delay a fleet that is too small shows first.
 	TaskLeaseWait *obs.Histogram
+	// TaskLeaseToComplete is how long a leased task took to come back
+	// successfully (ms), fleet-wide; Status breaks it down per worker.
+	TaskLeaseToComplete *obs.Histogram
 
 	DatasetsExported *expvar.Int // bundle downloads served to workers
 }
@@ -60,6 +63,8 @@ func sharedMetrics() *Metrics {
 		}
 		metrics.TaskLeaseWait = obs.NewHistogram()
 		m.Set("task_lease_wait_ms", metrics.TaskLeaseWait)
+		metrics.TaskLeaseToComplete = obs.NewHistogram()
+		m.Set("task_lease_to_complete_ms", metrics.TaskLeaseToComplete)
 	})
 	return metrics
 }

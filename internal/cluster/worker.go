@@ -21,6 +21,7 @@ import (
 	"blinkml/internal/modelio"
 	"blinkml/internal/models"
 	"blinkml/internal/obs"
+	"blinkml/internal/optimize"
 	"blinkml/internal/store"
 	"blinkml/internal/tune"
 )
@@ -400,9 +401,37 @@ func (w *Worker) runTask(ctx context.Context, spec TaskSpec) (*TaskResultPayload
 		return w.runTrain(ctx, spec.Train)
 	case KindTrial:
 		return w.runTrial(ctx, spec.Trial)
+	case KindAudit:
+		return w.runAudit(ctx, spec.Audit)
 	default:
 		return nil, fmt.Errorf("cluster: unknown task kind %q", spec.Kind)
 	}
+}
+
+// runAudit replays one guarantee: rebuild the recorded environment, train
+// the full-data model, and measure the realized difference against the
+// shipped approximate parameters. The fingerprint of the full model's bits
+// rides back as the determinism witness.
+func (w *Worker) runAudit(ctx context.Context, t *AuditTask) (*TaskResultPayload, error) {
+	spec, err := t.Spec.Spec()
+	if err != nil {
+		return nil, err
+	}
+	env, err := w.envFor(ctx, t.Dataset, t.Options)
+	if err != nil {
+		return nil, err
+	}
+	optim := core.WithCancel(ctx, optimize.Options{MaxIters: t.Options.MaxIters})
+	rep, err := core.ValidateGuarantee(env, spec, &core.Result{Theta: t.Theta, EstimatedEpsilon: t.Bound}, optim)
+	if err != nil {
+		return nil, err
+	}
+	return &TaskResultPayload{
+		Realized:     rep.Realized,
+		Satisfied:    rep.Satisfied,
+		FullIters:    rep.FullIters,
+		FullThetaFNV: fmt.Sprintf("%016x", core.ThetaFingerprint(rep.FullTheta)),
+	}, nil
 }
 
 // runTrain executes a full BlinkML training run and returns the model in

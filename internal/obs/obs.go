@@ -57,6 +57,7 @@ const (
 	traceKey ctxKey = iota
 	recorderKey
 	loggerKey
+	jobKey
 )
 
 // WithTrace returns ctx carrying the trace ID ("" leaves ctx unchanged).
@@ -73,5 +74,24 @@ func TraceID(ctx context.Context) string {
 		return ""
 	}
 	s, _ := ctx.Value(traceKey).(string)
+	return s
+}
+
+// WithJobID returns ctx carrying the serving-layer job ID ("" leaves ctx
+// unchanged). The audit plane reads it so a durable calibration record can
+// be joined back to the job that produced it.
+func WithJobID(ctx context.Context, id string) context.Context {
+	if id == "" {
+		return ctx
+	}
+	return context.WithValue(ctx, jobKey, id)
+}
+
+// JobID returns the context's job ID, or "" when there is none.
+func JobID(ctx context.Context) string {
+	if ctx == nil {
+		return ""
+	}
+	s, _ := ctx.Value(jobKey).(string)
 	return s
 }

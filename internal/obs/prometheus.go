@@ -33,6 +33,22 @@ func MetricsHandler() http.Handler {
 					fmt.Fprintf(&b, "%s %s\n", name, promFloat(v.Value()))
 				case *Histogram:
 					writeHistogram(&b, name, v)
+				case *HistogramVec:
+					typed := false
+					v.Do(func(family string, h *Histogram) {
+						if h.Count() == 0 {
+							return // an unused family must not emit 40 zero lines
+						}
+						if !typed {
+							fmt.Fprintf(&b, "# TYPE %s histogram\n", name)
+							typed = true
+						}
+						writeLabeledHistogram(&b, name, fmt.Sprintf("%s=%q", FamilyLabel, family), h)
+					})
+				case *GaugeVec:
+					v.Do(func(family string, val float64) {
+						fmt.Fprintf(&b, "%s{%s=%q} %s\n", name, FamilyLabel, family, promFloat(val))
+					})
 				}
 			})
 		})
@@ -42,21 +58,37 @@ func MetricsHandler() http.Handler {
 
 // writeHistogram renders h as a Prometheus histogram plus quantile gauges.
 func writeHistogram(b *strings.Builder, name string, h *Histogram) {
-	c, total := h.snapshot()
 	fmt.Fprintf(b, "# TYPE %s histogram\n", name)
+	writeLabeledHistogram(b, name, "", h)
+}
+
+// writeLabeledHistogram renders the series of one histogram, carrying the
+// extra label pair (e.g. `family="logistic"`) on every sample; empty labels
+// reproduce the plain form. The caller owns the # TYPE line so one vec
+// declares its type once across members.
+func writeLabeledHistogram(b *strings.Builder, name, labels string, h *Histogram) {
+	c, total := h.snapshot()
+	sep := ""
+	if labels != "" {
+		sep = ","
+	}
 	var cum uint64
 	for i := 0; i < numBounds; i++ {
 		cum += c[i]
-		fmt.Fprintf(b, "%s_bucket{le=%q} %d\n", name, promFloat(bounds[i]), cum)
+		fmt.Fprintf(b, "%s_bucket{%s%sle=%q} %d\n", name, labels, sep, promFloat(bounds[i]), cum)
 	}
-	fmt.Fprintf(b, "%s_bucket{le=\"+Inf\"} %d\n", name, total)
-	fmt.Fprintf(b, "%s_sum %s\n", name, promFloat(h.SumMs()))
-	fmt.Fprintf(b, "%s_count %d\n", name, total)
+	fmt.Fprintf(b, "%s_bucket{%s%sle=\"+Inf\"} %d\n", name, labels, sep, total)
+	brace := ""
+	if labels != "" {
+		brace = "{" + labels + "}"
+	}
+	fmt.Fprintf(b, "%s_sum%s %s\n", name, brace, promFloat(h.SumMs()))
+	fmt.Fprintf(b, "%s_count%s %d\n", name, brace, total)
 	for _, q := range [...]struct {
 		suffix string
 		q      float64
 	}{{"p50", 0.50}, {"p95", 0.95}, {"p99", 0.99}} {
-		fmt.Fprintf(b, "%s_%s %s\n", name, q.suffix, promFloat(quantileOf(c, total, q.q)))
+		fmt.Fprintf(b, "%s_%s%s %s\n", name, q.suffix, brace, promFloat(quantileOf(c, total, q.q)))
 	}
 }
 

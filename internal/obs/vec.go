@@ -1,0 +1,152 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"sort"
+	"strings"
+	"sync/atomic"
+)
+
+// FamilyLabel is the one label name the labeled metric types carry. The
+// label set is bounded at construction — per-model-family breakdowns over
+// the five model classes — so a vec can never explode Prometheus
+// cardinality no matter what strings callers pass: unknown values collapse
+// into FamilyOther.
+const (
+	FamilyLabel = "family"
+	FamilyOther = "other"
+)
+
+// ModelFamilies is the closed label set: the model classes modelio can
+// round-trip. A vec constructed with NewHistogramVec/NewGaugeVec accepts
+// exactly these (plus the catch-all), which keeps every labeled series
+// enumerable at construction time and every With call lock-free.
+var ModelFamilies = []string{"linear", "logistic", "maxent", "poisson", "ppca"}
+
+// HistogramVec is a fixed-label-set family of Histograms, publishable as a
+// single expvar.Var. With(family) returns the per-family histogram
+// (FamilyOther for anything outside the set); MetricsHandler renders each
+// non-empty member as a labeled Prometheus histogram series.
+type HistogramVec struct {
+	members map[string]*Histogram
+	order   []string
+}
+
+// NewHistogramVec builds a vec over ModelFamilies plus FamilyOther. All
+// members exist up front, so With never allocates or locks.
+func NewHistogramVec() *HistogramVec {
+	v := &HistogramVec{members: make(map[string]*Histogram, len(ModelFamilies)+1)}
+	for _, f := range append(append([]string(nil), ModelFamilies...), FamilyOther) {
+		v.members[f] = NewHistogram()
+		v.order = append(v.order, f)
+	}
+	sort.Strings(v.order)
+	return v
+}
+
+// With returns the histogram for family, collapsing unknown values into
+// FamilyOther.
+func (v *HistogramVec) With(family string) *Histogram {
+	if h, ok := v.members[family]; ok {
+		return h
+	}
+	return v.members[FamilyOther]
+}
+
+// Do calls f for every member in label order.
+func (v *HistogramVec) Do(f func(family string, h *Histogram)) {
+	for _, name := range v.order {
+		f(name, v.members[name])
+	}
+}
+
+// String implements expvar.Var: a JSON object keyed by family, each value
+// the member histogram's summary (empty members omitted).
+func (v *HistogramVec) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	first := true
+	v.Do(func(family string, h *Histogram) {
+		if h.Count() == 0 {
+			return
+		}
+		if !first {
+			b.WriteByte(',')
+		}
+		first = false
+		fmt.Fprintf(&b, "%q:%s", family, h.String())
+	})
+	b.WriteByte('}')
+	return b.String()
+}
+
+// gaugeEntry pairs a float gauge with a touched flag so untouched families
+// never render (a coverage gauge that was never computed must not read 0).
+type gaugeEntry struct {
+	v   expvar.Float
+	set atomic.Bool
+}
+
+// GaugeVec is a fixed-label-set family of float gauges (same label
+// discipline as HistogramVec). Only families that have been Set render.
+type GaugeVec struct {
+	members map[string]*gaugeEntry
+	order   []string
+}
+
+// NewGaugeVec builds a vec over ModelFamilies plus FamilyOther.
+func NewGaugeVec() *GaugeVec {
+	v := &GaugeVec{members: make(map[string]*gaugeEntry, len(ModelFamilies)+1)}
+	for _, f := range append(append([]string(nil), ModelFamilies...), FamilyOther) {
+		v.members[f] = &gaugeEntry{}
+		v.order = append(v.order, f)
+	}
+	sort.Strings(v.order)
+	return v
+}
+
+// Set records the gauge value for family (unknown values collapse into
+// FamilyOther) and marks it visible.
+func (v *GaugeVec) Set(family string, val float64) {
+	e, ok := v.members[family]
+	if !ok {
+		e = v.members[FamilyOther]
+	}
+	e.v.Set(val)
+	e.set.Store(true)
+}
+
+// Get returns the gauge value for family and whether it was ever set.
+func (v *GaugeVec) Get(family string) (float64, bool) {
+	e, ok := v.members[family]
+	if !ok {
+		e = v.members[FamilyOther]
+	}
+	return e.v.Value(), e.set.Load()
+}
+
+// Do calls f for every set member in label order.
+func (v *GaugeVec) Do(f func(family string, val float64)) {
+	for _, name := range v.order {
+		if e := v.members[name]; e.set.Load() {
+			f(name, e.v.Value())
+		}
+	}
+}
+
+// String implements expvar.Var: a JSON object keyed by family.
+func (v *GaugeVec) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	first := true
+	v.Do(func(family string, val float64) {
+		if !first {
+			b.WriteByte(',')
+		}
+		first = false
+		fmt.Fprintf(&b, "%q:%s", family, jsonFloat(val))
+	})
+	b.WriteByte('}')
+	return b.String()
+}

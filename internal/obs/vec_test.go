@@ -1,0 +1,78 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestHistogramVecCollapsesUnknownFamilies(t *testing.T) {
+	v := NewHistogramVec()
+	v.With("logistic").Observe(5)
+	v.With("no-such-family").Observe(7)
+	v.With("also-unknown").Observe(9)
+	if got := v.With("logistic").Count(); got != 1 {
+		t.Fatalf("logistic count = %d, want 1", got)
+	}
+	if got := v.With(FamilyOther).Count(); got != 2 {
+		t.Fatalf("other count = %d, want 2 (unknown labels must collapse)", got)
+	}
+	// The expvar form must be valid JSON keyed by family, empties omitted.
+	var m map[string]json.RawMessage
+	if err := json.Unmarshal([]byte(v.String()), &m); err != nil {
+		t.Fatalf("vec String is not JSON: %v", err)
+	}
+	if _, ok := m["logistic"]; !ok {
+		t.Fatalf("vec JSON missing logistic: %v", m)
+	}
+	if _, ok := m["linear"]; ok {
+		t.Fatalf("vec JSON renders empty family: %v", m)
+	}
+}
+
+func TestGaugeVecRendersOnlySetFamilies(t *testing.T) {
+	v := NewGaugeVec()
+	v.Set("linear", 0.95)
+	v.Set("bogus", 0.5)
+	if val, ok := v.Get("linear"); !ok || val != 0.95 {
+		t.Fatalf("linear gauge = %v,%v", val, ok)
+	}
+	if val, ok := v.Get(FamilyOther); !ok || val != 0.5 {
+		t.Fatalf("other gauge = %v,%v (unknown labels must collapse)", val, ok)
+	}
+	seen := map[string]float64{}
+	v.Do(func(f string, val float64) { seen[f] = val })
+	if len(seen) != 2 {
+		t.Fatalf("rendered families %v, want exactly the set ones", seen)
+	}
+}
+
+// The exposition endpoint must render vec members as labeled series of one
+// shared metric name.
+func TestMetricsHandlerRendersLabeledSeries(t *testing.T) {
+	m := expvar.NewMap("blinkml_vectest")
+	hv := NewHistogramVec()
+	gv := NewGaugeVec()
+	m.Set("lat_ms", hv)
+	m.Set("coverage", gv)
+	hv.With("logistic").Observe(3)
+	gv.Set("logistic", 1.0)
+
+	rec := httptest.NewRecorder()
+	MetricsHandler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	body := rec.Body.String()
+	for _, want := range []string{
+		`blinkml_vectest_lat_ms_bucket{family="logistic",le="+Inf"} 1`,
+		`blinkml_vectest_lat_ms_count{family="logistic"} 1`,
+		`blinkml_vectest_coverage{family="logistic"} 1`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("exposition missing %q in:\n%s", want, body)
+		}
+	}
+	if strings.Contains(body, `family="linear"`) {
+		t.Fatalf("exposition renders untouched family:\n%s", body)
+	}
+}

@@ -18,6 +18,9 @@
 //	GET    /v1/models/{id}         model metadata (?theta=1 adds parameters)
 //	DELETE /v1/models/{id}         evict a model from registry and disk
 //	POST   /v1/models/{id}/predict batched prediction over many rows
+//	GET    /v1/audit               per-family empirical (ε, δ) coverage rollup
+//	GET    /v1/audit/records       every calibration record joined with its replay
+//	POST   /v1/audit/replay        replay pending records now (body: {model_id?, max?})
 //	GET    /healthz                liveness + registry/store/queue snapshot
 //	GET    /metrics                Prometheus text exposition (counters + latency histograms)
 //	GET    /metrics.json           raw expvar JSON (the pre-Prometheus /metrics shape)
@@ -41,6 +44,7 @@ import (
 	"math"
 	"time"
 
+	"blinkml/internal/audit"
 	"blinkml/internal/core"
 	"blinkml/internal/dataset"
 	"blinkml/internal/modelio"
@@ -204,6 +208,10 @@ type JobStatus struct {
 	EnqueuedAt time.Time    `json:"enqueued_at"`
 	StartedAt  time.Time    `json:"started_at,omitzero"`
 	FinishedAt time.Time    `json:"finished_at,omitzero"`
+	// Audit joins the job's guarantee-calibration record (appended when its
+	// model registered) and, once the auditor has replayed the job, the
+	// realized coverage sample. Set only on GET /v1/jobs/{id}.
+	Audit *audit.Entry `json:"audit,omitempty"`
 }
 
 // TraceReport is a finished job's span breakdown: per-stage aggregates in

@@ -1,0 +1,133 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"blinkml/internal/audit"
+	"blinkml/internal/cluster"
+	"blinkml/internal/dataset"
+	"blinkml/internal/modelio"
+	"blinkml/internal/obs"
+)
+
+// resolveAuditSource turns a recorded dataset reference (the serve-layer
+// DatasetRef JSON, stored opaquely in the audit record) back into a data
+// source for replay.
+func (s *Server) resolveAuditSource(_ context.Context, raw json.RawMessage) (dataset.Source, error) {
+	if len(raw) == 0 {
+		return nil, errors.New("serve: audit record has no dataset reference")
+	}
+	var ref DatasetRef
+	if err := json.Unmarshal(raw, &ref); err != nil {
+		return nil, fmt.Errorf("serve: decode audit dataset ref: %w", err)
+	}
+	return s.buildSource(ref)
+}
+
+// clusterReplayer runs audit replays on the worker fleet: the full-data
+// training a replay needs is exactly the work the cluster exists to
+// spread. The worker rebuilds the recorded environment (identical by split
+// determinism) and ships back the realized difference plus the full
+// model's bit fingerprint.
+type clusterReplayer struct{ s *Server }
+
+// Replay implements audit.Replayer.
+func (r clusterReplayer) Replay(ctx context.Context, rec audit.Record, m *modelio.Model) (audit.ReplayOutcome, error) {
+	var ref DatasetRef
+	if err := json.Unmarshal(rec.Dataset, &ref); err != nil {
+		return audit.ReplayOutcome{}, fmt.Errorf("serve: decode audit dataset ref: %w", err)
+	}
+	cref, _, err := r.s.clusterDatasetRef(ref)
+	if err != nil {
+		return audit.ReplayOutcome{}, err
+	}
+	id, err := r.s.coord.Submit(cluster.TaskSpec{Kind: cluster.KindAudit, Trace: obs.TraceID(ctx), Audit: &cluster.AuditTask{
+		Spec:    rec.Spec,
+		Dataset: cref,
+		Options: clusterTrainOptions(rec.Options.Core()),
+		Theta:   m.Theta,
+		Bound:   rec.EpsilonHat,
+	}})
+	if err != nil {
+		return audit.ReplayOutcome{}, err
+	}
+	payload, err := r.s.coord.Await(ctx, id)
+	if err != nil {
+		return audit.ReplayOutcome{}, err
+	}
+	fnv, err := strconv.ParseUint(payload.FullThetaFNV, 16, 64)
+	if err != nil {
+		return audit.ReplayOutcome{}, fmt.Errorf("serve: worker audit fingerprint %q: %w", payload.FullThetaFNV, err)
+	}
+	return audit.ReplayOutcome{
+		Realized:     payload.Realized,
+		Satisfied:    payload.Satisfied,
+		FullIters:    payload.FullIters,
+		FullThetaFNV: fnv,
+	}, nil
+}
+
+// AuditReplayRequest is the body of POST /v1/audit/replay. Empty replays
+// everything pending; ModelID targets one record (including re-replaying
+// an errored or already-audited one); Max caps a bulk replay.
+type AuditReplayRequest struct {
+	ModelID string `json:"model_id,omitempty"`
+	Max     int    `json:"max,omitempty"`
+}
+
+// AuditReplayResponse reports a replay request's outcome.
+type AuditReplayResponse struct {
+	Replayed int `json:"replayed"`
+	// Entry is the joined record+replay when a single model was targeted.
+	Entry *audit.Entry `json:"entry,omitempty"`
+}
+
+// handleAuditSummary serves GET /v1/audit: the per-family empirical
+// coverage rollup.
+func (s *Server) handleAuditSummary(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.audit.Summary())
+}
+
+// handleAuditRecords serves GET /v1/audit/records: every calibration
+// record joined with its replay, in append order.
+func (s *Server) handleAuditRecords(w http.ResponseWriter, r *http.Request) {
+	entries := s.audit.Entries()
+	if entries == nil {
+		entries = []audit.Entry{}
+	}
+	writeJSON(w, http.StatusOK, entries)
+}
+
+// handleAuditReplay serves POST /v1/audit/replay: run replays now,
+// synchronously — the caller wants coverage numbers, so it waits for them.
+func (s *Server) handleAuditReplay(w http.ResponseWriter, r *http.Request) {
+	var req AuditReplayRequest
+	if r.ContentLength != 0 && !s.readJSON(w, r, &req) {
+		return
+	}
+	if req.ModelID != "" {
+		if err := s.auditor.ReplayOne(r.Context(), req.ModelID); err != nil {
+			writeError(w, http.StatusBadGateway, err)
+			return
+		}
+		e, _ := s.audit.Get(req.ModelID)
+		writeJSON(w, http.StatusOK, AuditReplayResponse{Replayed: 1, Entry: &e})
+		return
+	}
+	n, err := s.auditor.ReplayPending(r.Context(), req.Max)
+	if err != nil {
+		// Partial progress still matters: report what completed alongside
+		// the first failure.
+		writeJSON(w, http.StatusBadGateway, struct {
+			AuditReplayResponse
+			Error string `json:"error"`
+		}{AuditReplayResponse{Replayed: n}, err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, AuditReplayResponse{Replayed: n})
+}

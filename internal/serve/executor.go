@@ -68,15 +68,17 @@ func (s *Server) tuneConfig(req TuneRequest) tune.Config {
 }
 
 // finishTune registers the search winner and builds the job result (shared
-// executor tail). dim is the dataset's feature dimension.
-func (s *Server) finishTune(ctx context.Context, res *tune.Result, dim int, elapsed time.Duration) (TaskResult, error) {
+// executor tail). dim is the dataset's feature dimension; ref and opts
+// feed the winner's audit record so a replay can rebuild the search's
+// training environment.
+func (s *Server) finishTune(ctx context.Context, res *tune.Result, dim int, ref DatasetRef, opts core.Options, elapsed time.Duration) (TaskResult, error) {
 	s.m.TuneRuns.Add(1)
 	s.m.TuneLatency.Observe(float64(elapsed) / float64(time.Millisecond))
 	s.m.TuneCandidates.Add(int64(res.Evaluated))
 	s.m.TuneCandidatesPruned.Add(int64(res.Pruned))
 	best := res.Best
 	endReg := obs.StartSpan(ctx, "registry")
-	id, err := s.registerModel(best.Spec, best.Theta, dim, &core.Result{
+	id, err := s.registerModel(ctx, "tune", best.Spec, best.Theta, dim, ref, opts, &core.Result{
 		SampleSize:       best.SampleSize,
 		PoolSize:         best.PoolSize,
 		EstimatedEpsilon: best.EstimatedEpsilon,
@@ -111,17 +113,20 @@ func (e localExecutor) execTrain(ctx context.Context, req TrainRequest) (TaskRes
 	if err != nil {
 		return TaskResult{}, err
 	}
+	opts := trainCoreOptions(req)
 	start := time.Now()
-	res, err := core.TrainSourceContext(ctx, spec, src, trainCoreOptions(req))
+	res, err := core.TrainSourceContext(ctx, spec, src, opts)
 	if err != nil {
 		return TaskResult{}, err
 	}
+	elapsed := float64(time.Since(start)) / float64(time.Millisecond)
 	s.m.TrainRuns.Add(1)
-	s.m.TrainLatency.Observe(float64(time.Since(start)) / float64(time.Millisecond))
+	s.m.TrainLatency.Observe(elapsed)
+	s.m.TrainLatencyFamily.With(spec.Name()).Observe(elapsed)
 	s.m.SampleSizeSum.Add(int64(res.SampleSize))
 	s.m.SampleSizeLast.Set(int64(res.SampleSize))
 	endReg := obs.StartSpan(ctx, "registry")
-	id, err := s.registerModel(spec, res.Theta, src.Meta().Dim, res)
+	id, err := s.registerModel(ctx, "train", spec, res.Theta, src.Meta().Dim, req.Dataset, opts, res)
 	endReg()
 	if err != nil {
 		return TaskResult{}, err
@@ -139,12 +144,13 @@ func (e localExecutor) execTune(ctx context.Context, req TuneRequest) (TaskResul
 	if err != nil {
 		return TaskResult{}, err
 	}
+	cfg := s.tuneConfig(req)
 	start := time.Now()
-	res, err := tune.RunSource(ctx, space, src, s.tuneConfig(req))
+	res, err := tune.RunSource(ctx, space, src, cfg)
 	if err != nil {
 		return TaskResult{}, err
 	}
-	return s.finishTune(ctx, res, src.Meta().Dim, time.Since(start))
+	return s.finishTune(ctx, res, src.Meta().Dim, req.Dataset, cfg.Train, time.Since(start))
 }
 
 // clusterExecutor dispatches jobs to the embedded coordinator's workers. A
@@ -194,8 +200,10 @@ func (e *clusterExecutor) execTrain(ctx context.Context, req TrainRequest) (Task
 		PoolSize:         m.PoolSize,
 		Diag:             m.Diag,
 	}
+	elapsed := float64(time.Since(start)) / float64(time.Millisecond)
 	s.m.TrainRuns.Add(1)
-	s.m.TrainLatency.Observe(float64(time.Since(start)) / float64(time.Millisecond))
+	s.m.TrainLatency.Observe(elapsed)
+	s.m.TrainLatencyFamily.With(m.Spec.Name()).Observe(elapsed)
 	s.m.SampleSizeSum.Add(int64(res.SampleSize))
 	s.m.SampleSizeLast.Set(int64(res.SampleSize))
 	// The worker shipped the model through modelio; registering its decoded
@@ -203,7 +211,7 @@ func (e *clusterExecutor) execTrain(ctx context.Context, req TrainRequest) (Task
 	// the local path's spec instance would) re-encodes the same bytes, so
 	// the registry entry is identical to a locally trained one.
 	endReg := obs.StartSpan(ctx, "registry")
-	mid, err := s.registerModel(m.Spec, m.Theta, m.Dim, res)
+	mid, err := s.registerModel(ctx, "train", m.Spec, m.Theta, m.Dim, req.Dataset, opts, res)
 	endReg()
 	if err != nil {
 		return TaskResult{}, err
@@ -238,7 +246,7 @@ func (e *clusterExecutor) execTune(ctx context.Context, req TuneRequest) (TaskRe
 	if err != nil {
 		return TaskResult{}, err
 	}
-	return s.finishTune(ctx, res, shape.dim, time.Since(start))
+	return s.finishTune(ctx, res, shape.dim, req.Dataset, cfg.Train, time.Since(start))
 }
 
 // dataShape is a dataset's rows × dim, known without materializing it.

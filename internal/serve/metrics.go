@@ -21,10 +21,14 @@ type Metrics struct {
 	JobsFailed    *expvar.Int
 	JobsCancelled *expvar.Int
 
-	TrainRuns      *expvar.Int    // completed training runs
-	TrainLatency   *obs.Histogram // wall-clock train latency (ms)
-	SampleSizeSum  *expvar.Int    // sum of chosen sample sizes n
-	SampleSizeLast *expvar.Int    // most recent chosen n
+	TrainRuns    *expvar.Int    // completed training runs
+	TrainLatency *obs.Histogram // wall-clock train latency (ms)
+	// TrainLatencyFamily breaks train latency down per model family — a
+	// bounded label set (obs.ModelFamilies plus "other"), so no request
+	// input can mint new series.
+	TrainLatencyFamily *obs.HistogramVec
+	SampleSizeSum      *expvar.Int // sum of chosen sample sizes n
+	SampleSizeLast     *expvar.Int // most recent chosen n
 
 	TuneRuns             *expvar.Int    // completed hyperparameter searches
 	TuneLatency          *obs.Histogram // wall-clock search latency (ms)
@@ -34,7 +38,10 @@ type Metrics struct {
 	PredictRequests   *expvar.Int    // predict calls
 	PredictionsServed *expvar.Int    // individual rows predicted
 	PredictLatency    *obs.Histogram // per-request predict latency (ms)
-	ModelsStored      *expvar.Int    // gauge: models in the registry
+	// PredictLatencyFamily is PredictLatency per model family (same
+	// bounded label set as TrainLatencyFamily).
+	PredictLatencyFamily *obs.HistogramVec
+	ModelsStored         *expvar.Int // gauge: models in the registry
 
 	DatasetsStored     *expvar.Int    // gauge: datasets in the store
 	DatasetBytes       *expvar.Int    // gauge: store bytes on disk
@@ -90,6 +97,10 @@ func sharedMetrics() *Metrics {
 			SampleRows:         newInt("sample_rows_materialized"),
 			MaterializeLatency: newHist("sample_materialize_ms"),
 		}
+		metrics.TrainLatencyFamily = obs.NewHistogramVec()
+		m.Set("train_latency_family_ms", metrics.TrainLatencyFamily)
+		metrics.PredictLatencyFamily = obs.NewHistogramVec()
+		m.Set("predict_latency_family_ms", metrics.PredictLatencyFamily)
 	})
 	return metrics
 }

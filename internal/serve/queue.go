@@ -396,6 +396,7 @@ func (q *Queue) runJob(job *Job) {
 	q.m.JobsRunning.Add(1)
 	rec := obs.NewRecorder(job.trace)
 	ctx := obs.WithRecorder(obs.WithTrace(job.ctx, job.trace), rec)
+	ctx = obs.WithJobID(ctx, job.ID)
 	logger := q.Log
 	if logger == nil {
 		logger = obs.Discard() // embedded/test queues stay quiet unless wired

@@ -8,10 +8,10 @@ import (
 	"fmt"
 	"log/slog"
 	"net/http"
-	"os"
 	"path/filepath"
 	"time"
 
+	"blinkml/internal/audit"
 	"blinkml/internal/cluster"
 	"blinkml/internal/compute"
 	"blinkml/internal/core"
@@ -63,6 +63,22 @@ type Config struct {
 	// SpanLog, when non-empty, appends every finished job's spans to this
 	// file as JSONL (one obs.Span object per line).
 	SpanLog string
+	// SpanLogMaxBytes caps the span log: when an append would push the file
+	// past this size it is rotated (renamed to <SpanLog>.old, keeping one
+	// prior generation) and restarted. 0 disables rotation.
+	SpanLogMaxBytes int64
+	// AuditDir is the guarantee-audit log directory (default: "audit" under
+	// Dir). Every train/tune job appends a calibration record there.
+	AuditDir string
+	// AuditInterval, when positive, starts the background auditor: every
+	// interval it replays a sample of not-yet-audited jobs — training the
+	// full-data model and recording the realized ε — to measure empirical
+	// (ε, δ) coverage. 0 (the default) keeps auditing on-demand only
+	// (POST /v1/audit/replay, blinkml-audit replay).
+	AuditInterval time.Duration
+	// AuditFraction is the fraction of pending records a background pass
+	// replays (deterministically sampled by model ID; default 1).
+	AuditFraction float64
 }
 
 func (c Config) withDefaults() Config {
@@ -81,6 +97,9 @@ func (c Config) withDefaults() Config {
 	if c.MaxUploadBytes <= 0 {
 		c.MaxUploadBytes = 4 << 30
 	}
+	if c.AuditDir == "" && c.Dir != "" {
+		c.AuditDir = filepath.Join(c.Dir, "audit")
+	}
 	return c
 }
 
@@ -88,17 +107,19 @@ func (c Config) withDefaults() Config {
 // front of the BlinkML coordinator, plus a persistent model registry for
 // the models it produces.
 type Server struct {
-	cfg      Config
-	reg      *Registry
-	store    *store.Store
-	queue    *Queue
-	coord    *cluster.Coordinator // non-nil in cluster mode
-	exec     executor
-	mux      *http.ServeMux
-	m        *Metrics
-	log      *slog.Logger
-	spanFile *os.File // open -span-log sink, closed by Close
-	started  time.Time
+	cfg     Config
+	reg     *Registry
+	store   *store.Store
+	queue   *Queue
+	coord   *cluster.Coordinator // non-nil in cluster mode
+	exec    executor
+	mux     *http.ServeMux
+	m       *Metrics
+	log     *slog.Logger
+	spanLog *obs.SpanLog // open -span-log sink, closed by Close
+	audit   *audit.Log
+	auditor *audit.Auditor
+	started time.Time
 }
 
 // New opens the registry at cfg.Dir and the dataset store at cfg.DataDir
@@ -138,15 +159,14 @@ func New(cfg Config) (*Server, error) {
 	s.queue = NewQueue(cfg.Workers, cfg.QueueDepth, s.m)
 	s.queue.Log = cfg.Logger // nil keeps job logs silent
 	if cfg.SpanLog != "" {
-		f, err := os.OpenFile(cfg.SpanLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		sl, err := obs.OpenSpanLog(cfg.SpanLog, cfg.SpanLogMaxBytes)
 		if err != nil {
 			s.queue.Close()
 			return nil, fmt.Errorf("serve: open span log: %w", err)
 		}
-		s.spanFile = f
-		sink := obs.NewSpanWriter(f)
+		s.spanLog = sl
 		s.queue.SpanSink = func(spans []obs.Span) {
-			if err := sink.Write(spans); err != nil {
+			if err := sl.Write(spans); err != nil {
 				log.Warn("span log write failed", "err", err)
 			}
 		}
@@ -161,6 +181,28 @@ func New(cfg Config) (*Server, error) {
 	} else {
 		s.exec = localExecutor{s: s}
 	}
+	al, err := audit.Open(cfg.AuditDir, log)
+	if err != nil {
+		s.queue.Close()
+		if s.coord != nil {
+			s.coord.Close()
+		}
+		_ = s.spanLog.Close()
+		return nil, err
+	}
+	s.audit = al
+	// Replays train the full-data model — in cluster mode that work fans
+	// out to the fleet, locally it runs through the shared compute pool.
+	var replayer audit.Replayer = audit.LocalReplayer{Resolve: s.resolveAuditSource}
+	if s.coord != nil {
+		replayer = clusterReplayer{s: s}
+	}
+	s.auditor = audit.NewAuditor(al, s.reg.Get, replayer, audit.Config{
+		Fraction: cfg.AuditFraction,
+		Interval: cfg.AuditInterval,
+		Logger:   log,
+	})
+	s.auditor.Start()
 	s.mux = http.NewServeMux()
 	s.routes()
 	return s, nil
@@ -183,12 +225,16 @@ func (s *Server) Coordinator() *cluster.Coordinator { return s.coord }
 // In cluster mode the coordinator is closed first, so jobs blocked on
 // remote tasks fail fast instead of waiting out their contexts.
 func (s *Server) Close() {
+	if s.auditor != nil {
+		s.auditor.Close()
+	}
 	if s.coord != nil {
 		s.coord.Close()
 	}
 	s.queue.Close()
-	if s.spanFile != nil {
-		_ = s.spanFile.Close()
+	_ = s.spanLog.Close()
+	if s.audit != nil {
+		_ = s.audit.Close()
 	}
 }
 
@@ -206,6 +252,9 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /v1/models/{id}", s.handleModelGet)
 	s.mux.HandleFunc("DELETE /v1/models/{id}", s.handleModelDelete)
 	s.mux.HandleFunc("POST /v1/models/{id}/predict", s.handlePredict)
+	s.mux.HandleFunc("GET /v1/audit", s.handleAuditSummary)
+	s.mux.HandleFunc("GET /v1/audit/records", s.handleAuditRecords)
+	s.mux.HandleFunc("POST /v1/audit/replay", s.handleAuditReplay)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.Handle("GET /metrics", obs.MetricsHandler())
 	s.mux.Handle("GET /metrics.json", expvar.Handler())
@@ -251,9 +300,11 @@ func (t tuneTask) Run(ctx context.Context) (TaskResult, error) {
 	return t.s.exec.execTune(ctx, t.req)
 }
 
-// registerModel persists a trained model and refreshes the stored-models
-// gauge.
-func (s *Server) registerModel(spec models.Spec, theta []float64, dim int, res *core.Result) (string, error) {
+// registerModel persists a trained model, refreshes the stored-models
+// gauge, and appends the job's guarantee-calibration record to the audit
+// log. kind is "train" or "tune"; ref and opts are what a later replay
+// needs to rebuild the identical training environment.
+func (s *Server) registerModel(ctx context.Context, kind string, spec models.Spec, theta []float64, dim int, ref DatasetRef, opts core.Options, res *core.Result) (string, error) {
 	id, err := s.reg.Put(&modelio.Model{
 		Spec:             spec,
 		Theta:            theta,
@@ -269,7 +320,55 @@ func (s *Server) registerModel(spec models.Spec, theta []float64, dim int, res *
 		return "", err
 	}
 	s.m.ModelsStored.Set(int64(s.reg.Len()))
+	s.recordAudit(ctx, kind, id, spec, ref, opts, res)
 	return id, nil
+}
+
+// recordAudit appends the calibration record for a freshly registered
+// model. Audit is an observability plane: a failed append is logged, never
+// surfaced — a full disk must not fail the training job that already
+// produced a registered model.
+func (s *Server) recordAudit(ctx context.Context, kind, id string, spec models.Spec, ref DatasetRef, opts core.Options, res *core.Result) {
+	if s.audit == nil {
+		return
+	}
+	sj, err := modelio.SpecToJSON(spec)
+	if err != nil {
+		s.log.Warn("audit record skipped: unencodable spec", "model", id, "err", err)
+		return
+	}
+	dsJSON, err := json.Marshal(ref)
+	if err != nil {
+		dsJSON = nil
+	}
+	fp := ""
+	if cref, _, err := s.clusterDatasetRef(ref); err == nil {
+		fp = cref.Key()
+	}
+	o := opts.WithDefaults()
+	rec := audit.Record{
+		ModelID:          id,
+		JobID:            obs.JobID(ctx),
+		TraceID:          obs.TraceID(ctx),
+		Kind:             kind,
+		Family:           sj.Name,
+		Spec:             sj,
+		Dataset:          dsJSON,
+		Fingerprint:      fp,
+		Epsilon:          o.Epsilon,
+		Delta:            o.Delta,
+		K:                o.K,
+		SampleSize:       res.SampleSize,
+		PoolSize:         res.PoolSize,
+		EpsilonHat:       res.EstimatedEpsilon,
+		InitialEpsilon:   res.Diag.InitialEpsilon,
+		UsedInitialModel: res.UsedInitialModel,
+		Options:          audit.FromCore(o),
+		CreatedAt:        time.Now().UTC(),
+	}
+	if err := s.audit.Append(rec); err != nil {
+		s.log.Warn("audit record append failed", "model", id, "err", err)
+	}
 }
 
 // buildSource resolves a dataset reference to a Source: synthetic and
@@ -370,7 +469,15 @@ func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, job.Status())
+	st := job.Status()
+	// Join the guarantee-audit view: the job's calibration record and, once
+	// the auditor has replayed it, the realized coverage sample.
+	if st.ModelID != "" && s.audit != nil {
+		if e, ok := s.audit.Get(st.ModelID); ok {
+			st.Audit = &e
+		}
+	}
+	writeJSON(w, http.StatusOK, st)
 }
 
 func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
@@ -454,7 +561,9 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	s.m.PredictRequests.Add(1)
 	start := time.Now()
 	preds := predictBatch(m.Spec, m.Theta, req.Rows)
-	s.m.PredictLatency.Observe(float64(time.Since(start)) / float64(time.Millisecond))
+	elapsed := float64(time.Since(start)) / float64(time.Millisecond)
+	s.m.PredictLatency.Observe(elapsed)
+	s.m.PredictLatencyFamily.With(m.Spec.Name()).Observe(elapsed)
 	s.m.PredictionsServed.Add(int64(len(preds)))
 	writeJSON(w, http.StatusOK, PredictResponse{ModelID: id, Predictions: preds})
 }
