@@ -11,6 +11,13 @@
 //	blinkml-bench -all -scale small
 //	blinkml-bench -json BENCH_small.json -scale small
 //	blinkml-bench -json - -scale medium     # summary to stdout
+//
+// With -load it instead drives a live blinkml-serve instance with the
+// open-loop load harness (internal/loadgen) and appends the stepped-QPS
+// sweep — coordinated-omission-safe tail latencies, achieved vs offered
+// rate, max sustainable QPS under the SLO — to BENCH_load.json:
+//
+//	blinkml-bench -load -addr http://localhost:8080 -qps 100,200,400,800
 package main
 
 import (
@@ -35,7 +42,9 @@ func main() {
 		par        = flag.Int("parallelism", 0, "compute-pool degree for all training kernels (0 = GOMAXPROCS)")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this path")
 		memProfile = flag.String("memprofile", "", "write a heap profile to this path on exit")
+		load       = flag.Bool("load", false, "run the open-loop load sweep against a live blinkml-serve (see -addr, -qps)")
 	)
+	lf := registerLoadFlags()
 	flag.Parse()
 	compute.SetParallelism(*par)
 
@@ -74,6 +83,12 @@ func main() {
 	if *list {
 		for _, r := range experiments.Runners() {
 			fmt.Printf("%-18s %s\n", r.ID, r.Desc)
+		}
+		return
+	}
+	if *load {
+		if err := runLoad(lf, *seed); err != nil {
+			fatal(err)
 		}
 		return
 	}

@@ -50,6 +50,8 @@ func main() {
 		auditEvery  = flag.Duration("audit-interval", 0, "background guarantee-audit pass interval (0 = on-demand only)")
 		auditFrac   = flag.Float64("audit-fraction", 1, "fraction of pending jobs each background audit pass replays")
 		debugAddr   = flag.String("debug-addr", "", "serve net/http/pprof and /metrics on this extra address (off by default)")
+		slowMs      = flag.Float64("slow-request-ms", 0, "log a warning for requests slower than this many ms (0 = off)")
+		sloMs       = flag.Float64("slo-latency-ms", obs.DefaultSLOLatencyMs, "latency threshold for the SLO attainment gauges on /metrics")
 
 		clusterMode = flag.Bool("cluster", false, "run as a cluster coordinator: dispatch jobs to blinkml-worker processes")
 		hbTimeout   = flag.Duration("cluster-heartbeat-timeout", 0, "declare a worker dead after this silence (default 6s)")
@@ -74,6 +76,8 @@ func main() {
 		SpanLogMaxBytes: *spanLogMax,
 		AuditInterval:   *auditEvery,
 		AuditFraction:   *auditFrac,
+		SlowRequestMs:   *slowMs,
+		SLOLatencyMs:    *sloMs,
 	}
 	if err := run(*addr, *debugAddr, cfg, logger); err != nil {
 		fmt.Fprintln(os.Stderr, "blinkml-serve:", err)

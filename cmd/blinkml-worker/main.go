@@ -48,6 +48,7 @@ func main() {
 		compute.SetParallelism(*parallelism)
 	}
 	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
+	obs.RegisterRuntimeMetrics()
 	if *debugAddr != "" {
 		debugServer := &http.Server{
 			Addr:              *debugAddr,

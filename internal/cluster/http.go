@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strings"
 	"time"
 
 	"blinkml/internal/obs"
@@ -19,13 +20,22 @@ const maxProtocolBody = 256 << 20
 const maxLeaseWait = 30 * time.Second
 
 // Mount registers the coordinator's HTTP protocol on mux under /v1/cluster.
+// Every route runs through the shared obs HTTP middleware, so the cluster
+// control plane shows up in the blinkml_http_* per-endpoint series next to
+// the public API. (Lease long-polls sit inflight for up to maxLeaseWait by
+// design — their latency histogram reflects the poll, not slowness.)
 func (c *Coordinator) Mount(mux *http.ServeMux) {
-	mux.HandleFunc("POST /v1/cluster/register", c.handleRegister)
-	mux.HandleFunc("POST /v1/cluster/heartbeat", c.handleHeartbeat)
-	mux.HandleFunc("POST /v1/cluster/lease", c.handleLease)
-	mux.HandleFunc("POST /v1/cluster/complete", c.handleComplete)
-	mux.HandleFunc("GET /v1/cluster/datasets/{id}", c.handleDatasetExport)
-	mux.HandleFunc("GET /v1/cluster/status", c.handleStatus)
+	hm := obs.SharedHTTP()
+	handle := func(pattern string, h http.HandlerFunc) {
+		route := pattern[strings.IndexByte(pattern, ' ')+1:]
+		mux.Handle(pattern, hm.Wrap(route, h))
+	}
+	handle("POST /v1/cluster/register", c.handleRegister)
+	handle("POST /v1/cluster/heartbeat", c.handleHeartbeat)
+	handle("POST /v1/cluster/lease", c.handleLease)
+	handle("POST /v1/cluster/complete", c.handleComplete)
+	handle("GET /v1/cluster/datasets/{id}", c.handleDatasetExport)
+	handle("GET /v1/cluster/status", c.handleStatus)
 }
 
 func (c *Coordinator) handleRegister(w http.ResponseWriter, r *http.Request) {

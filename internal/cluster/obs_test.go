@@ -2,10 +2,12 @@ package cluster
 
 import (
 	"context"
+	"net/http"
 	"testing"
 	"time"
 
 	"blinkml/internal/modelio"
+	"blinkml/internal/obs"
 )
 
 // TestSharedGaugesResyncOnNewCoordinator guards against gauge drift: the
@@ -92,5 +94,26 @@ func TestTaskTraceReachesWorkerSpans(t *testing.T) {
 		if !names[want] {
 			t.Fatalf("worker spans missing stage %q (got %v)", want, names)
 		}
+	}
+}
+
+// TestMountRoutesThroughHTTPMiddleware checks that the coordinator's
+// protocol endpoints are wrapped by the shared obs HTTP middleware under
+// their parameterized route labels, so the cluster control plane shows up
+// in the blinkml_http_* series alongside the public API.
+func TestMountRoutesThroughHTTPMiddleware(t *testing.T) {
+	tc := newTestCluster(t, Config{}, nil)
+	route := obs.SharedHTTP().Route("/v1/cluster/status")
+	before := route.Requests()
+	resp, err := http.Get(tc.server.URL + "/v1/cluster/status")
+	if err != nil {
+		t.Fatalf("status: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status code %d", resp.StatusCode)
+	}
+	if got := route.Requests(); got != before+1 {
+		t.Fatalf("route counter %d, want %d — Mount must wrap handlers in obs middleware", got, before+1)
 	}
 }

@@ -68,8 +68,12 @@ type KernelResult struct {
 
 // BenchSummary is the envelope written by blinkml-bench -json.
 type BenchSummary struct {
-	Scale   string         `json:"scale"`
-	Seed    int64          `json:"seed"`
+	Scale string `json:"scale"`
+	Seed  int64  `json:"seed"`
+	// Env records the toolchain and machine shape the numbers were taken
+	// on, so cross-commit diffs can tell a code regression from a
+	// different box.
+	Env     obs.Env        `json:"env"`
 	Results []BenchResult  `json:"results"`
 	Kernels []KernelResult `json:"kernels,omitempty"`
 }
@@ -79,7 +83,7 @@ type BenchSummary struct {
 // timing/sample-size summary plus micro-kernel timings. Deterministic in
 // seed (up to wall-clock noise in the timings themselves).
 func RunBench(scale Scale, seed int64) (*BenchSummary, error) {
-	sum := &BenchSummary{Scale: scale.String(), Seed: seed}
+	sum := &BenchSummary{Scale: scale.String(), Seed: seed, Env: obs.CaptureEnv()}
 	for _, w := range Workloads() {
 		r, err := benchWorkload(w, scale, seed)
 		if err != nil {

@@ -1,0 +1,234 @@
+package loadgen
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"time"
+
+	"blinkml/internal/obs"
+)
+
+// newLoadClient builds an http.Client sized for an open-loop generator:
+// enough idle connections per host that the sender pool never serializes on
+// connection churn.
+func newLoadClient(maxInflight int) *http.Client {
+	if maxInflight <= 0 {
+		maxInflight = 64
+	}
+	tr := http.DefaultTransport.(*http.Transport).Clone()
+	tr.MaxIdleConns = maxInflight
+	tr.MaxIdleConnsPerHost = maxInflight
+	return &http.Client{Transport: tr}
+}
+
+// PredictTarget drives POST /v1/models/{id}/predict with a fixed,
+// pre-marshalled batch of rows — the serving hot path. The body is built
+// once so the generator measures the server, not client-side JSON work.
+type PredictTarget struct {
+	client *http.Client
+	url    string
+	body   []byte
+	// Batch is the rows-per-request the target was built with.
+	Batch int
+	// ModelID is the resolved model (after any auto-pick).
+	ModelID string
+}
+
+// modelInfo is the slice of GET /v1/models/{id} the target needs.
+type modelInfo struct {
+	ID  string `json:"id"`
+	Dim int    `json:"dim"`
+}
+
+// NewPredictTarget resolves the model's input dimension from the server and
+// prepares the request body: batch rows of seeded values in [-1, 1). An
+// empty modelID picks the first registered model.
+func NewPredictTarget(baseURL, modelID string, batch int, seed int64, maxInflight int) (*PredictTarget, error) {
+	if batch <= 0 {
+		batch = 1
+	}
+	client := newLoadClient(maxInflight)
+	if modelID == "" {
+		var list struct {
+			Models []modelInfo `json:"models"`
+		}
+		if err := getJSON(client, baseURL+"/v1/models", &list); err != nil {
+			return nil, fmt.Errorf("loadgen: list models: %w", err)
+		}
+		if len(list.Models) == 0 {
+			return nil, errors.New("loadgen: no registered models to predict against (train one first or pass -model)")
+		}
+		modelID = list.Models[0].ID
+	}
+	var info modelInfo
+	if err := getJSON(client, baseURL+"/v1/models/"+modelID, &info); err != nil {
+		return nil, fmt.Errorf("loadgen: resolve model %s: %w", modelID, err)
+	}
+	if info.Dim <= 0 {
+		return nil, fmt.Errorf("loadgen: model %s reports dim %d", modelID, info.Dim)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	rows := make([][]float64, batch)
+	for i := range rows {
+		row := make([]float64, info.Dim)
+		for j := range row {
+			row[j] = 2*rng.Float64() - 1
+		}
+		rows[i] = row
+	}
+	body, err := json.Marshal(struct {
+		Rows [][]float64 `json:"rows"`
+	}{Rows: rows})
+	if err != nil {
+		return nil, err
+	}
+	return &PredictTarget{
+		client:  client,
+		url:     baseURL + "/v1/models/" + modelID + "/predict",
+		body:    body,
+		Batch:   batch,
+		ModelID: modelID,
+	}, nil
+}
+
+// Do implements Target.
+func (t *PredictTarget) Do(ctx context.Context) (int, error) {
+	return doPost(ctx, t.client, t.url, t.body)
+}
+
+// TrainTarget drives POST /v1/train submission: each request enqueues a
+// small synthetic training job and only the admission path (validation,
+// queue backpressure) is measured — a 202 is success, a 503 shed counts as
+// an error. It exists to load-test the control plane, not training itself.
+type TrainTarget struct {
+	client *http.Client
+	url    string
+	body   []byte
+}
+
+// NewTrainTarget prepares a fixed small synthetic train submission.
+func NewTrainTarget(baseURL string, seed int64, maxInflight int) (*TrainTarget, error) {
+	body, err := json.Marshal(map[string]any{
+		"model":   map[string]any{"name": "logistic", "reg": 0.001},
+		"dataset": map[string]any{"synthetic": map[string]any{"name": "higgs", "rows": 2000, "dim": 8, "seed": seed}},
+		"epsilon": 0.1,
+		"delta":   0.1,
+		"options": map[string]any{"seed": seed, "initial_sample_size": 500},
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &TrainTarget{client: newLoadClient(maxInflight), url: baseURL + "/v1/train", body: body}, nil
+}
+
+// Do implements Target.
+func (t *TrainTarget) Do(ctx context.Context) (int, error) {
+	return doPost(ctx, t.client, t.url, t.body)
+}
+
+// doPost issues one POST and fully drains the response so connections are
+// reused; the status code is the result (0 on transport failure).
+func doPost(ctx context.Context, client *http.Client, url string, body []byte) (int, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := client.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	_ = resp.Body.Close()
+	return resp.StatusCode, nil
+}
+
+func getJSON(client *http.Client, url string, v any) error {
+	resp, err := client.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("GET %s: %s: %s", url, resp.Status, bytes.TrimSpace(b))
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}
+
+// LoadRun is one appended BENCH_load.json entry: a full sweep plus the
+// environment stanza that keeps cross-machine trajectories comparable.
+type LoadRun struct {
+	Timestamp string  `json:"timestamp"`
+	Endpoint  string  `json:"endpoint"`
+	ModelID   string  `json:"model_id,omitempty"`
+	Batch     int     `json:"batch,omitempty"`
+	Arrival   Arrival `json:"arrival"`
+	Env       obs.Env `json:"env"`
+	SLO       SLO     `json:"slo"`
+	// Steps are the sweep's offered-QPS steps in run order.
+	Steps             []StepResult `json:"steps"`
+	MaxSustainableQPS float64      `json:"max_sustainable_qps"`
+}
+
+// LoadFile is the BENCH_load.json envelope. Runs accumulate: every
+// blinkml-bench -load invocation appends one, so the file is the repo's
+// serving-throughput trajectory.
+type LoadFile struct {
+	Runs []LoadRun `json:"runs"`
+}
+
+// ReadLoadFile parses an existing BENCH_load.json; a missing file is an
+// empty trajectory, not an error.
+func ReadLoadFile(path string) (*LoadFile, error) {
+	raw, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return &LoadFile{}, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var f LoadFile
+	if err := json.Unmarshal(raw, &f); err != nil {
+		return nil, fmt.Errorf("loadgen: parse %s: %w", path, err)
+	}
+	return &f, nil
+}
+
+// AppendRun appends one run to the load file at path, creating it if
+// needed. The write is whole-file (the file is small and append atomicity
+// across crashes is not a requirement for a benchmark log).
+func AppendRun(path string, run LoadRun) error {
+	f, err := ReadLoadFile(path)
+	if err != nil {
+		return err
+	}
+	f.Runs = append(f.Runs, run)
+	out, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(out, '\n'), 0o644)
+}
+
+// NewRun assembles the durable record of one sweep.
+func NewRun(endpoint, modelID string, batch int, sweep *SweepResult, at time.Time) LoadRun {
+	return LoadRun{
+		Timestamp:         at.UTC().Format(time.RFC3339),
+		Endpoint:          endpoint,
+		ModelID:           modelID,
+		Batch:             batch,
+		Arrival:           sweep.Arrival,
+		Env:               obs.CaptureEnv(),
+		SLO:               sweep.SLO,
+		Steps:             sweep.Steps,
+		MaxSustainableQPS: sweep.MaxSustainableQPS,
+	}
+}

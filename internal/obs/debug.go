@@ -9,16 +9,20 @@ import (
 // DebugHandler is the mux served on an opt-in -debug-addr: net/http/pprof
 // profiles, the raw expvar JSON, and the Prometheus exposition. It is a
 // separate listener on purpose — profiling endpoints never share a port
-// with the public API.
+// with the public API. The metrics routes run through the shared HTTP
+// middleware so a worker's own endpoints appear in its blinkml_http_*
+// series (pprof stays unwrapped: profile downloads would only pollute the
+// latency histograms).
 func DebugHandler() http.Handler {
 	mux := http.NewServeMux()
+	hm := SharedHTTP()
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	mux.Handle("/debug/vars", expvar.Handler())
-	mux.Handle("/metrics", MetricsHandler())
-	mux.Handle("/metrics.json", expvar.Handler())
+	mux.Handle("/metrics", hm.Wrap("/metrics", MetricsHandler()))
+	mux.Handle("/metrics.json", hm.Wrap("/metrics.json", expvar.Handler()))
 	return mux
 }

@@ -1,0 +1,177 @@
+package obs
+
+import (
+	"bytes"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestWrapCountsClassesAndLatency(t *testing.T) {
+	m := NewHTTPMetrics()
+	h := m.Wrap("/v1/models/{id}/predict", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		code, _ := strconv.Atoi(r.URL.Query().Get("code"))
+		if code == 200 {
+			w.Write([]byte("ok")) // implicit 200 via Write
+			return
+		}
+		w.WriteHeader(code)
+	}))
+	for _, code := range []int{200, 200, 404, 500} {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("POST", "/v1/models/m-1/predict?code="+strconv.Itoa(code), nil))
+		if rec.Code != code {
+			t.Fatalf("status = %d, want %d", rec.Code, code)
+		}
+	}
+	rm := m.Route("/v1/models/{id}/predict")
+	if got := rm.Class(2); got != 2 {
+		t.Errorf("2xx = %d, want 2", got)
+	}
+	if got := rm.Class(4); got != 1 {
+		t.Errorf("4xx = %d, want 1", got)
+	}
+	if got := rm.Class(5); got != 1 {
+		t.Errorf("5xx = %d, want 1", got)
+	}
+	if got := rm.Requests(); got != 4 {
+		t.Errorf("requests = %d, want 4", got)
+	}
+	if got := rm.Latency().Count(); got != 4 {
+		t.Errorf("latency observations = %d, want 4", got)
+	}
+	if got := rm.Inflight(); got != 0 {
+		t.Errorf("inflight after completion = %d, want 0", got)
+	}
+	if got := m.Inflight(); got != 0 {
+		t.Errorf("global inflight = %d, want 0", got)
+	}
+	// The SLO window saw the 5xx as an error.
+	total, errors, _ := rm.SLO().Snapshot(time.Now())
+	if total != 4 || errors != 1 {
+		t.Errorf("slo window total=%d errors=%d, want 4/1", total, errors)
+	}
+}
+
+func TestWrapInflightDuringRequest(t *testing.T) {
+	m := NewHTTPMetrics()
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	h := m.Wrap("/block", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		close(entered)
+		<-release
+	}))
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest("GET", "/block", nil))
+	}()
+	<-entered
+	if got := m.Route("/block").Inflight(); got != 1 {
+		t.Errorf("inflight mid-request = %d, want 1", got)
+	}
+	if got := m.Inflight(); got != 1 {
+		t.Errorf("global inflight mid-request = %d, want 1", got)
+	}
+	close(release)
+	wg.Wait()
+	if got := m.Route("/block").Inflight(); got != 0 {
+		t.Errorf("inflight after = %d, want 0", got)
+	}
+}
+
+func TestSlowRequestLogCarriesTraceAndRoute(t *testing.T) {
+	m := NewHTTPMetrics()
+	var buf bytes.Buffer
+	m.SetSlowRequestThreshold(0.000001, slog.New(slog.NewTextHandler(&buf, nil)))
+	h := m.Wrap("/v1/train", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set(TraceHeader, "feedfacecafebeef") // minted at admission
+		w.WriteHeader(http.StatusAccepted)
+	}))
+	h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest("POST", "/v1/train", nil))
+	out := buf.String()
+	for _, want := range []string{"slow request", "route=/v1/train", "trace=feedfacecafebeef", "status=202"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("slow-request log missing %q: %s", want, out)
+		}
+	}
+
+	// A request-supplied trace header wins over the response echo.
+	buf.Reset()
+	req := httptest.NewRequest("POST", "/v1/train", nil)
+	req.Header.Set(TraceHeader, "0123456789abcdef")
+	h.ServeHTTP(httptest.NewRecorder(), req)
+	if !strings.Contains(buf.String(), "trace=0123456789abcdef") {
+		t.Errorf("slow-request log did not use request trace: %s", buf.String())
+	}
+
+	// Threshold 0 disables logging entirely.
+	buf.Reset()
+	m.SetSlowRequestThreshold(0, nil)
+	h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest("POST", "/v1/train", nil))
+	if buf.Len() != 0 {
+		t.Errorf("disabled slow-request log still wrote: %s", buf.String())
+	}
+}
+
+func TestHTTPMetricsWriteProm(t *testing.T) {
+	m := NewHTTPMetrics()
+	ok := m.Wrap("/healthz", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	bad := m.Wrap("/v1/train", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}))
+	for i := 0; i < 3; i++ {
+		ok.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest("GET", "/healthz", nil))
+	}
+	bad.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest("POST", "/v1/train", nil))
+
+	var b strings.Builder
+	m.WriteProm(&b, "blinkml_http")
+	out := b.String()
+	for _, want := range []string{
+		`blinkml_http_requests_total{route="/healthz",class="2xx"} 3`,
+		`blinkml_http_requests_total{route="/v1/train",class="5xx"} 1`,
+		"blinkml_http_inflight 0",
+		`blinkml_http_route_inflight{route="/healthz"} 0`,
+		"# TYPE blinkml_http_request_ms histogram",
+		`blinkml_http_request_ms_count{route="/healthz"} 3`,
+		`blinkml_http_request_ms_p99{route="/healthz"}`,
+		"blinkml_http_slo_latency_threshold_ms 250",
+		`blinkml_http_slo_window_requests{route="/healthz"} 3`,
+		`blinkml_http_slo_availability{route="/healthz"} 1`,
+		`blinkml_http_slo_availability{route="/v1/train"} 0`,
+		`blinkml_http_slo_latency_attainment{route="/healthz"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("WriteProm output missing %q\n%s", want, out)
+		}
+	}
+	// The expvar JSON form must stay valid JSON and carry the route keys.
+	js := m.String()
+	if !strings.Contains(js, `"/healthz":{"requests":3`) {
+		t.Errorf("String() missing /healthz summary: %s", js)
+	}
+}
+
+// TestWrapRouteLabelsBounded: the series set is fixed by Wrap call sites;
+// request paths with IDs never mint new routes.
+func TestWrapRouteLabelsBounded(t *testing.T) {
+	m := NewHTTPMetrics()
+	h := m.Wrap("/v1/models/{id}/predict", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	for _, path := range []string{"/v1/models/m-1/predict", "/v1/models/m-2/predict", "/v1/models/zzz/predict"} {
+		h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest("POST", path, nil))
+	}
+	names, _ := m.snapshotRoutes()
+	if len(names) != 1 || names[0] != "/v1/models/{id}/predict" {
+		t.Fatalf("routes = %v, want exactly the registered pattern", names)
+	}
+	if got := m.Route("/v1/models/{id}/predict").Requests(); got != 3 {
+		t.Fatalf("requests = %d, want 3", got)
+	}
+}

@@ -20,6 +20,14 @@
 //   - MetricsHandler renders every blinkml* expvar map — counters, gauges,
 //     and histograms — in Prometheus text format for GET /metrics, and
 //     DebugHandler adds net/http/pprof behind an opt-in -debug-addr.
+//   - HTTPMetrics (SharedHTTP) is the per-endpoint serving telemetry plane:
+//     every serve and cluster route is wrapped in middleware recording
+//     request counters by status class, per-route latency histograms,
+//     inflight gauges, sliding-window SLO attainment (SLOWindow), and
+//     opt-in slow-request warnings — the blinkml_http_* series.
+//   - RegisterRuntimeMetrics exports curated Go runtime/metrics samples
+//     (heap bytes, GC pauses, goroutines, scheduler latency) as the
+//     blinkml_go_* series on both blinkml-serve and blinkml-worker.
 //
 // obs depends on nothing else in this module, so every layer may import it.
 package obs

@@ -3,24 +3,41 @@ package obs
 import (
 	"expvar"
 	"fmt"
+	"io"
 	"net/http"
 	"strconv"
 	"strings"
 )
 
+// PromWriter is implemented by composite expvar vars that know how to
+// render their own Prometheus sample set (the HTTP middleware plane, the Go
+// runtime collector). MetricsHandler calls WriteProm with the sanitized
+// expvar key as the metric-name prefix.
+type PromWriter interface {
+	WriteProm(w io.Writer, name string)
+}
+
 // MetricsHandler serves every blinkml* expvar map in Prometheus text
 // exposition format. Scalar vars become one sample named <map>_<key>;
 // Histogram vars expand to the standard cumulative _bucket/_sum/_count
 // series plus _p50/_p95/_p99 convenience gauges so tails are readable
-// without a query engine. The raw expvar JSON stays available on
-// /metrics.json for callers that predate this endpoint.
+// without a query engine; top-level vars implementing PromWriter render
+// themselves. The raw expvar JSON stays available on /metrics.json for
+// callers that predate this endpoint.
 func MetricsHandler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		var b strings.Builder
 		expvar.Do(func(kv expvar.KeyValue) {
+			if !strings.HasPrefix(kv.Key, "blinkml") {
+				return
+			}
+			if pw, ok := kv.Value.(PromWriter); ok {
+				pw.WriteProm(&b, sanitizeName(kv.Key))
+				return
+			}
 			m, ok := kv.Value.(*expvar.Map)
-			if !ok || !strings.HasPrefix(kv.Key, "blinkml") {
+			if !ok {
 				return
 			}
 			prefix := sanitizeName(kv.Key)
@@ -57,7 +74,7 @@ func MetricsHandler() http.Handler {
 }
 
 // writeHistogram renders h as a Prometheus histogram plus quantile gauges.
-func writeHistogram(b *strings.Builder, name string, h *Histogram) {
+func writeHistogram(b io.Writer, name string, h *Histogram) {
 	fmt.Fprintf(b, "# TYPE %s histogram\n", name)
 	writeLabeledHistogram(b, name, "", h)
 }
@@ -66,7 +83,7 @@ func writeHistogram(b *strings.Builder, name string, h *Histogram) {
 // extra label pair (e.g. `family="logistic"`) on every sample; empty labels
 // reproduce the plain form. The caller owns the # TYPE line so one vec
 // declares its type once across members.
-func writeLabeledHistogram(b *strings.Builder, name, labels string, h *Histogram) {
+func writeLabeledHistogram(b io.Writer, name, labels string, h *Histogram) {
 	c, total := h.snapshot()
 	sep := ""
 	if labels != "" {

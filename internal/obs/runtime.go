@@ -1,0 +1,228 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"io"
+	"math"
+	"runtime/metrics"
+	"strings"
+	"sync"
+)
+
+// The runtime collector exports a curated slice of Go runtime/metrics as
+// blinkml_go_* series on /metrics: enough to explain a serving-latency
+// anomaly (heap growth, GC pauses, goroutine leaks, scheduler queueing)
+// without drowning the exposition in the full runtime catalogue. Samples are
+// taken at scrape time — there is no background goroutine to leak.
+
+// runtimeMetric maps one runtime/metrics name to its exported suffix.
+type runtimeMetric struct {
+	name   string // runtime/metrics key
+	metric string // suffix under blinkml_go_
+}
+
+// runtimeScalars are the gauge/counter samples (KindUint64).
+var runtimeScalars = []runtimeMetric{
+	{"/sched/goroutines:goroutines", "goroutines"},
+	{"/memory/classes/heap/objects:bytes", "heap_objects_bytes"},
+	{"/memory/classes/total:bytes", "memory_total_bytes"},
+	{"/gc/heap/goal:bytes", "heap_goal_bytes"},
+	{"/gc/cycles/total:gc-cycles", "gc_cycles_total"},
+}
+
+// runtimeHistograms are the Float64Histogram samples, exported in seconds
+// (the runtime's native unit) with downsampled buckets.
+var runtimeHistograms = []runtimeMetric{
+	{"/sched/pauses/total/gc:seconds", "gc_pause_seconds"},
+	{"/sched/latencies:seconds", "sched_latency_seconds"},
+}
+
+// runtimeCollector samples runtime/metrics on demand. It implements both
+// expvar.Var (a JSON scalar summary for /metrics.json) and PromWriter (the
+// full series for /metrics).
+type runtimeCollector struct {
+	mu      sync.Mutex
+	samples []metrics.Sample
+	nScalar int // samples[:nScalar] are scalars, the rest histograms
+}
+
+var (
+	runtimeOnce sync.Once
+	runtimeVar  *runtimeCollector
+)
+
+// RegisterRuntimeMetrics publishes the blinkml_go runtime collector once per
+// process. Both blinkml-serve and blinkml-worker call it at startup so the
+// Go runtime's health is visible next to the service's own series.
+func RegisterRuntimeMetrics() {
+	runtimeOnce.Do(func() {
+		runtimeVar = newRuntimeCollector()
+		expvar.Publish("blinkml_go", runtimeVar)
+	})
+}
+
+// newRuntimeCollector builds the sample set, keeping only metrics this
+// runtime version actually exports (a renamed key degrades to absence, not
+// a panic).
+func newRuntimeCollector() *runtimeCollector {
+	known := make(map[string]bool)
+	for _, d := range metrics.All() {
+		known[d.Name] = true
+	}
+	c := &runtimeCollector{}
+	for _, m := range runtimeScalars {
+		if known[m.name] {
+			c.samples = append(c.samples, metrics.Sample{Name: m.name})
+		}
+	}
+	c.nScalar = len(c.samples)
+	for _, m := range runtimeHistograms {
+		if known[m.name] {
+			c.samples = append(c.samples, metrics.Sample{Name: m.name})
+		}
+	}
+	return c
+}
+
+// suffixFor looks up the exported suffix for a runtime/metrics key.
+func suffixFor(name string) string {
+	for _, m := range runtimeScalars {
+		if m.name == name {
+			return m.metric
+		}
+	}
+	for _, m := range runtimeHistograms {
+		if m.name == name {
+			return m.metric
+		}
+	}
+	return sanitizeName(name)
+}
+
+// WriteProm implements PromWriter: one sample pass, scalars as plain
+// samples, histograms downsampled to a bounded bucket count.
+func (c *runtimeCollector) WriteProm(w io.Writer, name string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	metrics.Read(c.samples)
+	for i, s := range c.samples {
+		suffix := suffixFor(s.Name)
+		switch s.Value.Kind() {
+		case metrics.KindUint64:
+			fmt.Fprintf(w, "%s_%s %d\n", name, suffix, s.Value.Uint64())
+		case metrics.KindFloat64:
+			fmt.Fprintf(w, "%s_%s %s\n", name, suffix, promFloat(s.Value.Float64()))
+		case metrics.KindFloat64Histogram:
+			if i >= c.nScalar {
+				writeRuntimeHistogram(w, name+"_"+suffix, s.Value.Float64Histogram())
+			}
+		}
+	}
+}
+
+// maxRuntimeBuckets bounds the per-histogram bucket series on /metrics; the
+// runtime's native layouts run to hundreds of buckets, which is scrape noise
+// at our resolution needs.
+const maxRuntimeBuckets = 20
+
+// writeRuntimeHistogram renders a runtime Float64Histogram as a cumulative
+// Prometheus histogram, merging native buckets so at most maxRuntimeBuckets
+// finite bounds are emitted. The _sum is a midpoint estimate (the runtime
+// does not track exact sums).
+func writeRuntimeHistogram(w io.Writer, name string, h *metrics.Float64Histogram) {
+	if h == nil || len(h.Counts) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "# TYPE %s histogram\n", name)
+	n := len(h.Counts)
+	stride := (n + maxRuntimeBuckets - 1) / maxRuntimeBuckets
+	var cum, total uint64
+	var sum float64
+	for _, cnt := range h.Counts {
+		total += cnt
+	}
+	for lo := 0; lo < n; lo += stride {
+		hi := lo + stride
+		if hi > n {
+			hi = n
+		}
+		for j := lo; j < hi; j++ {
+			cnt := h.Counts[j]
+			if cnt == 0 {
+				continue
+			}
+			cum += cnt
+			sum += float64(cnt) * bucketMidpoint(h.Buckets, j)
+		}
+		// Buckets has len(Counts)+1 boundaries; bucket j covers
+		// [Buckets[j], Buckets[j+1]).
+		le := h.Buckets[hi]
+		if math.IsInf(le, 1) {
+			continue // folded into the +Inf bucket below
+		}
+		fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, promFloat(le), cum)
+	}
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, total)
+	fmt.Fprintf(w, "%s_sum %s\n", name, promFloat(sum))
+	fmt.Fprintf(w, "%s_count %d\n", name, total)
+}
+
+// bucketMidpoint estimates a representative value for native bucket j,
+// clamping the runtime's ±Inf edge boundaries.
+func bucketMidpoint(bounds []float64, j int) float64 {
+	lo, hi := bounds[j], bounds[j+1]
+	switch {
+	case math.IsInf(lo, -1) && math.IsInf(hi, 1):
+		return 0
+	case math.IsInf(lo, -1):
+		return hi
+	case math.IsInf(hi, 1):
+		return lo
+	default:
+		return (lo + hi) / 2
+	}
+}
+
+// String implements expvar.Var: the scalar samples as a JSON object, plus
+// observation counts for the histograms ( /metrics carries the buckets).
+func (c *runtimeCollector) String() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	metrics.Read(c.samples)
+	var b strings.Builder
+	b.WriteByte('{')
+	first := true
+	for i, s := range c.samples {
+		suffix := suffixFor(s.Name)
+		switch s.Value.Kind() {
+		case metrics.KindUint64:
+			if !first {
+				b.WriteByte(',')
+			}
+			first = false
+			fmt.Fprintf(&b, "%q:%d", suffix, s.Value.Uint64())
+		case metrics.KindFloat64:
+			if !first {
+				b.WriteByte(',')
+			}
+			first = false
+			fmt.Fprintf(&b, "%q:%s", suffix, jsonFloat(s.Value.Float64()))
+		case metrics.KindFloat64Histogram:
+			if i < c.nScalar {
+				continue
+			}
+			var total uint64
+			for _, cnt := range s.Value.Float64Histogram().Counts {
+				total += cnt
+			}
+			if !first {
+				b.WriteByte(',')
+			}
+			first = false
+			fmt.Fprintf(&b, "%q:%d", suffix+"_count", total)
+		}
+	}
+	b.WriteByte('}')
+	return b.String()
+}

@@ -1,0 +1,89 @@
+package obs
+
+import (
+	"encoding/json"
+	"runtime"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestRuntimeCollectorWriteProm(t *testing.T) {
+	runtime.GC() // make sure the pause histogram has at least one sample
+	c := newRuntimeCollector()
+	var b strings.Builder
+	c.WriteProm(&b, "blinkml_go")
+	out := b.String()
+	for _, want := range []string{
+		"blinkml_go_goroutines ",
+		"blinkml_go_heap_objects_bytes ",
+		"blinkml_go_memory_total_bytes ",
+		"blinkml_go_gc_cycles_total ",
+		"# TYPE blinkml_go_gc_pause_seconds histogram",
+		`blinkml_go_gc_pause_seconds_bucket{le="+Inf"}`,
+		"blinkml_go_gc_pause_seconds_count ",
+		"# TYPE blinkml_go_sched_latency_seconds histogram",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("runtime exposition missing %q\n%s", want, out)
+		}
+	}
+	// Sanity: the goroutine gauge is a positive integer, and bucket counts
+	// are cumulative within each histogram.
+	var lastBucket string
+	var prev int64 = -1
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "blinkml_go_goroutines ") {
+			n, err := strconv.Atoi(strings.Fields(line)[1])
+			if err != nil || n <= 0 {
+				t.Errorf("goroutines sample bad: %q", line)
+			}
+		}
+		if i := strings.Index(line, "_bucket{"); i >= 0 {
+			series := line[:i]
+			if series != lastBucket {
+				lastBucket, prev = series, -1
+			}
+			fields := strings.Fields(line)
+			n, err := strconv.ParseInt(fields[len(fields)-1], 10, 64)
+			if err != nil {
+				t.Fatalf("unparseable bucket line %q: %v", line, err)
+			}
+			if n < prev {
+				t.Fatalf("bucket counts not cumulative at %q", line)
+			}
+			prev = n
+		}
+	}
+	// A bucket series must never exceed maxRuntimeBuckets finite bounds.
+	for _, series := range []string{"blinkml_go_gc_pause_seconds", "blinkml_go_sched_latency_seconds"} {
+		finite := 0
+		for _, line := range strings.Split(out, "\n") {
+			if strings.HasPrefix(line, series+"_bucket{") && !strings.Contains(line, "+Inf") {
+				finite++
+			}
+		}
+		if finite > maxRuntimeBuckets {
+			t.Errorf("%s emits %d finite buckets, cap is %d", series, finite, maxRuntimeBuckets)
+		}
+	}
+}
+
+func TestRuntimeCollectorStringIsJSON(t *testing.T) {
+	c := newRuntimeCollector()
+	var v map[string]float64
+	if err := json.Unmarshal([]byte(c.String()), &v); err != nil {
+		t.Fatalf("String() not JSON: %v\n%s", err, c.String())
+	}
+	if v["goroutines"] <= 0 {
+		t.Errorf("goroutines = %v, want > 0", v["goroutines"])
+	}
+	if v["memory_total_bytes"] <= 0 {
+		t.Errorf("memory_total_bytes = %v, want > 0", v["memory_total_bytes"])
+	}
+}
+
+func TestRegisterRuntimeMetricsIdempotent(t *testing.T) {
+	RegisterRuntimeMetrics()
+	RegisterRuntimeMetrics() // second call must not re-publish (panic)
+}

@@ -342,6 +342,9 @@ type Health struct {
 	// Parallelism is the process-wide compute-pool degree shared by every
 	// training kernel (see Config.Parallelism).
 	Parallelism int `json:"parallelism"`
+	// Goroutines is the live goroutine count (the same signal exported as
+	// blinkml_go_goroutines on /metrics) — a cheap leak/overload check.
+	Goroutines int `json:"goroutines"`
 	// UptimeSeconds is time since the server was constructed.
 	UptimeSeconds float64 `json:"uptime_seconds"`
 	// Cluster reports coordinator state (cluster mode only).

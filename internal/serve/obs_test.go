@@ -314,3 +314,91 @@ func TestClusterTraceRoundTrip(t *testing.T) {
 		t.Fatal("stage breakdown missing coordinator-side registry stage")
 	}
 }
+
+// TestHTTPMiddlewareOnServe checks the per-endpoint HTTP telemetry plane:
+// every serve route runs through the shared obs middleware, so after real
+// traffic /metrics must carry per-route status-class counters, latency
+// histograms with bounded route labels, inflight gauges, the SLO window
+// gauges, and the blinkml_go_* runtime series — and /healthz must report the
+// live goroutine count.
+func TestHTTPMiddlewareOnServe(t *testing.T) {
+	s, err := New(Config{Dir: t.TempDir(), Workers: 1, QueueDepth: 8})
+	if err != nil {
+		t.Fatalf("new server: %v", err)
+	}
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	client := ts.Client()
+
+	var h Health
+	if code := doJSON(t, client, http.MethodGet, ts.URL+"/healthz", nil, &h); code != http.StatusOK {
+		t.Fatalf("healthz status %d", code)
+	}
+	if h.Goroutines <= 0 {
+		t.Fatalf("healthz goroutines %d, want > 0", h.Goroutines)
+	}
+
+	// A request to an unregistered model must land in the 4xx class for the
+	// parameterized route label, not a per-id label.
+	resp, err := client.Get(ts.URL + "/v1/models/no-such-model")
+	if err != nil {
+		t.Fatalf("get model: %v", err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("missing model status %d, want 404", resp.StatusCode)
+	}
+
+	mr, err := client.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatalf("metrics: %v", err)
+	}
+	defer mr.Body.Close()
+	samples := promSamples(t, mr.Body)
+
+	// The middleware state is a process singleton, so counts are cumulative
+	// across tests — assert presence and lower bounds only.
+	if v := samples[`blinkml_http_requests_total{route="/healthz",class="2xx"}`]; v < 1 {
+		t.Fatalf("healthz 2xx counter %v, want >= 1", v)
+	}
+	if v := samples[`blinkml_http_requests_total{route="/v1/models/{id}",class="4xx"}`]; v < 1 {
+		t.Fatalf("models/{id} 4xx counter %v, want >= 1 (route labels must stay parameterized)", v)
+	}
+	for name := range samples {
+		if strings.Contains(name, "no-such-model") {
+			t.Fatalf("unbounded route label leaked into metrics: %s", name)
+		}
+	}
+	if v := samples[`blinkml_http_request_ms_count{route="/healthz"}`]; v < 1 {
+		t.Fatalf("healthz latency histogram count %v, want >= 1", v)
+	}
+	// The /metrics request itself is wrapped, so it is inflight while the
+	// exposition is rendered.
+	if v := samples["blinkml_http_inflight"]; v < 1 {
+		t.Fatalf("global inflight gauge %v, want >= 1 (the scrape itself)", v)
+	}
+	if v := samples[`blinkml_http_route_inflight{route="/metrics"}`]; v < 1 {
+		t.Fatalf("/metrics route inflight %v, want >= 1", v)
+	}
+	// SLO window gauges for a route that has seen traffic.
+	if v := samples[`blinkml_http_slo_availability{route="/healthz"}`]; v != 1 {
+		t.Fatalf("healthz availability %v, want 1 (no 5xx served)", v)
+	}
+	if v := samples[`blinkml_http_slo_latency_attainment{route="/healthz"}`]; v <= 0 || v > 1 {
+		t.Fatalf("healthz latency attainment %v, want in (0, 1]", v)
+	}
+	if v := samples["blinkml_http_slo_latency_threshold_ms"]; v != obs.DefaultSLOLatencyMs {
+		t.Fatalf("slo threshold %v, want default %v", v, obs.DefaultSLOLatencyMs)
+	}
+
+	// The runtime collector is registered by serve.New, so the scrape carries
+	// Go runtime health series.
+	if v := samples["blinkml_go_goroutines"]; v <= 0 {
+		t.Fatalf("blinkml_go_goroutines %v, want > 0", v)
+	}
+	if _, ok := samples[`blinkml_go_gc_pause_seconds_bucket{le="+Inf"}`]; !ok {
+		t.Fatal("metrics output missing blinkml_go_gc_pause_seconds histogram")
+	}
+}

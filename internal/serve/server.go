@@ -9,6 +9,8 @@ import (
 	"log/slog"
 	"net/http"
 	"path/filepath"
+	"runtime"
+	"strings"
 	"time"
 
 	"blinkml/internal/audit"
@@ -79,6 +81,14 @@ type Config struct {
 	// AuditFraction is the fraction of pending records a background pass
 	// replays (deterministically sampled by model ID; default 1).
 	AuditFraction float64
+	// SlowRequestMs, when positive, logs a slog warning — route, method,
+	// status, latency, and trace ID — for any HTTP request slower than this
+	// many milliseconds. 0 (the default) disables slow-request logging.
+	SlowRequestMs float64
+	// SLOLatencyMs is the per-endpoint latency bound the sliding-window SLO
+	// attainment gauge (blinkml_http_slo_latency_attainment) measures
+	// against (default 250 ms).
+	SLOLatencyMs float64
 }
 
 func (c Config) withDefaults() Config {
@@ -99,6 +109,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.AuditDir == "" && c.Dir != "" {
 		c.AuditDir = filepath.Join(c.Dir, "audit")
+	}
+	if c.SLOLatencyMs <= 0 {
+		c.SLOLatencyMs = obs.DefaultSLOLatencyMs
 	}
 	return c
 }
@@ -142,6 +155,13 @@ func New(cfg Config) (*Server, error) {
 	if log == nil {
 		log = obs.Discard()
 	}
+	// The HTTP telemetry plane and the runtime collector are process-wide
+	// singletons (like the expvar metric maps); reconfigure the shared
+	// thresholds from this server's settings.
+	obs.RegisterRuntimeMetrics()
+	hm := obs.SharedHTTP()
+	hm.SetSlowRequestThreshold(cfg.SlowRequestMs, log)
+	hm.SetSLOLatencyThreshold(cfg.SLOLatencyMs)
 	s := &Server{
 		cfg:     cfg,
 		reg:     reg,
@@ -239,25 +259,33 @@ func (s *Server) Close() {
 }
 
 func (s *Server) routes() {
-	s.mux.HandleFunc("POST /v1/train", s.handleTrain)
-	s.mux.HandleFunc("POST /v1/tune", s.handleTune)
-	s.mux.HandleFunc("POST /v1/datasets", s.handleDatasetUpload)
-	s.mux.HandleFunc("GET /v1/datasets", s.handleDatasetList)
-	s.mux.HandleFunc("GET /v1/datasets/{id}", s.handleDatasetGet)
-	s.mux.HandleFunc("DELETE /v1/datasets/{id}", s.handleDatasetDelete)
-	s.mux.HandleFunc("GET /v1/jobs", s.handleJobList)
-	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
-	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
-	s.mux.HandleFunc("GET /v1/models", s.handleModelList)
-	s.mux.HandleFunc("GET /v1/models/{id}", s.handleModelGet)
-	s.mux.HandleFunc("DELETE /v1/models/{id}", s.handleModelDelete)
-	s.mux.HandleFunc("POST /v1/models/{id}/predict", s.handlePredict)
-	s.mux.HandleFunc("GET /v1/audit", s.handleAuditSummary)
-	s.mux.HandleFunc("GET /v1/audit/records", s.handleAuditRecords)
-	s.mux.HandleFunc("POST /v1/audit/replay", s.handleAuditReplay)
-	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
-	s.mux.Handle("GET /metrics", obs.MetricsHandler())
-	s.mux.Handle("GET /metrics.json", expvar.Handler())
+	// Every route goes through the obs HTTP middleware under its mux
+	// pattern sans method, so the blinkml_http_* route label set is exactly
+	// the registered API surface — request paths can never mint a series.
+	hm := obs.SharedHTTP()
+	handle := func(pattern string, h http.Handler) {
+		route := pattern[strings.IndexByte(pattern, ' ')+1:]
+		s.mux.Handle(pattern, hm.Wrap(route, h))
+	}
+	handle("POST /v1/train", http.HandlerFunc(s.handleTrain))
+	handle("POST /v1/tune", http.HandlerFunc(s.handleTune))
+	handle("POST /v1/datasets", http.HandlerFunc(s.handleDatasetUpload))
+	handle("GET /v1/datasets", http.HandlerFunc(s.handleDatasetList))
+	handle("GET /v1/datasets/{id}", http.HandlerFunc(s.handleDatasetGet))
+	handle("DELETE /v1/datasets/{id}", http.HandlerFunc(s.handleDatasetDelete))
+	handle("GET /v1/jobs", http.HandlerFunc(s.handleJobList))
+	handle("GET /v1/jobs/{id}", http.HandlerFunc(s.handleJobGet))
+	handle("DELETE /v1/jobs/{id}", http.HandlerFunc(s.handleJobCancel))
+	handle("GET /v1/models", http.HandlerFunc(s.handleModelList))
+	handle("GET /v1/models/{id}", http.HandlerFunc(s.handleModelGet))
+	handle("DELETE /v1/models/{id}", http.HandlerFunc(s.handleModelDelete))
+	handle("POST /v1/models/{id}/predict", http.HandlerFunc(s.handlePredict))
+	handle("GET /v1/audit", http.HandlerFunc(s.handleAuditSummary))
+	handle("GET /v1/audit/records", http.HandlerFunc(s.handleAuditRecords))
+	handle("POST /v1/audit/replay", http.HandlerFunc(s.handleAuditReplay))
+	handle("GET /healthz", http.HandlerFunc(s.handleHealthz))
+	handle("GET /metrics", obs.MetricsHandler())
+	handle("GET /metrics.json", expvar.Handler())
 	if s.coord != nil {
 		s.coord.Mount(s.mux)
 	}
@@ -590,6 +618,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Jobs:          s.queue.Len(),
 		Workers:       s.queue.Workers(),
 		Parallelism:   compute.Parallelism(),
+		Goroutines:    runtime.NumGoroutine(),
 		UptimeSeconds: time.Since(s.started).Seconds(),
 	}
 	if s.coord != nil {
