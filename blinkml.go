@@ -352,6 +352,13 @@ func SyntheticDataset(name string, rows, dim int, seed int64) (*Dataset, error) 
 	return datagen.Generate(name, datagen.Config{Rows: rows, Dim: dim, Seed: seed})
 }
 
+// SyntheticSparseDataset is SyntheticDataset with an explicit stored-entry
+// count per row for the sparse generators ("onehot"); nnz 0 uses the
+// generator default, and dense generators ignore it.
+func SyntheticSparseDataset(name string, rows, dim, nnz int, seed int64) (*Dataset, error) {
+	return datagen.Generate(name, datagen.Config{Rows: rows, Dim: dim, NNZ: nnz, Seed: seed})
+}
+
 // ReadCSV loads a dense labeled dataset from CSV (label in labelCol;
 // negative counts from the end). A non-numeric first line is treated as a
 // header.

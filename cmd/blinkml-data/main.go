@@ -174,7 +174,12 @@ func cmdInspect(args []string) error {
 	if m.NumClasses > 0 {
 		fmt.Printf("classes        %d\n", m.NumClasses)
 	}
-	fmt.Printf("encoding       sparse=%v, %.2f%% dense (%d stored entries)\n", m.Sparse, 100*m.Density(), m.NNZ)
+	enc := "dense"
+	if m.Sparse {
+		enc = "sparse"
+	}
+	fmt.Printf("encoding       %s, density %.4f%% (%d stored entries, %.1f nnz/row)\n",
+		enc, 100*m.Density(), m.NNZ, float64(m.NNZ)/float64(m.Rows))
 	fmt.Printf("labels         min %g, max %g, mean %g\n", m.LabelMin, m.LabelMax, m.LabelMean)
 	fmt.Printf("disk           rows.bin %d B (crc %08x), index.bin %d B (crc %08x)\n",
 		m.RowBytes, m.RowCRC32, m.IndexBytes, m.IndexCRC32)

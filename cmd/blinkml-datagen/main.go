@@ -18,22 +18,23 @@ import (
 
 func main() {
 	var (
-		dataName = flag.String("data", "criteo", "dataset: gas | power | criteo | higgs | mnist | yelp | counts")
+		dataName = flag.String("data", "criteo", "dataset: gas | power | criteo | higgs | mnist | yelp | counts | onehot")
 		rows     = flag.Int("rows", 10000, "rows to generate (0 = dataset default)")
 		dim      = flag.Int("dim", 0, "feature dimension (0 = dataset default)")
+		nnz      = flag.Int("nnz", 0, "stored entries per row for sparse generators (0 = generator default)")
 		seed     = flag.Int64("seed", 1, "random seed")
 		format   = flag.String("format", "libsvm", "output format: libsvm | csv")
 		out      = flag.String("out", "", "output path (default stdout)")
 	)
 	flag.Parse()
-	if err := run(*dataName, *rows, *dim, *seed, *format, *out); err != nil {
+	if err := run(*dataName, *rows, *dim, *nnz, *seed, *format, *out); err != nil {
 		fmt.Fprintln(os.Stderr, "blinkml-datagen:", err)
 		os.Exit(1)
 	}
 }
 
-func run(dataName string, rows, dim int, seed int64, format, out string) error {
-	ds, err := blinkml.SyntheticDataset(dataName, rows, dim, seed)
+func run(dataName string, rows, dim, nnz int, seed int64, format, out string) error {
+	ds, err := blinkml.SyntheticSparseDataset(dataName, rows, dim, nnz, seed)
 	if err != nil {
 		return err
 	}

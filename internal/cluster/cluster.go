@@ -174,13 +174,18 @@ type Synth struct {
 // tasks carry only an id and workers fetch the bytes once.
 type Inline struct {
 	Task    string      `json:"task"`
-	X       [][]float64 `json:"x"`
+	X       [][]float64 `json:"x,omitempty"`
+	Dim     int         `json:"dim,omitempty"`
+	Indices [][]int32   `json:"indices,omitempty"`
+	Values  [][]float64 `json:"values,omitempty"`
 	Y       []float64   `json:"y,omitempty"`
 	Classes int         `json:"classes,omitempty"`
 }
 
 // contentHash folds every value, label, row boundary, and the class count
-// into an FNV-1a hash — the content identity behind DatasetRef.Key.
+// into an FNV-1a hash — the content identity behind DatasetRef.Key. Sparse
+// payloads additionally fold the ambient dim and every stored index, so two
+// sparse datasets with the same values at different coordinates hash apart.
 func (d *Inline) contentHash() uint64 {
 	h := fnv.New64a()
 	var b [8]byte
@@ -193,6 +198,18 @@ func (d *Inline) contentHash() uint64 {
 		word(uint64(len(row)))
 		for _, v := range row {
 			word(math.Float64bits(v))
+		}
+	}
+	word(uint64(d.Dim))
+	for i, idx := range d.Indices {
+		word(uint64(len(idx)))
+		for _, j := range idx {
+			word(uint64(uint32(j)))
+		}
+		if i < len(d.Values) {
+			for _, v := range d.Values[i] {
+				word(math.Float64bits(v))
+			}
 		}
 	}
 	word(uint64(len(d.Y)))

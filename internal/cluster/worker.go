@@ -558,11 +558,15 @@ func (w *Worker) source(ctx context.Context, ref DatasetRef) (dataset.Source, er
 	}
 }
 
-// Build materializes the inline payload as a Dataset.
+// Build materializes the inline payload as a Dataset (sparse payloads pack
+// into a CSR block, with the standard density-threshold dense fallback).
 func (d *Inline) Build() (*dataset.Dataset, error) {
 	task, err := dataset.ParseTask(d.Task)
 	if err != nil {
 		return nil, err
+	}
+	if len(d.Indices) > 0 {
+		return dataset.FromSparse(task, d.Dim, d.Indices, d.Values, d.Y, d.Classes)
 	}
 	return dataset.FromDense(task, d.X, d.Y, d.Classes)
 }

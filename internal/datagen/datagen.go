@@ -21,6 +21,9 @@ type Config struct {
 	Rows int
 	Dim  int
 	Seed int64
+	// NNZ sets the active features per row for sparse generators that
+	// honor it (currently "onehot"); 0 means the generator's default.
+	NNZ int
 }
 
 func (c Config) withDefaults(rows, dim int) Config {
@@ -167,7 +170,7 @@ func Criteo(cfg Config) *dataset.Dataset {
 		ds.X = append(ds.X, row)
 		ds.Y = append(ds.Y, y)
 	}
-	return ds
+	return dataset.Compact(ds)
 }
 
 // MNIST mimics the infinite-MNIST multiclass dataset (paper: 8M rows,
@@ -248,7 +251,7 @@ func Yelp(cfg Config) *dataset.Dataset {
 		ds.X = append(ds.X, &dataset.SparseRow{N: cfg.Dim, Idx: idx, Val: val})
 		ds.Y = append(ds.Y, float64(c))
 	}
-	return ds
+	return dataset.Compact(ds)
 }
 
 // Counts is a Poisson-regression workload (the paper lists Poisson
@@ -269,6 +272,54 @@ func Counts(cfg Config) *dataset.Dataset {
 		ds.Y = append(ds.Y, poissonDraw(rng, lambda))
 	}
 	return ds
+}
+
+// OneHot is the criteo-like seeded sparse one-hot generator: each row has
+// exactly NNZ active features (default 10) — a bias feature plus NNZ−1
+// indices drawn uniformly without replacement from the vocabulary — with
+// value 1 and a binary label from a fixed sparse logistic ground truth.
+// Unlike Criteo's Zipf-skewed draw it is uniform, so rows stay cheap to
+// generate at dim 10⁴–10⁶, which is what the high-dimensional sparse
+// benchmarks need. Defaults: 50,000 rows, 10,000 features.
+func OneHot(cfg Config) *dataset.Dataset {
+	cfg = cfg.withDefaults(defaultShape("onehot"))
+	k := cfg.NNZ
+	if k <= 0 {
+		k = 10
+	}
+	if k > cfg.Dim {
+		k = cfg.Dim
+	}
+	rng := stat.NewRNG(mix(cfg.Seed, 0x1407))
+	theta := groundTruth(rng, cfg.Dim, 1.2)
+	ds := &dataset.Dataset{Dim: cfg.Dim, Task: dataset.BinaryClassification, Name: "onehot"}
+	active := make(map[int32]bool, k)
+	scale := 1 / math.Sqrt(float64(k))
+	for i := 0; i < cfg.Rows; i++ {
+		clear(active)
+		active[0] = true // bias feature
+		for len(active) < k {
+			active[int32(1+rng.Intn(cfg.Dim-1))] = true
+		}
+		idx := make([]int32, 0, len(active))
+		for j := range active {
+			idx = append(idx, j)
+		}
+		sortInt32(idx)
+		val := make([]float64, len(idx))
+		var score float64
+		for t, j := range idx {
+			val[t] = 1
+			score += theta[j]
+		}
+		y := 0.0
+		if rng.Float64() < sigmoid(scale*score-0.4) {
+			y = 1
+		}
+		ds.X = append(ds.X, &dataset.SparseRow{N: cfg.Dim, Idx: idx, Val: val})
+		ds.Y = append(ds.Y, y)
+	}
+	return dataset.Compact(ds)
 }
 
 // generators is the single registry of synthetic workloads: each entry
@@ -296,6 +347,7 @@ func init() {
 	reg("mnist", 30000, 784, MNIST)
 	reg("yelp", 30000, 10000, Yelp)
 	reg("counts", 30000, 20, Counts)
+	reg("onehot", 50000, 10000, OneHot)
 }
 
 func defaultShape(name string) (rows, dim int) {

@@ -86,19 +86,40 @@ func NewSparseRow(dim int, idx []int32, val []float64) (*SparseRow, error) {
 	return &SparseRow{N: dim, Idx: idx, Val: val}, nil
 }
 
-// Dot implements Row.
+// Dot implements Row. The accumulation is strictly sequential in index
+// order — the 4-way unroll only removes loop/bounds overhead, never
+// reorders an add — so results are bit-identical to the naive loop.
 func (r *SparseRow) Dot(dense []float64) float64 {
+	idx := r.Idx
+	val := r.Val[:len(idx)]
 	var s float64
-	for k, i := range r.Idx {
-		s += r.Val[k] * dense[i]
+	k := 0
+	for ; k+4 <= len(idx); k += 4 {
+		s += val[k] * dense[idx[k]]
+		s += val[k+1] * dense[idx[k+1]]
+		s += val[k+2] * dense[idx[k+2]]
+		s += val[k+3] * dense[idx[k+3]]
+	}
+	for ; k < len(idx); k++ {
+		s += val[k] * dense[idx[k]]
 	}
 	return s
 }
 
-// AddTo implements Row.
+// AddTo implements Row. Entries touch distinct slots, so the unroll cannot
+// change any accumulation order.
 func (r *SparseRow) AddTo(dst []float64, scale float64) {
-	for k, i := range r.Idx {
-		dst[i] += scale * r.Val[k]
+	idx := r.Idx
+	val := r.Val[:len(idx)]
+	k := 0
+	for ; k+4 <= len(idx); k += 4 {
+		dst[idx[k]] += scale * val[k]
+		dst[idx[k+1]] += scale * val[k+1]
+		dst[idx[k+2]] += scale * val[k+2]
+		dst[idx[k+3]] += scale * val[k+3]
+	}
+	for ; k < len(idx); k++ {
+		dst[idx[k]] += scale * val[k]
 	}
 }
 

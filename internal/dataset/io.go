@@ -81,18 +81,22 @@ func ReadLibSVM(r io.Reader, dim int, task Task) (*Dataset, error) {
 }
 
 // ReadLibSVMOpts is ReadLibSVM with explicit parser options (declared
-// dimension, line cap).
+// dimension, line cap, dense-fallback threshold). Rows are packed into one
+// contiguous CSR block rather than per-row allocations; when the measured
+// density exceeds the threshold (DefaultDenseThreshold unless overridden)
+// the rows auto-fall back to dense, which is both smaller and faster at
+// that density. Either way the values are identical, so training results
+// do not depend on the representation chosen.
 func ReadLibSVMOpts(r io.Reader, task Task, opt StreamOptions) (*Dataset, error) {
-	type rawRow struct {
-		idx   []int32
-		val   []float64
-		label float64
-	}
-	var raws []rawRow
+	c := &CSR{Indptr: []int64{0}}
+	var labels []float64
 	maxIdx := int32(-1)
 	maxClass := -1
 	err := StreamLibSVM(r, opt, func(row RowData) error {
-		raws = append(raws, rawRow{idx: row.Idx, val: row.Val, label: row.Label})
+		c.Idx = append(c.Idx, row.Idx...)
+		c.Val = append(c.Val, row.Val...)
+		c.Indptr = append(c.Indptr, int64(len(c.Idx)))
+		labels = append(labels, row.Label)
 		if n := len(row.Idx); n > 0 && row.Idx[n-1] > maxIdx {
 			maxIdx = row.Idx[n-1]
 		}
@@ -108,14 +112,17 @@ func ReadLibSVMOpts(r io.Reader, task Task, opt StreamOptions) (*Dataset, error)
 	if dim <= 0 {
 		dim = int(maxIdx) + 1
 	}
-	ds := &Dataset{Dim: dim, Task: task, Name: "libsvm"}
-	for _, raw := range raws {
-		sp, err := NewSparseRow(dim, raw.idx, raw.val)
-		if err != nil {
-			return nil, err
-		}
-		ds.X = append(ds.X, sp)
-		ds.Y = append(ds.Y, raw.label)
+	c.Dim = dim
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	ds := &Dataset{Dim: dim, Task: task, Name: "libsvm", X: c.Rows(), Y: labels}
+	threshold := opt.DenseThreshold
+	if threshold == 0 {
+		threshold = DefaultDenseThreshold
+	}
+	if n := len(ds.X); n > 0 && dim > 0 && float64(c.NNZ())/(float64(n)*float64(dim)) > threshold {
+		Densify(ds)
 	}
 	if task == MultiClassification {
 		ds.NumClasses = maxClass + 1

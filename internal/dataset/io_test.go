@@ -90,7 +90,9 @@ func TestCSVRoundTrip(t *testing.T) {
 
 func TestReadLibSVMBasic(t *testing.T) {
 	in := "1 1:0.5 3:2\n0 2:1\n"
-	ds, err := ReadLibSVM(strings.NewReader(in), 0, BinaryClassification)
+	// This tiny file is 50% dense, above the auto-dense threshold, so the
+	// default reader densifies; DenseThreshold 1 keeps the rows sparse.
+	ds, err := ReadLibSVMOpts(strings.NewReader(in), BinaryClassification, StreamOptions{DenseThreshold: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -102,6 +104,16 @@ func TestReadLibSVMBasic(t *testing.T) {
 	}
 	if got := ds.X[0].Dot([]float64{1, 1, 1}); got != 2.5 {
 		t.Fatalf("row 0 sum %v", got)
+	}
+	dense, err := ReadLibSVM(strings.NewReader(in), 0, BinaryClassification)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := dense.X[0].(DenseRow); !ok {
+		t.Fatalf("above-threshold rows should auto-densify, got %T", dense.X[0])
+	}
+	if got := dense.X[0].Dot([]float64{1, 1, 1}); got != 2.5 {
+		t.Fatalf("densified row 0 sum %v", got)
 	}
 }
 

@@ -29,6 +29,11 @@ type StreamOptions struct {
 	// Lines beyond the cap fail with a line-numbered error instead of
 	// bufio.Scanner's opaque "token too long".
 	MaxLineBytes int
+	// DenseThreshold overrides the density above which ReadLibSVMOpts
+	// falls back to dense rows: 0 means DefaultDenseThreshold, a value
+	// >= 1 keeps rows sparse at any density, and a negative value forces
+	// dense rows. The streaming parsers themselves ignore it.
+	DenseThreshold float64
 }
 
 // Column returns a LabelCol pointer for StreamOptions (negative counts from

@@ -4,6 +4,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
+	"sort"
 	"time"
 
 	"blinkml/internal/compute"
@@ -33,8 +35,9 @@ type BenchResult struct {
 	// across Iters repeated runs.
 	NsPerOp int64 `json:"ns_per_op"`
 	// Iters is how many timed training runs the row aggregates; P50Ms and
-	// P99Ms are histogram-derived latency quantiles across them, so the
-	// trajectory tracks tail behavior, not just the mean.
+	// P99Ms are latency quantiles across them (exact order statistics at
+	// this iteration count), so the trajectory tracks tail behavior, not
+	// just the mean.
 	Iters int     `json:"iters"`
 	P50Ms float64 `json:"p50_ms"`
 	P99Ms float64 `json:"p99_ms"`
@@ -84,7 +87,7 @@ type BenchSummary struct {
 // seed (up to wall-clock noise in the timings themselves).
 func RunBench(scale Scale, seed int64) (*BenchSummary, error) {
 	sum := &BenchSummary{Scale: scale.String(), Seed: seed, Env: obs.CaptureEnv()}
-	for _, w := range Workloads() {
+	for _, w := range append(Workloads(), SparseWorkloads()...) {
 		r, err := benchWorkload(w, scale, seed)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: bench %s: %w", w.ID, err)
@@ -149,30 +152,82 @@ func benchKernels(seed int64) ([]KernelResult, error) {
 	}
 	out := make([]KernelResult, 0, len(kernels))
 	for _, k := range kernels {
-		ns, hist, err := timeKernel(k.fn)
+		ns, lat, err := timeKernel(k.fn)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: kernel bench %s: %w", k.name, err)
 		}
 		out = append(out, KernelResult{
 			Name:        k.name,
 			NsPerOp:     ns,
-			P50Ms:       hist.Quantile(0.50),
-			P99Ms:       hist.Quantile(0.99),
+			P50Ms:       lat.Quantile(0.50),
+			P99Ms:       lat.Quantile(0.99),
 			Parallelism: compute.Parallelism(),
 		})
 	}
 	return out, nil
 }
 
-// timeKernel reports the mean wall time of fn plus a per-iteration latency
-// histogram: one warm-up call, then as many timed iterations as fit in
+// exactQuantileCutoff is the sample count below which quantiles come from
+// the raw samples instead of histogram buckets. obs.Histogram's geometric
+// base-2 buckets are built for unbounded metric streams; with a handful of
+// benchmark iterations every run lands in one or two coarse buckets and the
+// interpolated p50 and p99 collapse to the same bucket-boundary value
+// across unrelated workloads. Below this cutoff the raw samples fit
+// trivially in memory, so order statistics are both exact and free.
+const exactQuantileCutoff = 30
+
+// latencySampler collects per-iteration latencies (ms) and reports
+// quantiles: exact order statistics while the sample count is small,
+// histogram interpolation once the raw set would stop being cheap.
+type latencySampler struct {
+	raw  []float64
+	hist *obs.Histogram
+}
+
+func newLatencySampler() *latencySampler {
+	return &latencySampler{hist: obs.NewHistogram()}
+}
+
+func (s *latencySampler) Observe(ms float64) {
+	if len(s.raw) < exactQuantileCutoff {
+		s.raw = append(s.raw, ms)
+	}
+	s.hist.Observe(ms)
+}
+
+// Quantile returns the q-th latency quantile: the nearest-rank order
+// statistic when all samples are retained, the histogram estimate
+// otherwise.
+func (s *latencySampler) Quantile(q float64) float64 {
+	n := len(s.raw)
+	if n == 0 {
+		return 0
+	}
+	if n >= exactQuantileCutoff {
+		return s.hist.Quantile(q)
+	}
+	sorted := make([]float64, n)
+	copy(sorted, s.raw)
+	sort.Float64s(sorted)
+	rank := int(math.Ceil(q*float64(n))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= n {
+		rank = n - 1
+	}
+	return sorted[rank]
+}
+
+// timeKernel reports the mean wall time of fn plus per-iteration latency
+// quantiles: one warm-up call, then as many timed iterations as fit in
 // ~300 ms (at least 3).
-func timeKernel(fn func() error) (int64, *obs.Histogram, error) {
+func timeKernel(fn func() error) (int64, *latencySampler, error) {
 	if err := fn(); err != nil {
 		return 0, nil, err
 	}
 	const budget = 300 * time.Millisecond
-	hist := obs.NewHistogram()
+	lat := newLatencySampler()
 	var iters int
 	start := time.Now()
 	for elapsed := time.Duration(0); iters < 3 || elapsed < budget; elapsed = time.Since(start) {
@@ -180,10 +235,10 @@ func timeKernel(fn func() error) (int64, *obs.Histogram, error) {
 		if err := fn(); err != nil {
 			return 0, nil, err
 		}
-		hist.Observe(float64(time.Since(it)) / float64(time.Millisecond))
+		lat.Observe(float64(time.Since(it)) / float64(time.Millisecond))
 		iters++
 	}
-	return time.Since(start).Nanoseconds() / int64(iters), hist, nil
+	return time.Since(start).Nanoseconds() / int64(iters), lat, nil
 }
 
 // benchIters is how many timed training runs one workload row aggregates —
@@ -201,9 +256,10 @@ func benchWorkload(w Workload, scale Scale, seed int64) (BenchResult, error) {
 		K:                 paramSamples(scale),
 	}
 	// Every iteration reruns the same seeded training, so the model outputs
-	// are identical; only the wall time varies. The histogram turns those
-	// repeats into tail quantiles.
-	hist := obs.NewHistogram()
+	// are identical; only the wall time varies. The sampler turns those
+	// repeats into exact tail quantiles (at benchIters runs, raw order
+	// statistics — histogram buckets are too coarse at this count).
+	lat := newLatencySampler()
 	var res *core.Result
 	start := time.Now()
 	for i := 0; i < benchIters; i++ {
@@ -212,7 +268,7 @@ func benchWorkload(w Workload, scale Scale, seed int64) (BenchResult, error) {
 		if err != nil {
 			return BenchResult{}, err
 		}
-		hist.Observe(float64(time.Since(it)) / float64(time.Millisecond))
+		lat.Observe(float64(time.Since(it)) / float64(time.Millisecond))
 		res = r
 	}
 	elapsed := time.Since(start)
@@ -223,8 +279,8 @@ func benchWorkload(w Workload, scale Scale, seed int64) (BenchResult, error) {
 		Dim:              ds.Dim,
 		NsPerOp:          elapsed.Nanoseconds() / benchIters,
 		Iters:            benchIters,
-		P50Ms:            hist.Quantile(0.50),
-		P99Ms:            hist.Quantile(0.99),
+		P50Ms:            lat.Quantile(0.50),
+		P99Ms:            lat.Quantile(0.99),
 		SampleSize:       res.SampleSize,
 		PoolSize:         res.PoolSize,
 		Epsilon:          res.EstimatedEpsilon,

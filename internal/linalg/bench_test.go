@@ -101,3 +101,46 @@ func BenchmarkLUSolve128(b *testing.B) {
 		f.Solve(rhs, dst)
 	}
 }
+
+// Sparse kernel benchmarks: dot and rank-1 update over ~1%-density
+// operands, the shapes the sparse Fisher Gram accumulates.
+
+func benchSparseVec(rng *rand.Rand, dim, nnz int) ([]int32, []float64) {
+	seen := map[int32]bool{}
+	for len(seen) < nnz {
+		seen[int32(rng.Intn(dim))] = true
+	}
+	idx := make([]int32, 0, nnz)
+	for j := int32(0); int(j) < dim; j++ {
+		if seen[j] {
+			idx = append(idx, j)
+		}
+	}
+	val := make([]float64, len(idx))
+	for i := range val {
+		val[i] = rng.NormFloat64()
+	}
+	return idx, val
+}
+
+func BenchmarkSpDot(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	ai, av := benchSparseVec(rng, 10000, 100)
+	bi, bv := benchSparseVec(rng, 10000, 100)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sinkFloat = SpDot(ai, av, bi, bv)
+	}
+}
+
+func BenchmarkSpOuterAdd(b *testing.B) {
+	rng := rand.New(rand.NewSource(6))
+	idx, val := benchSparseVec(rng, 512, 40)
+	m := NewDense(512, 512)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		SpOuterAdd(m, 0.5, idx, val)
+	}
+}
+
+var sinkFloat float64

@@ -1,0 +1,56 @@
+package linalg
+
+// Sparse kernels for the statistics hot path. Both routines are written to
+// be bit-identical to their dense counterparts on the same data: skipping a
+// zero term only ever removes an exact `s += 0` from the accumulation, and
+// every surviving term is computed with the same expression — and consumed
+// in the same order — as the dense loop it replaces.
+
+// SpDot returns the inner product of two sparse vectors given as sorted
+// (index, value) pairs with strictly increasing indices. The accumulation
+// visits matching indices in ascending order, so the result is bit-identical
+// to gathering either vector into a dense scratch and calling the other's
+// Dot against it (zero terms there add exact +0 and cannot change the sum).
+// The product is formed as av*bv — a's value first — matching the dense
+// convention row.Dot(scratch) where row supplies the left operand.
+func SpDot(ai []int32, av []float64, bi []int32, bv []float64) float64 {
+	var s float64
+	na, nb := len(ai), len(bi)
+	var ka, kb int
+	for ka < na && kb < nb {
+		ia, ib := ai[ka], bi[kb]
+		switch {
+		case ia == ib:
+			s += av[ka] * bv[kb]
+			ka++
+			kb++
+		case ia < ib:
+			ka++
+		default:
+			kb++
+		}
+	}
+	return s
+}
+
+// SpOuterAdd accumulates m += a * x·xᵀ for a sparse x with sorted indices,
+// touching only the nnz x nnz stored block. It replicates Dense.OuterAdd's
+// rounding exactly: the scale s = a*x_i is formed once per row and each
+// entry receives m[i][j] += s*x_j, with the same zero-skip guards
+// (x_i == 0 and s == 0) the dense path applies via OuterAdd and Axpy.
+func SpOuterAdd(m *Dense, a float64, idx []int32, val []float64) {
+	for ki, i := range idx {
+		xv := val[ki]
+		if xv == 0 {
+			continue
+		}
+		s := a * xv
+		if s == 0 {
+			continue
+		}
+		row := m.Row(int(i))
+		for kj, j := range idx {
+			row[j] += s * val[kj]
+		}
+	}
+}

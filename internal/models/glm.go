@@ -40,11 +40,15 @@ func scaledRow(x dataset.Row, c float64) dataset.Row {
 // at degree 1 (where the output matrix itself is the single chunk's
 // accumulator). Both triangles are accumulated on purpose — the rank-one
 // updates round asymmetrically (fl(w·xₐ)·x_b vs fl(w·x_b)·xₐ), exactly
-// as the serial algorithm does.
+// as the serial algorithm does. Sparse datasets (chosen per-dataset by
+// measured density) skip the densify and scatter each example's nnz x nnz
+// block via linalg.SpOuterAdd, which replicates OuterAdd's rounding and
+// zero-skip guards exactly — the two paths are bit-identical.
 func glmHessian(ds *dataset.Dataset, theta []float64, beta float64, weight func(z, y float64) float64) *linalg.Dense {
 	d := ds.Dim
 	n := ds.Len()
 	h := linalg.NewDense(d, d)
+	sparse := dataset.SparsePath(ds.X)
 	// The per-chunk scratch is a d x d matrix, so cap the fan-out harder
 	// than the usual example grain: each chunk must amortize its scratch.
 	chunks := compute.Chunks(n, 256+d)
@@ -54,12 +58,20 @@ func glmHessian(ds *dataset.Dataset, theta []float64, beta float64, weight func(
 		if chunk > 0 {
 			acc = linalg.NewDense(d, d)
 		}
-		buf := make([]float64, d)
+		var buf []float64
+		if !sparse {
+			buf = make([]float64, d)
+		}
 		for i := lo; i < hi; i++ {
 			x := ds.X[i]
 			z := x.Dot(theta)
 			w := weight(z, label(ds, i))
 			if w == 0 {
+				continue
+			}
+			if sparse {
+				sp := x.(*dataset.SparseRow)
+				linalg.SpOuterAdd(acc, w, sp.Idx, sp.Val)
 				continue
 			}
 			linalg.Fill(buf, 0)

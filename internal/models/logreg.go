@@ -1,6 +1,8 @@
 package models
 
 import (
+	"math"
+
 	"blinkml/internal/dataset"
 	"blinkml/internal/linalg"
 )
@@ -24,14 +26,27 @@ func (LogisticRegression) ParamDim(ds *dataset.Dataset) int { return ds.Dim }
 // Beta implements Spec.
 func (m LogisticRegression) Beta() float64 { return m.Reg }
 
-// ExampleLossGrad implements Spec.
+// ExampleLossGrad implements Spec. A single exp serves both the gradient
+// coefficient σ(z)−y and the loss −log Pr(y|x) = log(1+e^z) − y·z: each
+// branch computes t = e^{-|z|} once and derives σ(z) and the softplus from
+// it (the z ≥ 0 loss uses the z + log1p(e^{-z}) form, which needs no
+// overflow cutoff).
 func (LogisticRegression) ExampleLossGrad(theta []float64, x dataset.Row, y float64, gradAccum []float64) float64 {
 	z := x.Dot(theta)
-	if gradAccum != nil {
-		x.AddTo(gradAccum, sigmoid(z)-y)
+	var sig, loss float64
+	if z >= 0 {
+		t := math.Exp(-z)
+		sig = 1 / (1 + t)
+		loss = z + math.Log1p(t) - y*z
+	} else {
+		e := math.Exp(z)
+		sig = e / (1 + e)
+		loss = math.Log1p(e) - y*z
 	}
-	// −log Pr(y|x) = log(1+e^z) − y·z (numerically stable form).
-	return log1pExp(z) - y*z
+	if gradAccum != nil {
+		x.AddTo(gradAccum, sig-y)
+	}
+	return loss
 }
 
 // ExampleGradRow implements Spec.

@@ -36,13 +36,11 @@ func (m MaxEntropy) classes(ds *dataset.Dataset) int {
 // Beta implements Spec.
 func (m MaxEntropy) Beta() float64 { return m.Reg }
 
-// logits computes z_k = θ_kᵀx for all classes.
+// logits computes z_k = θ_kᵀx for all classes (one fused pass over sparse
+// rows).
 func (m MaxEntropy) logits(theta []float64, x dataset.Row, k int) []float64 {
-	d := x.Dim()
 	z := make([]float64, k)
-	for c := 0; c < k; c++ {
-		z[c] = x.Dot(theta[c*d : (c+1)*d])
-	}
+	logitsInto(theta, x, k, x.Dim(), z)
 	return z
 }
 
@@ -57,7 +55,12 @@ func softmaxInPlace(z []float64) float64 {
 	}
 	var sum float64
 	for i, v := range z {
-		e := math.Exp(v - maxZ)
+		// exp(0) is exactly 1, so elements at the max (including ties)
+		// skip the libm call without changing a single bit.
+		e := 1.0
+		if v != maxZ {
+			e = math.Exp(v - maxZ)
+		}
 		z[i] = e
 		sum += e
 	}
@@ -67,24 +70,26 @@ func softmaxInPlace(z []float64) float64 {
 	return maxZ + math.Log(sum)
 }
 
-// ExampleLossGrad implements Spec.
+// ExampleLossGrad implements Spec. The per-class logits and the gradient
+// scatter each make one fused pass over sparse rows; the logit scratch
+// lives on the stack for realistic class counts, so the inner training
+// loop is allocation-free.
 func (m MaxEntropy) ExampleLossGrad(theta []float64, x dataset.Row, y float64, gradAccum []float64) float64 {
 	d := x.Dim()
 	k := len(theta) / d
-	z := m.logits(theta, x, k)
+	var zbuf [maxFusedClasses]float64
+	z := zbuf[:]
+	if k > maxFusedClasses {
+		z = make([]float64, k)
+	}
+	z = z[:k]
+	logitsInto(theta, x, k, d, z)
 	yi := int(y)
 	zy := z[yi]
 	lse := softmaxInPlace(z)
 	if gradAccum != nil {
-		for c := 0; c < k; c++ {
-			coeff := z[c] // p_c after softmaxInPlace
-			if c == yi {
-				coeff -= 1
-			}
-			if coeff != 0 {
-				x.AddTo(gradAccum[c*d:(c+1)*d], coeff)
-			}
-		}
+		z[yi] -= 1 // z now holds the per-class coefficients p_c − 1{c=y}
+		scatterGrad(gradAccum, z, x, k, d)
 	}
 	return lse - zy
 }
@@ -127,29 +132,45 @@ func (m MaxEntropy) ExampleGradRow(theta []float64, x dataset.Row, y float64) da
 func (m MaxEntropy) Predict(theta []float64, x dataset.Row) float64 {
 	d := x.Dim()
 	k := len(theta) / d
+	var zbuf [maxFusedClasses]float64
+	z := zbuf[:]
+	if k > maxFusedClasses {
+		z = make([]float64, k)
+	}
+	z = z[:k]
+	logitsInto(theta, x, k, d, z)
 	best, bestZ := 0, math.Inf(-1)
-	for c := 0; c < k; c++ {
-		z := x.Dot(theta[c*d : (c+1)*d])
-		if z > bestZ {
-			best, bestZ = c, z
+	for c, v := range z {
+		if v > bestZ {
+			best, bestZ = c, v
 		}
 	}
 	return float64(best)
 }
 
 // Hessian implements Hessianer for low-dimensional problems: the (c,c')
-// block is (1/n) Σᵢ p_c(δ_{cc'} − p_{c'}) xᵢxᵢᵀ, plus βI.
+// block is (1/n) Σᵢ p_c(δ_{cc'} − p_{c'}) xᵢxᵢᵀ, plus βI. Sparse datasets
+// (chosen per-dataset by measured density) scatter each example's
+// nnz x nnz block directly instead of densifying: every surviving term
+// uses the dense path's exact expression and zero-skip guards, so the two
+// paths are bit-identical.
 func (m MaxEntropy) Hessian(theta []float64, ds *dataset.Dataset) *linalg.Dense {
 	d := ds.Dim
 	k := len(theta) / d
 	h := linalg.NewDense(k*d, k*d)
-	xbuf := make([]float64, d)
+	sparse := dataset.SparsePath(ds.X)
+	var xbuf []float64
+	if !sparse {
+		xbuf = make([]float64, d)
+	}
 	for i := 0; i < ds.Len(); i++ {
 		x := ds.X[i]
 		z := m.logits(theta, x, k)
 		softmaxInPlace(z)
-		linalg.Fill(xbuf, 0)
-		x.AddTo(xbuf, 1)
+		if !sparse {
+			linalg.Fill(xbuf, 0)
+			x.AddTo(xbuf, 1)
+		}
 		for c := 0; c < k; c++ {
 			for c2 := 0; c2 < k; c2++ {
 				w := -z[c] * z[c2]
@@ -157,6 +178,27 @@ func (m MaxEntropy) Hessian(theta []float64, ds *dataset.Dataset) *linalg.Dense 
 					w += z[c]
 				}
 				if w == 0 {
+					continue
+				}
+				if sparse {
+					sp := x.(*dataset.SparseRow)
+					idx := sp.Idx
+					val := sp.Val[:len(idx)]
+					base := c2 * d
+					for t, a := range idx {
+						va := val[t]
+						if va == 0 {
+							continue
+						}
+						s := w * va
+						if s == 0 {
+							continue
+						}
+						row := h.Row(c*d + int(a))
+						for u, b := range idx {
+							row[base+int(b)] += s * val[u]
+						}
+					}
 					continue
 				}
 				for a := 0; a < d; a++ {

@@ -1,0 +1,75 @@
+package models
+
+import "blinkml/internal/dataset"
+
+// Fused sparse kernels for the multiclass hot path. The max-entropy model
+// walks each example's features once per class — K dots for the logits, K
+// scatters for the gradient — which re-reads the row's index/value arrays
+// K times. The fused forms below walk the row once and keep K accumulators,
+// loading each stored entry a single time. Per class, every term is still
+// produced by the same expression in the same order as the per-class loop,
+// so the results are bit-identical; only memory traffic changes.
+
+// maxFusedClasses bounds the stack-allocated per-class scratch of the fused
+// kernels; class counts beyond it fall back to the per-class loops.
+const maxFusedClasses = 16
+
+// logitsInto fills z[c] = θ_cᵀx for all k classes, where class c occupies
+// theta[c*d : (c+1)*d]. Sparse rows take the single-pass fused path; every
+// other row type computes the per-class dots directly.
+func logitsInto(theta []float64, x dataset.Row, k, d int, z []float64) {
+	sp, ok := x.(*dataset.SparseRow)
+	if !ok {
+		for c := 0; c < k; c++ {
+			z[c] = x.Dot(theta[c*d : (c+1)*d])
+		}
+		return
+	}
+	z = z[:k]
+	for c := range z {
+		z[c] = 0
+	}
+	idx := sp.Idx
+	val := sp.Val[:len(idx)]
+	for t, j := range idx {
+		v := val[t]
+		off := int(j)
+		for c := range z {
+			z[c] += v * theta[c*d+off]
+		}
+	}
+}
+
+// scatterGrad accumulates coef[c]·x into class block c of grad for every
+// class with a non-zero coefficient. Zero coefficients skip their block
+// entirely, exactly as the unfused per-class AddTo guard does; each touched
+// slot receives the same single update `grad[slot] += coef*v` either way.
+func scatterGrad(grad []float64, coef []float64, x dataset.Row, k, d int) {
+	sp, ok := x.(*dataset.SparseRow)
+	if !ok || k > maxFusedClasses {
+		for c := 0; c < k; c++ {
+			if coef[c] != 0 {
+				x.AddTo(grad[c*d:(c+1)*d], coef[c])
+			}
+		}
+		return
+	}
+	var offs [maxFusedClasses]int
+	var cs [maxFusedClasses]float64
+	m := 0
+	for c := 0; c < k; c++ {
+		if coef[c] != 0 {
+			offs[m] = c * d
+			cs[m] = coef[c]
+			m++
+		}
+	}
+	idx := sp.Idx
+	val := sp.Val[:len(idx)]
+	for t, j := range idx {
+		v := val[t]
+		for a := 0; a < m; a++ {
+			grad[offs[a]+int(j)] += cs[a] * v
+		}
+	}
+}

@@ -139,11 +139,22 @@ type SyntheticRef struct {
 	Seed int64  `json:"seed,omitempty"`
 }
 
-// InlineData is a dense dataset shipped in the request body.
+// InlineData is a dataset shipped in the request body, either dense
+// (row-major x) or sparse (per-row indices/values over an ambient dim) —
+// exactly one of the two shapes must be present. Sparse uploads at or below
+// the density threshold train on the sparse kernels; denser ones auto-fall
+// back to dense rows, with bit-identical results either way.
 type InlineData struct {
 	// Task is "regression", "binary", "multiclass", or "unsupervised".
-	Task string      `json:"task"`
-	X    [][]float64 `json:"x"`
+	Task string `json:"task"`
+	// X holds dense rows.
+	X [][]float64 `json:"x,omitempty"`
+	// Dim is the ambient dimension for sparse rows (0 = infer from the
+	// largest index). Indices[i] are strictly increasing 0-based feature
+	// ids; Values[i] the matching entries.
+	Dim     int         `json:"dim,omitempty"`
+	Indices [][]int32   `json:"indices,omitempty"`
+	Values  [][]float64 `json:"values,omitempty"`
 	// Y holds labels (empty for unsupervised).
 	Y []float64 `json:"y,omitempty"`
 	// Classes is K for multiclass (0 = infer from the labels).
@@ -153,9 +164,18 @@ type InlineData struct {
 // ParseTask maps a wire task name to the dataset constant.
 func ParseTask(s string) (dataset.Task, error) { return dataset.ParseTask(s) }
 
+// Sparse reports whether the payload uses the sparse shape.
+func (d *InlineData) Sparse() bool { return len(d.Indices) > 0 }
+
 func (d *InlineData) validate() error {
-	if len(d.X) == 0 {
-		return errors.New("serve: inline dataset has no rows")
+	if len(d.X) == 0 && len(d.Indices) == 0 {
+		return errors.New("serve: inline dataset has no rows (set x, or indices+values)")
+	}
+	if len(d.X) > 0 && len(d.Indices) > 0 {
+		return errors.New("serve: inline dataset must be dense (x) or sparse (indices+values), not both")
+	}
+	if d.Sparse() && len(d.Values) != len(d.Indices) {
+		return fmt.Errorf("serve: inline dataset has %d index rows but %d value rows", len(d.Indices), len(d.Values))
 	}
 	if _, err := ParseTask(d.Task); err != nil {
 		return err
@@ -163,11 +183,22 @@ func (d *InlineData) validate() error {
 	return nil
 }
 
-// Build materializes the inline data as a Dataset (rows are dense).
+// Rows returns the number of rows in either shape.
+func (d *InlineData) Rows() int {
+	if d.Sparse() {
+		return len(d.Indices)
+	}
+	return len(d.X)
+}
+
+// Build materializes the inline data as a Dataset.
 func (d *InlineData) Build() (*dataset.Dataset, error) {
 	task, err := ParseTask(d.Task)
 	if err != nil {
 		return nil, err
+	}
+	if d.Sparse() {
+		return dataset.FromSparse(task, d.Dim, d.Indices, d.Values, d.Y, d.Classes)
 	}
 	return dataset.FromDense(task, d.X, d.Y, d.Classes)
 }

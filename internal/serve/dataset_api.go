@@ -23,8 +23,11 @@ type StoredDataset struct {
 	Dim          int       `json:"dim"`
 	Classes      int       `json:"classes,omitempty"`
 	Sparse       bool      `json:"sparse"`
-	NNZ          int64     `json:"nnz"`
-	Density      float64   `json:"density"`
+	// Encoding is the row record format on disk: "sparse" or "dense".
+	Encoding   string  `json:"encoding"`
+	NNZ        int64   `json:"nnz"`
+	MeanNNZRow float64 `json:"mean_nnz_per_row"`
+	Density    float64 `json:"density"`
 	DiskBytes    int64     `json:"disk_bytes"`
 	SourceFormat string    `json:"source_format"`
 	LabelMin     float64   `json:"label_min"`
@@ -36,6 +39,14 @@ type StoredDataset struct {
 // NewDatasetInfo builds the wire view of a store handle.
 func NewDatasetInfo(h *store.Handle) StoredDataset {
 	man := h.Manifest()
+	encoding := "dense"
+	if man.Sparse {
+		encoding = "sparse"
+	}
+	meanNNZ := 0.0
+	if man.Rows > 0 {
+		meanNNZ = float64(man.NNZ) / float64(man.Rows)
+	}
 	return StoredDataset{
 		ID:           h.ID,
 		Name:         man.Name,
@@ -44,7 +55,9 @@ func NewDatasetInfo(h *store.Handle) StoredDataset {
 		Dim:          man.Dim,
 		Classes:      man.NumClasses,
 		Sparse:       man.Sparse,
+		Encoding:     encoding,
 		NNZ:          man.NNZ,
+		MeanNNZRow:   meanNNZ,
 		Density:      man.Density(),
 		DiskBytes:    h.DiskBytes(),
 		SourceFormat: man.SourceFormat,
@@ -293,4 +306,7 @@ func (s *Server) handleDatasetDelete(w http.ResponseWriter, r *http.Request) {
 func (s *Server) refreshStoreGauges() {
 	s.m.DatasetsStored.Set(int64(s.store.Len()))
 	s.m.DatasetBytes.Set(s.store.DiskBytes())
+	rows, nnz := s.store.SparseStats()
+	s.m.DatasetsSparseRows.Set(rows)
+	s.m.DatasetSparseNNZ.Set(nnz)
 }

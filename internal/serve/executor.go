@@ -280,16 +280,26 @@ func (s *Server) clusterDatasetRef(ref DatasetRef) (cluster.DatasetRef, dataShap
 		}}, dataShape{rows, dim}, nil
 	case ref.Inline != nil:
 		// Validated at admission, so the shape is trustworthy here.
-		dim := 0
-		if len(ref.Inline.X) > 0 {
-			dim = len(ref.Inline.X[0])
+		in := ref.Inline
+		dim := in.Dim
+		if len(in.X) > 0 {
+			dim = len(in.X[0])
+		} else if dim == 0 {
+			for _, idx := range in.Indices {
+				if n := len(idx); n > 0 && int(idx[n-1])+1 > dim {
+					dim = int(idx[n-1]) + 1
+				}
+			}
 		}
 		return cluster.DatasetRef{Inline: &cluster.Inline{
-			Task:    ref.Inline.Task,
-			X:       ref.Inline.X,
-			Y:       ref.Inline.Y,
-			Classes: ref.Inline.Classes,
-		}}, dataShape{len(ref.Inline.X), dim}, nil
+			Task:    in.Task,
+			X:       in.X,
+			Dim:     in.Dim,
+			Indices: in.Indices,
+			Values:  in.Values,
+			Y:       in.Y,
+			Classes: in.Classes,
+		}}, dataShape{in.Rows(), dim}, nil
 	default:
 		return cluster.DatasetRef{}, dataShape{}, errors.New("serve: missing dataset")
 	}

@@ -45,6 +45,8 @@ type Metrics struct {
 
 	DatasetsStored     *expvar.Int    // gauge: datasets in the store
 	DatasetBytes       *expvar.Int    // gauge: store bytes on disk
+	DatasetsSparseRows *expvar.Int    // gauge: rows stored in the sparse encoding
+	DatasetSparseNNZ   *expvar.Int    // gauge: stored entries across sparse datasets
 	IngestRows         *expvar.Int    // rows ingested across uploads
 	IngestLatency      *obs.Histogram // per-upload ingest latency (ms)
 	SampleRows         *expvar.Int    // rows materialized from the store
@@ -92,6 +94,8 @@ func sharedMetrics() *Metrics {
 
 			DatasetsStored:     newInt("datasets_stored"),
 			DatasetBytes:       newInt("dataset_bytes"),
+			DatasetsSparseRows: newInt("datasets_sparse_rows"),
+			DatasetSparseNNZ:   newInt("datasets_sparse_nnz"),
 			IngestRows:         newInt("ingest_rows"),
 			IngestLatency:      newHist("ingest_ms"),
 			SampleRows:         newInt("sample_rows_materialized"),

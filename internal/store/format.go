@@ -159,6 +159,70 @@ func encodeRow(buf []byte, sparse bool, row dataset.RowData) []byte {
 	return buf
 }
 
+// sparseRecNNZ returns the stored-entry count of a sparse record from its
+// byte length alone: label (8) + count (4) + nnz × (4 + 8). Knowing nnz
+// before touching the payload is what lets Materialize size one contiguous
+// CSR block from the index spans and decode every record straight into it.
+func sparseRecNNZ(recLen int64) (int, error) {
+	payload := recLen - 12
+	if payload < 0 || payload%12 != 0 {
+		return 0, fmt.Errorf("store: sparse record length %d is not 12+12·nnz", recLen)
+	}
+	return int(payload / 12), nil
+}
+
+// decodeSparseInto parses one sparse record into caller-provided index and
+// value slices (len(idx) == len(val) == the record's nnz) and returns the
+// label. It is decodeRow's allocation-free core: CSR materialization points
+// idx/val at sub-slices of one shared block.
+func decodeSparseInto(rec []byte, dim int, idx []int32, val []float64) (float64, error) {
+	if len(rec) < 12 {
+		return 0, fmt.Errorf("store: sparse record truncated (%d bytes)", len(rec))
+	}
+	label := math.Float64frombits(binary.LittleEndian.Uint64(rec))
+	rec = rec[8:]
+	nnz := int(binary.LittleEndian.Uint32(rec))
+	rec = rec[4:]
+	if nnz != len(idx) || len(rec) != 12*nnz {
+		return 0, fmt.Errorf("store: sparse record has %d payload bytes, want %d for nnz=%d", len(rec), 12*len(idx), len(idx))
+	}
+	prev := int32(-1)
+	for i := range idx {
+		j := int32(binary.LittleEndian.Uint32(rec[4*i:]))
+		if j <= prev || int(j) >= dim {
+			return 0, fmt.Errorf("store: corrupt sparse record: index %d at position %d (prev %d, dim %d)", j, i, prev, dim)
+		}
+		idx[i] = j
+		prev = j
+	}
+	rec = rec[4*nnz:]
+	for i := range val {
+		val[i] = math.Float64frombits(binary.LittleEndian.Uint64(rec[8*i:]))
+	}
+	return label, nil
+}
+
+// decodeSparseDense parses a sparse record into a dense row — the
+// materialize-time fallback when the manifest's measured density says the
+// dense kernels will win.
+func decodeSparseDense(rec []byte, dim int) (dataset.DenseRow, float64, error) {
+	nnz, err := sparseRecNNZ(int64(len(rec)))
+	if err != nil {
+		return nil, 0, err
+	}
+	idx := make([]int32, nnz)
+	val := make([]float64, nnz)
+	label, err := decodeSparseInto(rec, dim, idx, val)
+	if err != nil {
+		return nil, 0, err
+	}
+	out := make(dataset.DenseRow, dim)
+	for i, j := range idx {
+		out[j] = val[i]
+	}
+	return out, label, nil
+}
+
 // decodeRow parses one record. dim is the ambient dimension from the
 // manifest.
 func decodeRow(rec []byte, sparse bool, dim int) (dataset.Row, float64, error) {

@@ -136,14 +136,16 @@ func (h *Handle) Row(i int) (dataset.Row, float64, error) {
 // Materialize implements dataset.Source: it builds an in-memory dataset of
 // exactly the rows at idx, in idx order, reading them in offset order so a
 // batch turns into a forward sweep over rows.bin rather than random
-// thrashing. Safe for concurrent use.
+// thrashing. Sparse datasets at or below the density threshold land in one
+// contiguous CSR block (sized up front from the index spans, no per-row
+// allocations); denser ones fall back to dense rows so training takes the
+// dense kernels. Safe for concurrent use.
 func (h *Handle) Materialize(idx []int) (*dataset.Dataset, error) {
 	if max := h.maxMaterialize.Load(); max > 0 && int64(len(idx)) > max {
 		return nil, fmt.Errorf("store: %s: materializing %d rows exceeds the %d-row budget", h.ID, len(idx), max)
 	}
 	start := time.Now()
 	ds := &dataset.Dataset{
-		X:          make([]dataset.Row, len(idx)),
 		Dim:        h.man.Dim,
 		Task:       h.task,
 		NumClasses: h.man.NumClasses,
@@ -158,14 +160,22 @@ func (h *Handle) Materialize(idx []int) (*dataset.Dataset, error) {
 		order[i] = i
 	}
 	sort.Slice(order, func(a, b int) bool { return idx[order[a]] < idx[order[b]] })
-	for _, pos := range order {
-		row, label, err := h.Row(idx[pos])
-		if err != nil {
+
+	if h.man.Sparse && h.man.Density() <= dataset.DefaultDenseThreshold {
+		if err := h.materializeCSR(idx, order, ds); err != nil {
 			return nil, err
 		}
-		ds.X[pos] = row
-		if ds.Y != nil {
-			ds.Y[pos] = label
+	} else {
+		ds.X = make([]dataset.Row, len(idx))
+		for _, pos := range order {
+			row, label, err := h.rowMaybeDense(idx[pos])
+			if err != nil {
+				return nil, err
+			}
+			ds.X[pos] = row
+			if ds.Y != nil {
+				ds.Y[pos] = label
+			}
 		}
 	}
 	h.rowsRead.Add(int64(len(idx)))
@@ -175,6 +185,83 @@ func (h *Handle) Materialize(idx []int) (*dataset.Dataset, error) {
 		h.obs.Materialized(len(idx), d)
 	}
 	return ds, nil
+}
+
+// rowMaybeDense reads row i, densifying sparse records — the materialize
+// path for sparse datasets above the density threshold.
+func (h *Handle) rowMaybeDense(i int) (dataset.Row, float64, error) {
+	if !h.man.Sparse {
+		return h.Row(i)
+	}
+	off, end, err := h.span(i)
+	if err != nil {
+		return nil, 0, err
+	}
+	if end < off || end > h.man.RowBytes {
+		return nil, 0, fmt.Errorf("store: %s: corrupt index entry %d (span %d..%d)", h.ID, i, off, end)
+	}
+	rec := make([]byte, end-off)
+	if _, err := h.rows.ReadAt(rec, off); err != nil {
+		return nil, 0, fmt.Errorf("store: %s: read row %d: %w", h.ID, i, err)
+	}
+	row, label, err := decodeSparseDense(rec, h.man.Dim)
+	if err != nil {
+		return nil, 0, fmt.Errorf("store: %s: row %d: %w", h.ID, i, err)
+	}
+	return row, label, nil
+}
+
+// materializeCSR fills ds with the rows at idx packed into one contiguous
+// CSR block. Each record's nnz comes from its index span length alone, so
+// the whole block is sized before the first row read and every record
+// decodes straight into its slot — no per-row slice allocations, and the
+// sample's stored entries end up cache-adjacent for the full-sample passes
+// (gradients, Fisher statistics) that dominate training.
+func (h *Handle) materializeCSR(idx, order []int, ds *dataset.Dataset) error {
+	spans := make([][2]int64, len(idx))
+	c := &dataset.CSR{Dim: h.man.Dim, Indptr: make([]int64, len(idx)+1)}
+	for pos, i := range idx {
+		off, end, err := h.span(i)
+		if err != nil {
+			return err
+		}
+		if end < off || end > h.man.RowBytes {
+			return fmt.Errorf("store: %s: corrupt index entry %d (span %d..%d)", h.ID, i, off, end)
+		}
+		nnz, err := sparseRecNNZ(end - off)
+		if err != nil {
+			return fmt.Errorf("store: %s: row %d: %w", h.ID, i, err)
+		}
+		spans[pos] = [2]int64{off, end}
+		c.Indptr[pos+1] = int64(nnz) // lengths now, offsets after the prefix sum
+	}
+	for pos := range idx {
+		c.Indptr[pos+1] += c.Indptr[pos]
+	}
+	total := c.Indptr[len(idx)]
+	c.Idx = make([]int32, total)
+	c.Val = make([]float64, total)
+	rec := make([]byte, 0, 4096)
+	for _, pos := range order {
+		off, end := spans[pos][0], spans[pos][1]
+		if int64(cap(rec)) < end-off {
+			rec = make([]byte, end-off)
+		}
+		rec = rec[:end-off]
+		if _, err := h.rows.ReadAt(rec, off); err != nil {
+			return fmt.Errorf("store: %s: read row %d: %w", h.ID, idx[pos], err)
+		}
+		lo, hi := c.Indptr[pos], c.Indptr[pos+1]
+		label, err := decodeSparseInto(rec, h.man.Dim, c.Idx[lo:hi], c.Val[lo:hi])
+		if err != nil {
+			return fmt.Errorf("store: %s: row %d: %w", h.ID, idx[pos], err)
+		}
+		if ds.Y != nil {
+			ds.Y[pos] = label
+		}
+	}
+	ds.X = c.Rows()
+	return nil
 }
 
 // Scan streams every row in storage order through fn with one sequential

@@ -178,6 +178,21 @@ func (s *Store) Len() int {
 	return len(s.sets)
 }
 
+// SparseStats returns the aggregate over sparse-encoded datasets: how many
+// stored rows use the sparse record format and their total stored entries.
+// The serving layer exports both as gauges.
+func (s *Store) SparseStats() (rows, nnz int64) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for _, h := range s.sets {
+		if h.man.Sparse {
+			rows += int64(h.man.Rows)
+			nnz += h.man.NNZ
+		}
+	}
+	return rows, nnz
+}
+
 // DiskBytes returns the total on-disk footprint of all stored datasets.
 func (s *Store) DiskBytes() int64 {
 	s.mu.RLock()

@@ -121,8 +121,114 @@ func TestIngestLibSVMRoundTrip(t *testing.T) {
 		t.Fatalf("materialize: %v", err)
 	}
 	sameRows(t, got, want, "sparse rows")
-	if got.X[0].NNZ() != 2 {
-		t.Fatalf("row 0 nnz %d, want 2", got.X[0].NNZ())
+	// At 5/12 ≈ 42% density this dataset is above the dense threshold, so
+	// materialization falls back to dense rows.
+	if _, ok := got.X[0].(dataset.DenseRow); !ok {
+		t.Fatalf("above-threshold materialize should densify, got %T", got.X[0])
+	}
+}
+
+// TestMaterializeSparseCSR: a below-threshold sparse dataset materializes
+// into one contiguous CSR block — sparse row views, correct values, correct
+// per-row nnz — including out-of-order and repeated-row requests.
+func TestMaterializeSparseCSR(t *testing.T) {
+	// dim 20, 2 entries per row → 10% density, well under the threshold.
+	in := "1 3:0.5 20:2\n0 7:1 9:-4\n1 1:-3 14:0.25\n0 2:8 19:16\n"
+	st, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	h, err := st.Ingest(strings.NewReader(in), IngestOptions{
+		Format: "libsvm", Task: dataset.BinaryClassification,
+	})
+	if err != nil {
+		t.Fatalf("ingest: %v", err)
+	}
+	want, err := dataset.ReadLibSVM(strings.NewReader(in), 0, dataset.BinaryClassification)
+	if err != nil {
+		t.Fatalf("readlibsvm: %v", err)
+	}
+	got, err := h.Materialize([]int{2, 0, 3, 1, 2})
+	if err != nil {
+		t.Fatalf("materialize: %v", err)
+	}
+	sameRows(t, got, want.Subset([]int{2, 0, 3, 1, 2}), "csr rows")
+	for i, r := range got.X {
+		sp, ok := r.(*dataset.SparseRow)
+		if !ok {
+			t.Fatalf("row %d: want sparse, got %T", i, r)
+		}
+		if len(sp.Idx) != 2 {
+			t.Fatalf("row %d: nnz %d, want 2", i, len(sp.Idx))
+		}
+	}
+	// CSR row views must be capacity-capped so an append through one row
+	// cannot clobber the next row's entries in the shared block.
+	a := got.X[0].(*dataset.SparseRow)
+	if cap(a.Val) != len(a.Val) || cap(a.Idx) != len(a.Idx) {
+		t.Fatal("CSR row views are not capacity-capped")
+	}
+}
+
+// TestSparseCrashSafety: a sparse dataset torn on disk must fail loudly,
+// never silently mis-decode. Truncated rows.bin is refused at open; a
+// tampered index entry whose span is not a whole sparse record is refused
+// at materialize.
+func TestSparseCrashSafety(t *testing.T) {
+	in := "1 3:0.5 20:2\n0 7:1 9:-4\n1 1:-3 14:0.25\n"
+	dir := t.TempDir()
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	h, err := st.Ingest(strings.NewReader(in), IngestOptions{Format: "libsvm", Task: dataset.BinaryClassification})
+	if err != nil {
+		t.Fatalf("ingest: %v", err)
+	}
+	id := h.ID
+
+	// Tamper with one index offset so row 1's span has a non-record length.
+	idxPath := filepath.Join(dir, id, "index.bin")
+	raw, err := os.ReadFile(idxPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tampered := append([]byte(nil), raw...)
+	tampered[8]++ // shift row 1's start offset by one byte
+	if err := os.WriteFile(idxPath, tampered, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	st2, err := Open(dir)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	h2, err := st2.Get(id)
+	if err != nil {
+		t.Fatalf("get: %v", err)
+	}
+	if _, err := h2.Materialize([]int{0, 1, 2}); err == nil {
+		t.Fatal("materialize decoded a torn sparse record")
+	}
+	if err := os.WriteFile(idxPath, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Truncate rows.bin (a crash mid-write): the size check refuses the
+	// handle, so the dataset is skipped rather than served corrupt.
+	rowsPath := filepath.Join(dir, id, "rows.bin")
+	info, err := os.Stat(rowsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(rowsPath, info.Size()-5); err != nil {
+		t.Fatal(err)
+	}
+	st3, err := Open(dir)
+	if err != nil {
+		t.Fatalf("reopen after truncate: %v", err)
+	}
+	if _, err := st3.Get(id); err == nil {
+		t.Fatal("truncated sparse dataset served")
 	}
 }
 
