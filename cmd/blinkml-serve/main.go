@@ -52,6 +52,11 @@ func main() {
 		debugAddr   = flag.String("debug-addr", "", "serve net/http/pprof and /metrics on this extra address (off by default)")
 		slowMs      = flag.Float64("slow-request-ms", 0, "log a warning for requests slower than this many ms (0 = off)")
 		sloMs       = flag.Float64("slo-latency-ms", obs.DefaultSLOLatencyMs, "latency threshold for the SLO attainment gauges on /metrics")
+		flightDir   = flag.String("flight-dir", "", "enable the flight recorder: dump diagnostic bundles here on SLO breaches and slow requests")
+		flightRing  = flag.Int("flight-ring", 0, "flight-recorder ring size (0 = default 64)")
+		flightEvery = flag.Duration("flight-min-interval", 0, "minimum interval between flight-record dumps (0 = default 30s)")
+		flightKeep  = flag.Int("flight-max-bundles", 0, "on-disk flight-record bundles kept after rotation (0 = default 8)")
+		flightCPU   = flag.Duration("flight-cpu-profile", 0, "CPU-profile window captured into each bundle (0 = default 5s, negative = off)")
 
 		clusterMode = flag.Bool("cluster", false, "run as a cluster coordinator: dispatch jobs to blinkml-worker processes")
 		hbTimeout   = flag.Duration("cluster-heartbeat-timeout", 0, "declare a worker dead after this silence (default 6s)")
@@ -78,6 +83,12 @@ func main() {
 		AuditFraction:   *auditFrac,
 		SlowRequestMs:   *slowMs,
 		SLOLatencyMs:    *sloMs,
+
+		FlightDir:         *flightDir,
+		FlightRingSize:    *flightRing,
+		FlightMinInterval: *flightEvery,
+		FlightMaxBundles:  *flightKeep,
+		FlightCPUProfile:  *flightCPU,
 	}
 	if err := run(*addr, *debugAddr, cfg, logger); err != nil {
 		fmt.Fprintln(os.Stderr, "blinkml-serve:", err)

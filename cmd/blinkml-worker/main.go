@@ -38,6 +38,8 @@ func main() {
 		dataDir     = flag.String("data-dir", "", "dataset cache directory (default: a temporary directory)")
 		parallelism = flag.Int("parallelism", 0, "compute-pool degree for training kernels (0 = GOMAXPROCS)")
 		debugAddr   = flag.String("debug-addr", "", "serve net/http/pprof and /metrics on this address (off by default)")
+		flightDir   = flag.String("flight-dir", "", "enable the flight recorder: dump diagnostic bundles here on deterministic task failures")
+		flightCPU   = flag.Duration("flight-cpu-profile", 0, "CPU-profile window captured into each bundle (0 = default 5s, negative = off)")
 	)
 	flag.Parse()
 	if *coordinator == "" {
@@ -63,12 +65,26 @@ func main() {
 		}()
 		defer debugServer.Close()
 	}
+	var flight *obs.FlightRecorder
+	if *flightDir != "" {
+		fr, err := obs.NewFlightRecorder(obs.FlightConfig{
+			Dir:        *flightDir,
+			CPUProfile: *flightCPU,
+			Logger:     logger,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "blinkml-worker:", err)
+			os.Exit(1)
+		}
+		flight = fr
+	}
 	w, err := cluster.NewWorker(cluster.WorkerConfig{
 		Coordinator: *coordinator,
 		Name:        *name,
 		Capacity:    *capacity,
 		DataDir:     *dataDir,
 		Log:         logger,
+		Flight:      flight,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "blinkml-worker:", err)

@@ -22,6 +22,7 @@ import (
 	"blinkml"
 	"blinkml/internal/compute"
 	"blinkml/internal/modelio"
+	"blinkml/internal/obs"
 	"blinkml/internal/serve"
 	"blinkml/internal/store"
 )
@@ -86,7 +87,16 @@ func run(modelName, dataName, storeDir, datasetID string, rows, dim int, accurac
 		fmt.Printf("contract: accuracy >= %.4g%% with probability >= %.4g%%\n", 100*accuracy, 100*(1-delta))
 	}
 
-	model, err := blinkml.TrainSource(context.Background(), spec, src, cfg)
+	// The run ledger meters the whole invocation (training and, with
+	// -compare, the full-data train) so -json reports carry the same
+	// resource attribution as server jobs. Bound to this goroutine so the
+	// context-free kernel and store layers can charge it.
+	ledger := obs.NewLedger()
+	ctx := obs.WithLedger(context.Background(), ledger)
+	unbind := obs.BindLedger(ledger)
+	defer unbind()
+
+	model, err := blinkml.TrainSource(ctx, spec, src, cfg)
 	if err != nil {
 		return err
 	}
@@ -137,8 +147,9 @@ func run(modelName, dataName, storeDir, datasetID string, rows, dim int, accurac
 				EstimatedEpsilon: model.EstimatedEpsilon,
 				UsedInitialModel: model.UsedInitialModel,
 			},
-			Phases: serve.NewPhaseBreakdown(d),
-			Full:   full,
+			Phases:    serve.NewPhaseBreakdown(d),
+			Full:      full,
+			Resources: ledger.Snapshot(),
 		}
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")

@@ -14,6 +14,7 @@ import (
 
 	"blinkml/internal/core"
 	"blinkml/internal/modelio"
+	"blinkml/internal/obs"
 	"blinkml/internal/optimize"
 )
 
@@ -97,13 +98,17 @@ type Record struct {
 	K       int     `json:"k"`
 	// Decision: the chosen sample size n out of pool N, the estimated
 	// bound ε̂ the model shipped with, and the first-stage ε₀.
-	SampleSize       int     `json:"sample_size"`
-	PoolSize         int     `json:"pool_size"`
-	EpsilonHat       float64 `json:"epsilon_hat"`
-	InitialEpsilon   float64 `json:"initial_epsilon,omitempty"`
-	UsedInitialModel bool    `json:"used_initial_model,omitempty"`
-	Options          Options `json:"options"`
+	SampleSize       int       `json:"sample_size"`
+	PoolSize         int       `json:"pool_size"`
+	EpsilonHat       float64   `json:"epsilon_hat"`
+	InitialEpsilon   float64   `json:"initial_epsilon,omitempty"`
+	UsedInitialModel bool      `json:"used_initial_model,omitempty"`
+	Options          Options   `json:"options"`
 	CreatedAt        time.Time `json:"created_at"`
+	// Resources is the job's resource-attribution ledger at registration
+	// time (CPU self-time, kernel flops, rows/bytes materialized) — what the
+	// guarantee cost to produce.
+	Resources *obs.LedgerSnapshot `json:"resources,omitempty"`
 }
 
 // Replay is the realized outcome of auditing one record: the full-data

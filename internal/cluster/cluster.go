@@ -301,6 +301,11 @@ type TaskResultPayload struct {
 	// the task, stamped with the worker's name; the coordinator merges them
 	// into the originating job's trace.
 	Spans []obs.Span `json:"spans,omitempty"`
+	// Ledger is the worker-side resource ledger of the task — CPU self-time,
+	// kernel calls/flops, rows and bytes materialized, bundle-cache traffic.
+	// The coordinator merges it into the originating job's ledger and rolls
+	// its totals into the worker's fleet-scoreboard counters.
+	Ledger *obs.LedgerSnapshot `json:"ledger,omitempty"`
 	// Audit-task results: the realized model difference, whether it stayed
 	// within the recorded bound, the full training's iteration count, and
 	// the hex FNV-1a fingerprint of the full model's parameter bits (the
@@ -419,4 +424,10 @@ type WorkerStatus struct {
 	TasksFailed          int64   `json:"tasks_failed"`
 	ErrorRate            float64 `json:"error_rate"`
 	P95LeaseToCompleteMs float64 `json:"p95_lease_to_complete_ms"`
+
+	// CPUMs and AllocBytes roll up the resource ledgers of the tasks this
+	// worker completed: pool CPU milliseconds spent and data-plane bytes
+	// materialized on the worker's side.
+	CPUMs      float64 `json:"cpu_ms"`
+	AllocBytes int64   `json:"alloc_bytes"`
 }

@@ -111,6 +111,11 @@ type workerState struct {
 	completed int64
 	failed    int64
 	ltc       *obs.Histogram // lease-to-complete latency (ms)
+
+	// cpuMs / allocBytes accumulate the shipped ledgers of completed tasks
+	// (the scoreboard's per-worker resource rollup).
+	cpuMs      float64
+	allocBytes int64
 }
 
 // Coordinator owns the task queue and worker registry. All methods are safe
@@ -435,6 +440,10 @@ func (c *Coordinator) Complete(req CompleteRequest) error {
 			ms := float64(time.Since(t.leasedAt)) / float64(time.Millisecond)
 			w.ltc.Observe(ms)
 			c.m.TaskLeaseToComplete.Observe(ms)
+			if l := req.Result.Ledger; l != nil {
+				w.cpuMs += l.CPUMs
+				w.allocBytes += l.BytesMaterialized
+			}
 		}
 		c.finishLocked(t, taskSucceeded, req.Result, nil)
 	}
@@ -584,6 +593,8 @@ func (c *Coordinator) Status() Status {
 			LastSeen:       w.deadline.Add(-c.cfg.HeartbeatTimeout),
 			TasksCompleted: w.completed,
 			TasksFailed:    w.failed,
+			CPUMs:          w.cpuMs,
+			AllocBytes:     w.allocBytes,
 		}
 		if total := w.completed + w.failed; total > 0 {
 			ws.ErrorRate = float64(w.failed) / float64(total)

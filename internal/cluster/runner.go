@@ -58,8 +58,10 @@ func (r *TrialRunner) RunTrial(ctx context.Context, t tune.Trial) (tune.TrialRes
 	if err != nil {
 		return tune.TrialResult{}, err
 	}
-	// Worker-side spans rejoin the submitting job's trace.
+	// Worker-side spans and ledger rejoin the submitting job's trace and
+	// cost record.
 	obs.RecorderFrom(ctx).Add(payload.Spans)
+	obs.LedgerFrom(ctx).Merge(payload.Ledger)
 	res := tune.TrialResult{
 		Theta:      payload.Theta,
 		Score:      DecodeScore(payload.Score),

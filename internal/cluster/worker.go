@@ -44,6 +44,10 @@ type WorkerConfig struct {
 	// Log receives structured progress events, scoped per task by trace ID
 	// (default slog.Default; tests pass obs.Discard()).
 	Log *slog.Logger
+	// Flight, when non-nil, receives every completed task (spans + ledger)
+	// in its ring and is triggered on deterministic task failures, so a
+	// worker that starts failing tasks leaves a diagnostic bundle behind.
+	Flight *obs.FlightRecorder
 }
 
 // Worker executes coordinator tasks: it registers, heartbeats, leases,
@@ -328,13 +332,21 @@ func (w *Worker) execute(ctx context.Context, lease *LeaseResponse) {
 	if lease.Spec.Trace != "" {
 		tlog = tlog.With("trace", lease.Spec.Trace)
 	}
+	// The per-task ledger meters the worker-side cost (CPU, kernels, rows,
+	// bundle-cache traffic); it ships back in the completion payload so the
+	// coordinator's job record carries the whole cost. Bound to this
+	// goroutine so the context-free layers (pool, kernels, store) can charge.
+	ledger := obs.NewLedger()
 	taskCtx = obs.WithTrace(taskCtx, lease.Spec.Trace)
 	taskCtx = obs.WithRecorder(taskCtx, rec)
 	taskCtx = obs.WithLogger(taskCtx, tlog)
+	taskCtx = obs.WithLedger(taskCtx, ledger)
 	tlog.Info("task leased", "kind", lease.Spec.Kind)
 
 	start := time.Now()
+	unbind := obs.BindLedger(ledger)
 	result, err := w.runTask(taskCtx, lease.Spec)
+	unbind()
 	comp := CompleteRequest{WorkerID: workerID, TaskID: lease.TaskID}
 	switch {
 	case err == nil:
@@ -343,6 +355,7 @@ func (w *Worker) execute(ctx context.Context, lease *LeaseResponse) {
 			spans[i].Worker = w.cfg.Name
 		}
 		result.Spans = spans
+		result.Ledger = ledger.Snapshot()
 		comp.Result = result
 		tlog.Info("task done", "dur_ms", float64(time.Since(start))/float64(time.Millisecond))
 	default:
@@ -369,6 +382,25 @@ func (w *Worker) execute(ctx context.Context, lease *LeaseResponse) {
 		}
 		tlog.Warn("task not completed", "err", err,
 			"cancelled", comp.Cancelled, "requeue", comp.Requeue)
+	}
+	if fr := w.cfg.Flight; fr != nil {
+		entry := obs.FlightEntry{
+			Trace:      lease.Spec.Trace,
+			JobID:      lease.TaskID,
+			Kind:       "task:" + string(lease.Spec.Kind),
+			Err:        comp.Error,
+			DurMs:      float64(time.Since(start)) / float64(time.Millisecond),
+			FinishedAt: time.Now(),
+			Spans:      rec.Spans(),
+			Ledger:     ledger.Snapshot(),
+		}
+		fr.Record(entry)
+		// A deterministic failure (not a cancellation or an infrastructure
+		// requeue) is the worker-side analogue of an SLO breach: capture the
+		// scene before the evidence scrolls out of the ring.
+		if err != nil && !comp.Cancelled && !comp.Requeue {
+			fr.Trigger("task-failure", lease.TaskID+": "+comp.Error)
+		}
 	}
 	w.complete(comp)
 }
@@ -579,6 +611,7 @@ func (w *Worker) fetchDataset(ctx context.Context, ref DatasetRef) (*store.Handl
 	if h, err := w.cache.Get(ref.ID); err == nil {
 		man := h.Manifest()
 		if man.RowCRC32 == ref.RowCRC32 && man.IndexCRC32 == ref.IndexCRC32 {
+			obs.LedgerFrom(ctx).ChargeBundle(true)
 			return h, nil
 		}
 		// Same id, different content: the cache is from another coordinator
@@ -612,6 +645,7 @@ func (w *Worker) fetchDataset(ctx context.Context, ref DatasetRef) (*store.Handl
 		// on the coordinator are fine.
 		return nil, fmt.Errorf("%w: %v", errInfra, err)
 	}
+	obs.LedgerFrom(ctx).ChargeBundle(false)
 	w.log.Info("cached dataset", "dataset", ref.ID, "rows", h.Manifest().Rows)
 	return h, nil
 }

@@ -103,9 +103,15 @@ func Run(tasks int, fn func(task int)) {
 	}
 	s := cur.Load()
 	if tasks == 1 || s.degree == 1 {
+		// Serial fast path still opens a ledger pool frame: the outermost
+		// frame charges the caller's busy time to the owning job; nested
+		// frames (a serial loop inside a parallel kernel) charge nothing.
+		// Free (one atomic load) when no ledger is bound.
+		frame := obs.EnterPool()
 		for i := 0; i < tasks; i++ {
 			fn(i)
 		}
+		frame.Exit(0)
 		return
 	}
 	metrics.parallelCalls.Add(1)
@@ -115,19 +121,25 @@ func Run(tasks int, fn func(task int)) {
 		metrics.runLatency.Observe(float64(time.Since(start)) / float64(time.Millisecond))
 	}()
 	var next atomic.Int64
-	work := func() {
+	work := func() int {
+		n := 0
 		for {
 			i := int(next.Add(1)) - 1
 			if i >= tasks {
-				return
+				return n
 			}
 			fn(i)
+			n++
 		}
 	}
 	want := tasks - 1
 	if want > s.degree-1 {
 		want = s.degree - 1
 	}
+	// Helper goroutines inherit the caller's resource ledger so their work
+	// is attributed to the same job; each helper charges its own busy time
+	// and the tasks it executed count as steals.
+	ledger := obs.BoundLedger()
 	var wg sync.WaitGroup
 acquire:
 	for h := 0; h < want; h++ {
@@ -142,13 +154,21 @@ acquire:
 					s.tokens <- struct{}{}
 					wg.Done()
 				}()
-				work()
+				release := obs.BindLedger(ledger)
+				frame := obs.EnterPool()
+				n := work()
+				frame.Exit(int64(n))
+				release()
 			}()
 		default:
 			break acquire // budget exhausted; the caller picks up the slack
 		}
 	}
+	// The caller charges only its own work interval (not the wg.Wait), and
+	// only at the outermost pool frame — nested Run calls don't double-bill.
+	frame := obs.EnterPool()
 	work()
+	frame.Exit(0)
 	wg.Wait()
 }
 

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"runtime"
 	"sort"
 	"time"
 
@@ -52,6 +53,11 @@ type BenchResult struct {
 	// UsedInitialModel reports the §2.3 early exit (the n₀ model already
 	// met the contract).
 	UsedInitialModel bool `json:"used_initial_model"`
+	// AllocsPerOp and BytesPerOp are per-iteration heap-allocation deltas
+	// (runtime.MemStats Mallocs / TotalAlloc across the timed loop, divided
+	// by Iters) — the memory-pressure axis of the trajectory.
+	AllocsPerOp int64 `json:"allocs_per_op"`
+	BytesPerOp  int64 `json:"bytes_per_op"`
 }
 
 // KernelResult is one micro-kernel timing row: the hot linalg and
@@ -67,6 +73,9 @@ type KernelResult struct {
 	P99Ms float64 `json:"p99_ms"`
 	// Parallelism is the compute-pool degree the kernel ran at.
 	Parallelism int `json:"parallelism"`
+	// AllocsPerOp and BytesPerOp are per-iteration heap-allocation deltas.
+	AllocsPerOp int64 `json:"allocs_per_op"`
+	BytesPerOp  int64 `json:"bytes_per_op"`
 }
 
 // BenchSummary is the envelope written by blinkml-bench -json.
@@ -152,7 +161,7 @@ func benchKernels(seed int64) ([]KernelResult, error) {
 	}
 	out := make([]KernelResult, 0, len(kernels))
 	for _, k := range kernels {
-		ns, lat, err := timeKernel(k.fn)
+		ns, lat, allocs, bytes, err := timeKernel(k.fn)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: kernel bench %s: %w", k.name, err)
 		}
@@ -162,6 +171,8 @@ func benchKernels(seed int64) ([]KernelResult, error) {
 			P50Ms:       lat.Quantile(0.50),
 			P99Ms:       lat.Quantile(0.99),
 			Parallelism: compute.Parallelism(),
+			AllocsPerOp: allocs,
+			BytesPerOp:  bytes,
 		})
 	}
 	return out, nil
@@ -219,26 +230,37 @@ func (s *latencySampler) Quantile(q float64) float64 {
 	return sorted[rank]
 }
 
-// timeKernel reports the mean wall time of fn plus per-iteration latency
-// quantiles: one warm-up call, then as many timed iterations as fit in
-// ~300 ms (at least 3).
-func timeKernel(fn func() error) (int64, *latencySampler, error) {
+// timeKernel reports the mean wall time of fn, per-iteration latency
+// quantiles, and per-iteration allocation deltas: one warm-up call, then as
+// many timed iterations as fit in ~300 ms (at least 3). Allocation counts
+// come from runtime.MemStats deltas around the whole timed loop — they are
+// process-wide (so run benchmarks alone), but Mallocs/TotalAlloc are
+// monotonic counters unaffected by GC, which makes the per-op averages
+// stable across runs.
+func timeKernel(fn func() error) (int64, *latencySampler, int64, int64, error) {
 	if err := fn(); err != nil {
-		return 0, nil, err
+		return 0, nil, 0, 0, err
 	}
 	const budget = 300 * time.Millisecond
 	lat := newLatencySampler()
 	var iters int
+	var msBefore runtime.MemStats
+	runtime.ReadMemStats(&msBefore)
 	start := time.Now()
 	for elapsed := time.Duration(0); iters < 3 || elapsed < budget; elapsed = time.Since(start) {
 		it := time.Now()
 		if err := fn(); err != nil {
-			return 0, nil, err
+			return 0, nil, 0, 0, err
 		}
 		lat.Observe(float64(time.Since(it)) / float64(time.Millisecond))
 		iters++
 	}
-	return time.Since(start).Nanoseconds() / int64(iters), lat, nil
+	nsPerOp := time.Since(start).Nanoseconds() / int64(iters)
+	var msAfter runtime.MemStats
+	runtime.ReadMemStats(&msAfter)
+	allocs := int64(msAfter.Mallocs-msBefore.Mallocs) / int64(iters)
+	bytes := int64(msAfter.TotalAlloc-msBefore.TotalAlloc) / int64(iters)
+	return nsPerOp, lat, allocs, bytes, nil
 }
 
 // benchIters is how many timed training runs one workload row aggregates —
@@ -261,6 +283,8 @@ func benchWorkload(w Workload, scale Scale, seed int64) (BenchResult, error) {
 	// statistics — histogram buckets are too coarse at this count).
 	lat := newLatencySampler()
 	var res *core.Result
+	var msBefore runtime.MemStats
+	runtime.ReadMemStats(&msBefore)
 	start := time.Now()
 	for i := 0; i < benchIters; i++ {
 		it := time.Now()
@@ -272,6 +296,8 @@ func benchWorkload(w Workload, scale Scale, seed int64) (BenchResult, error) {
 		res = r
 	}
 	elapsed := time.Since(start)
+	var msAfter runtime.MemStats
+	runtime.ReadMemStats(&msAfter)
 	return BenchResult{
 		Name:             w.ID,
 		Scale:            scale.String(),
@@ -286,6 +312,8 @@ func benchWorkload(w Workload, scale Scale, seed int64) (BenchResult, error) {
 		Epsilon:          res.EstimatedEpsilon,
 		RequestedEpsilon: opt.Epsilon,
 		UsedInitialModel: res.UsedInitialModel,
+		AllocsPerOp:      int64(msAfter.Mallocs-msBefore.Mallocs) / benchIters,
+		BytesPerOp:       int64(msAfter.TotalAlloc-msBefore.TotalAlloc) / benchIters,
 	}, nil
 }
 

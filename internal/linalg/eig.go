@@ -4,8 +4,10 @@ import (
 	"errors"
 	"math"
 	"sort"
+	"time"
 
 	"blinkml/internal/compute"
+	"blinkml/internal/obs"
 )
 
 // SymEig holds the eigendecomposition of a symmetric matrix:
@@ -34,6 +36,9 @@ func NewSymEig(a *Dense) (*SymEig, error) {
 	if n == 0 {
 		return &SymEig{Values: nil, Vectors: NewDense(0, 0)}, nil
 	}
+	// tred2 + tql2 cost ~4n^3 flops (the classical operation-count estimate
+	// for the pair); shape-derived, so deterministic in the ledger.
+	defer obs.ChargeKernel(time.Now(), 4*int64(n)*int64(n)*int64(n))
 	v := a.Clone()
 	v.Symmetrize()
 	d := make([]float64, n)

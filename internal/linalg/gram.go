@@ -2,8 +2,10 @@ package linalg
 
 import (
 	"fmt"
+	"time"
 
 	"blinkml/internal/compute"
+	"blinkml/internal/obs"
 )
 
 // Syrk returns the symmetric rank-k product A * Aᵀ (Rows x Rows),
@@ -16,6 +18,8 @@ import (
 // MatMulTransB(a, a) at any parallelism degree.
 func Syrk(a *Dense) *Dense {
 	n := a.Rows
+	// n(n+1)k multiply-adds over the upper triangle (k = a.Cols).
+	defer obs.ChargeKernel(time.Now(), int64(n)*int64(n+1)*int64(a.Cols))
 	c := NewDense(n, n)
 	ranges := compute.TriangleRanges(n)
 	compute.Run(len(ranges), func(t int) {
@@ -33,6 +37,7 @@ func Syrk(a *Dense) *Dense {
 // matches MatMulTransA(a, a) bit for bit) and then mirrored.
 func SyrkT(a *Dense) *Dense {
 	n := a.Cols
+	defer obs.ChargeKernel(time.Now(), int64(n)*int64(n+1)*int64(a.Rows))
 	c := NewDense(n, n)
 	ranges := compute.TriangleRanges(n)
 	compute.Run(len(ranges), func(t int) {

@@ -141,6 +141,9 @@ func doPost(ctx context.Context, client *http.Client, url string, body []byte) (
 		return 0, err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if trace := obs.TraceID(ctx); trace != "" {
+		req.Header.Set(obs.TraceHeader, trace)
+	}
 	resp, err := client.Do(req)
 	if err != nil {
 		return 0, err

@@ -164,6 +164,13 @@ type StepResult struct {
 	Hist *obs.Histogram `json:"-"`
 }
 
+// TraceID is the deterministic per-request trace identity: schedule seed
+// plus schedule index. Reproducible, so a recorded offender can be replayed
+// by rerunning the same step.
+func TraceID(seed int64, index int) string {
+	return fmt.Sprintf("load-%x-%06d", uint64(seed), index)
+}
+
 // RunStep drives one open-loop step against target and reports the
 // intended-start-based latency distribution.
 func RunStep(ctx context.Context, target Target, cfg StepConfig) (*StepResult, error) {
@@ -197,7 +204,11 @@ func RunStep(ctx context.Context, target Target, cfg StepConfig) (*StepResult, e
 				if d := intended.Sub(clock.Now()); d > 0 {
 					clock.Sleep(d)
 				}
-				status, err := target.Do(ctx)
+				// Each request carries a trace ID derived from its schedule
+				// index (stamped as X-Blinkml-Trace by the HTTP targets), so a
+				// slow request in a server-side flight-record bundle maps back
+				// to the exact point in the offered schedule that produced it.
+				status, err := target.Do(obs.WithTrace(ctx, TraceID(cfg.Seed, i)))
 				// Latency from the intended start: a late send (backlogged
 				// schedule) charges its queueing delay to the tail.
 				lat := clock.Now().Sub(intended)

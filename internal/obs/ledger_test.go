@@ -1,0 +1,216 @@
+package obs
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestLedgerChargesAndSnapshot(t *testing.T) {
+	l := NewLedger()
+	l.ChargeCPU(3 * time.Millisecond)
+	l.ChargeKernel(2*time.Millisecond, 1000)
+	l.ChargeKernel(time.Millisecond, 500)
+	l.ChargeMaterialize(10, 640)
+	l.ChargeBundle(true)
+	l.ChargeBundle(false)
+	l.ChargeBundle(false)
+	l.ChargeSteals(4)
+	l.ChargeQueueWait(5 * time.Millisecond)
+	l.ChargeRegistryIO(time.Millisecond)
+
+	s := l.Snapshot()
+	if s.CPUMs != 3 || s.KernelMs != 3 || s.KernelCalls != 2 || s.Flops != 1500 {
+		t.Fatalf("cpu/kernel fields: %+v", s)
+	}
+	if s.RowsMaterialized != 10 || s.BytesMaterialized != 640 {
+		t.Fatalf("materialize fields: %+v", s)
+	}
+	if s.BundleHits != 1 || s.BundleMisses != 2 || s.Steals != 4 {
+		t.Fatalf("bundle/steal fields: %+v", s)
+	}
+	if s.QueueWaitMs != 5 || s.RegistryIOMs != 1 {
+		t.Fatalf("wait fields: %+v", s)
+	}
+}
+
+func TestLedgerStageAttribution(t *testing.T) {
+	l := NewLedger()
+	restore := l.SetStage("statistics")
+	l.ChargeKernel(time.Millisecond, 100)
+	l.ChargeMaterialize(5, 320)
+	inner := l.SetStage("search")
+	l.ChargeKernel(time.Millisecond, 100)
+	inner() // back to "statistics"
+	l.ChargeMaterialize(2, 128)
+	restore()
+	// No stage set: charges land only in the totals.
+	l.ChargeKernel(time.Millisecond, 100)
+
+	s := l.Snapshot()
+	if len(s.Stages) != 2 {
+		t.Fatalf("stages = %+v, want 2", s.Stages)
+	}
+	// Sorted by name: search, statistics.
+	if s.Stages[0].Stage != "search" || s.Stages[0].KernelCalls != 1 {
+		t.Fatalf("search stage: %+v", s.Stages[0])
+	}
+	st := s.Stages[1]
+	if st.Stage != "statistics" || st.KernelCalls != 1 || st.RowsMaterialized != 7 {
+		t.Fatalf("statistics stage: %+v", st)
+	}
+	if s.KernelCalls != 3 || s.RowsMaterialized != 7 {
+		t.Fatalf("totals: %+v", s)
+	}
+}
+
+func TestLedgerMerge(t *testing.T) {
+	remote := NewLedger()
+	remote.SetStage("final")
+	remote.ChargeKernel(2*time.Millisecond, 700)
+	remote.ChargeMaterialize(3, 192)
+	remote.ChargeBundle(false)
+
+	local := NewLedger()
+	local.ChargeKernel(time.Millisecond, 300)
+	local.Merge(remote.Snapshot())
+
+	s := local.Snapshot()
+	if s.KernelCalls != 2 || s.Flops != 1000 {
+		t.Fatalf("merged kernels: %+v", s)
+	}
+	if s.RowsMaterialized != 3 || s.BytesMaterialized != 192 || s.BundleMisses != 1 {
+		t.Fatalf("merged materialize/bundle: %+v", s)
+	}
+	if len(s.Stages) != 1 || s.Stages[0].Stage != "final" || s.Stages[0].KernelCalls != 1 {
+		t.Fatalf("merged stages: %+v", s.Stages)
+	}
+}
+
+func TestLedgerNilSafe(t *testing.T) {
+	var l *Ledger
+	l.ChargeCPU(time.Millisecond)
+	l.ChargeKernel(time.Millisecond, 1)
+	l.ChargeMaterialize(1, 1)
+	l.ChargeBundle(true)
+	l.ChargeSteals(1)
+	l.ChargeQueueWait(time.Millisecond)
+	l.ChargeRegistryIO(time.Millisecond)
+	l.Merge(&LedgerSnapshot{KernelCalls: 1})
+	if l.Snapshot() != nil {
+		t.Fatal("nil ledger snapshot should be nil")
+	}
+	if got := LedgerFrom(context.Background()); got != nil {
+		t.Fatalf("LedgerFrom(empty) = %v", got)
+	}
+	if got := WithLedger(context.Background(), nil); got != context.Background() {
+		t.Fatal("WithLedger(nil) should return ctx unchanged")
+	}
+}
+
+func TestLedgerContextRoundTrip(t *testing.T) {
+	l := NewLedger()
+	ctx := WithLedger(context.Background(), l)
+	if LedgerFrom(ctx) != l {
+		t.Fatal("context round trip lost the ledger")
+	}
+}
+
+func TestBindLedgerNesting(t *testing.T) {
+	if BoundLedger() != nil {
+		t.Fatal("unexpected bound ledger at test start")
+	}
+	outer, inner := NewLedger(), NewLedger()
+	release1 := BindLedger(outer)
+	if BoundLedger() != outer {
+		t.Fatal("outer binding not visible")
+	}
+	release2 := BindLedger(inner)
+	if BoundLedger() != inner {
+		t.Fatal("inner binding not visible")
+	}
+	release2()
+	if BoundLedger() != outer {
+		t.Fatal("release did not restore the outer binding")
+	}
+	release1()
+	if BoundLedger() != nil {
+		t.Fatal("bindings leaked")
+	}
+}
+
+func TestBindLedgerPerGoroutine(t *testing.T) {
+	l := NewLedger()
+	release := BindLedger(l)
+	defer release()
+	// A plain `go` goroutine does not inherit the binding; it must bind
+	// explicitly (BindLedgerFromContext is the usual route).
+	var wg sync.WaitGroup
+	wg.Add(1)
+	var spawned *Ledger
+	go func() {
+		defer wg.Done()
+		spawned = BoundLedger()
+	}()
+	wg.Wait()
+	if spawned != nil {
+		t.Fatalf("spawned goroutine saw binding %v, want nil", spawned)
+	}
+}
+
+// TestPoolFrameOutermostOnly: nested frames (a parallel kernel inside a
+// parallel probe) charge busy time once, from the outermost frame only;
+// steals are charged from any depth.
+func TestPoolFrameOutermostOnly(t *testing.T) {
+	l := NewLedger()
+	release := BindLedger(l)
+	defer release()
+
+	outer := EnterPool()
+	time.Sleep(2 * time.Millisecond)
+	inner := EnterPool()
+	time.Sleep(2 * time.Millisecond)
+	inner.Exit(3)
+	if got := l.Snapshot(); got.CPUMs != 0 {
+		t.Fatalf("inner frame charged %v CPU ms, want 0", got.CPUMs)
+	}
+	outer.Exit(0)
+
+	s := l.Snapshot()
+	if s.CPUMs < 3 {
+		t.Fatalf("outer frame charged %v CPU ms, want >= ~4", s.CPUMs)
+	}
+	if s.Steals != 3 {
+		t.Fatalf("steals = %d, want 3", s.Steals)
+	}
+}
+
+func TestPoolFrameNoBinding(t *testing.T) {
+	f := EnterPool()
+	f.Exit(5) // must be a no-op, not a panic
+}
+
+// TestLedgerConcurrentCharges exercises the atomic counters and the stage
+// map under the race detector.
+func TestLedgerConcurrentCharges(t *testing.T) {
+	l := NewLedger()
+	restore := l.SetStage("stats")
+	defer restore()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				l.ChargeKernel(time.Microsecond, 10)
+				l.ChargeMaterialize(1, 64)
+			}
+		}()
+	}
+	wg.Wait()
+	s := l.Snapshot()
+	if s.KernelCalls != 1600 || s.Flops != 16000 || s.RowsMaterialized != 1600 {
+		t.Fatalf("concurrent totals: %+v", s)
+	}
+}

@@ -89,8 +89,20 @@ type HTTPMetrics struct {
 	slowMs atomicFloat // slow-request warning threshold; 0 disables
 	sloMs  atomicFloat // latency-attainment threshold for the SLO window
 	logger atomic.Pointer[slog.Logger]
-	now    func() time.Time // test seam
+	flight atomic.Pointer[FlightRecorder] // diagnostic dump target; nil = off
+	now    func() time.Time               // test seam
 }
+
+// SLO-breach trigger thresholds for the flight recorder: the window must
+// hold at least SLOBreachMinRequests before availability below
+// SLOBreachAvailability or latency attainment below SLOBreachAttainment
+// counts as a breach (otherwise a single failed request in an idle window
+// would dump a bundle).
+const (
+	SLOBreachMinRequests  = 20
+	SLOBreachAvailability = 0.99
+	SLOBreachAttainment   = 0.90
+)
 
 // DefaultSLOLatencyMs is the latency threshold the SLO attainment gauge
 // measures against unless configured otherwise: the repo's interactive
@@ -146,6 +158,16 @@ func (m *HTTPMetrics) SetSLOLatencyThreshold(ms float64) {
 // SLOLatencyThreshold reports the current attainment bound in ms.
 func (m *HTTPMetrics) SLOLatencyThreshold() float64 { return m.sloMs.Load() }
 
+// SetFlightRecorder arms diagnostic dumps: offending requests (errored,
+// slow, or SLO-violating) are fed into the recorder's ring, a slow-request
+// hit triggers a dump immediately, and an SLO-window breach (availability
+// or latency attainment below the breach thresholds with enough requests in
+// the window) triggers one too. The recorder rate-limits, so sustained
+// breaches still produce one bundle per interval.
+func (m *HTTPMetrics) SetFlightRecorder(f *FlightRecorder) {
+	m.flight.Store(f)
+}
+
 // Inflight reports the number of wrapped requests currently executing.
 func (m *HTTPMetrics) Inflight() int64 { return m.inflight.Load() }
 
@@ -195,9 +217,14 @@ func (m *HTTPMetrics) finish(route string, rm *RouteMetrics, r *http.Request, sw
 	}
 	rm.classes[class].Add(1)
 	rm.latency.Observe(ms)
+	now := m.now()
 	sloMs := m.sloMs.Load()
-	rm.slo.Record(m.now(), class == 5 || class == 0, sloMs > 0 && ms > sloMs)
+	isErr := class == 5 || class == 0
+	isSlow := sloMs > 0 && ms > sloMs
+	rm.slo.Record(now, isErr, isSlow)
+	slowHit := false
 	if t := m.slowMs.Load(); t > 0 && ms >= t {
+		slowHit = true
 		if logger := m.logger.Load(); logger != nil {
 			// The trace ID may arrive on the request (caller-supplied) or be
 			// minted at admission and echoed on the response header.
@@ -208,6 +235,38 @@ func (m *HTTPMetrics) finish(route string, rm *RouteMetrics, r *http.Request, sw
 			logger.Warn("slow request",
 				"route", route, "method", r.Method, "status", code,
 				"ms", ms, "threshold_ms", t, "trace", trace)
+		}
+	}
+	if fr := m.flight.Load(); fr != nil && (isErr || isSlow || slowHit) {
+		trace := r.Header.Get(TraceHeader)
+		if trace == "" {
+			trace = sw.Header().Get(TraceHeader)
+		}
+		errStr := ""
+		if isErr {
+			errStr = fmt.Sprintf("status %d", code)
+		}
+		fr.Record(FlightEntry{
+			Trace:      trace,
+			Kind:       "http:" + route,
+			Err:        errStr,
+			DurMs:      ms,
+			FinishedAt: now,
+		})
+		switch {
+		case slowHit:
+			fr.Trigger("slow-request", fmt.Sprintf("route=%s ms=%.1f trace=%s", route, ms, trace))
+		default:
+			// Only offending requests re-evaluate the window: a breach is by
+			// definition preceded by one, and the happy path stays lock-free.
+			if total, errors, slow := rm.slo.Snapshot(now); total >= SLOBreachMinRequests {
+				avail := float64(total-errors) / float64(total)
+				attain := float64(total-slow) / float64(total)
+				if avail < SLOBreachAvailability || attain < SLOBreachAttainment {
+					fr.Trigger("slo-breach", fmt.Sprintf(
+						"route=%s availability=%.4f attainment=%.4f window=%d", route, avail, attain, total))
+				}
+			}
 		}
 	}
 }

@@ -66,6 +66,7 @@ const (
 	recorderKey
 	loggerKey
 	jobKey
+	ledgerKey
 )
 
 // WithTrace returns ctx carrying the trace ID ("" leaves ctx unchanged).

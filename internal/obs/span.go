@@ -127,8 +127,14 @@ func StartSpan(ctx context.Context, name string) func() {
 	if r == nil {
 		return func() {}
 	}
+	// The context ledger (if any) attributes resource charges to the stage
+	// that is currently executing; the span boundary is that stage marker.
+	restoreStage := LedgerFrom(ctx).SetStage(name)
 	start := time.Now()
-	return func() { r.Record(name, start, time.Since(start)) }
+	return func() {
+		restoreStage()
+		r.Record(name, start, time.Since(start))
+	}
 }
 
 // Stage is the aggregate of all spans sharing a name: the per-stage

@@ -21,6 +21,9 @@
 //	GET    /v1/audit               per-family empirical (ε, δ) coverage rollup
 //	GET    /v1/audit/records       every calibration record joined with its replay
 //	POST   /v1/audit/replay        replay pending records now (body: {model_id?, max?})
+//	GET    /v1/debug/flightrecords list on-disk flight-record bundles
+//	GET    /v1/debug/flightrecords/{name}        one bundle's manifest
+//	GET    /v1/debug/flightrecords/{name}/{file} fetch a bundle file
 //	GET    /healthz                liveness + registry/store/queue snapshot
 //	GET    /metrics                Prometheus text exposition (counters + latency histograms)
 //	GET    /metrics.json           raw expvar JSON (the pre-Prometheus /metrics shape)
@@ -243,6 +246,12 @@ type JobStatus struct {
 	// model registered) and, once the auditor has replayed the job, the
 	// realized coverage sample. Set only on GET /v1/jobs/{id}.
 	Audit *audit.Entry `json:"audit,omitempty"`
+	// Resources is the job's resource-attribution ledger: CPU self-time,
+	// kernel flops, rows/bytes materialized, queue wait, registry I/O — live
+	// while the job runs, sealed when it finishes. In cluster mode the
+	// worker-side charges are merged in, so the coordinator's job record
+	// carries the whole cost.
+	Resources *obs.LedgerSnapshot `json:"resources,omitempty"`
 }
 
 // TraceReport is a finished job's span breakdown: per-stage aggregates in
@@ -407,6 +416,9 @@ type RunReport struct {
 	Model    ModelInfo       `json:"model"`
 	Phases   *PhaseBreakdown `json:"phases,omitempty"`
 	Full     *FullComparison `json:"full_comparison,omitempty"`
+	// Resources is the run's resource-attribution ledger (same shape the
+	// server reports on GET /v1/jobs/{id}).
+	Resources *obs.LedgerSnapshot `json:"resources,omitempty"`
 }
 
 // DatasetInfo describes the workload a CLI run trained on.

@@ -230,4 +230,9 @@ func TestClusterAuditReplayAndScoreboard(t *testing.T) {
 	if ws.P95LeaseToCompleteMs <= 0 {
 		t.Fatalf("scoreboard p95 lease-to-complete %v, want > 0", ws.P95LeaseToCompleteMs)
 	}
+	// Per-worker resource rollup from completed-task ledgers: the train task
+	// burned pool CPU on this worker.
+	if ws.CPUMs <= 0 {
+		t.Fatalf("scoreboard cpu_ms %v, want > 0 after a completed train", ws.CPUMs)
+	}
 }

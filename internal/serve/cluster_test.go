@@ -135,6 +135,26 @@ func TestClusterTrainAndTuneMatchLocal(t *testing.T) {
 		t.Fatalf("model metadata differs: local %+v cluster %+v", lm, cm)
 	}
 
+	// Resource-attribution parity: the coordinator does no training in
+	// cluster mode, so the worker-side ledger that rejoined the job record
+	// must match the local run's on every deterministic field. CPU-class
+	// fields (cpu_ms, kernel_ms, steals, queue wait) are wall-clock and
+	// excluded by design.
+	lr, cr := lst.Resources, cst.Resources
+	if lr == nil || cr == nil {
+		t.Fatalf("missing job resources: local=%+v cluster=%+v", lr, cr)
+	}
+	if lr.KernelCalls == 0 || lr.Flops == 0 {
+		t.Fatalf("local ledger empty: %+v", lr)
+	}
+	if lr.KernelCalls != cr.KernelCalls || lr.Flops != cr.Flops ||
+		lr.RowsMaterialized != cr.RowsMaterialized || lr.BytesMaterialized != cr.BytesMaterialized {
+		t.Fatalf("deterministic ledger fields differ local vs cluster:\n  local   %+v\n  cluster %+v", lr, cr)
+	}
+	if cr.CPUMs <= 0 {
+		t.Fatalf("worker-side CPU time did not rejoin the coordinator job: %+v", cr)
+	}
+
 	// Tune on both paths (a small random space, decomposed to per-trial
 	// remote tasks on the cluster side).
 	tb := TuneRequest{

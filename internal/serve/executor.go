@@ -67,6 +67,19 @@ func (s *Server) tuneConfig(req TuneRequest) tune.Config {
 	}
 }
 
+// observeJobLedger distributes a finishing job's ledger totals into the
+// per-family cost histograms (blinkml_job_cpu_ms / blinkml_job_alloc_bytes).
+// family comes from the model spec, so the label set stays bounded.
+func (s *Server) observeJobLedger(ctx context.Context, family string) {
+	l := obs.LedgerFrom(ctx)
+	if l == nil {
+		return
+	}
+	snap := l.Snapshot()
+	s.m.JobCPUFamily.With(family).Observe(snap.CPUMs)
+	s.m.JobAllocFamily.With(family).Observe(float64(snap.BytesMaterialized))
+}
+
 // finishTune registers the search winner and builds the job result (shared
 // executor tail). dim is the dataset's feature dimension; ref and opts
 // feed the winner's audit record so a replay can rebuild the search's
@@ -93,6 +106,7 @@ func (s *Server) finishTune(ctx context.Context, res *tune.Result, dim int, ref 
 	if err != nil {
 		return TaskResult{}, err
 	}
+	s.observeJobLedger(ctx, best.Spec.Name())
 	return TaskResult{
 		ModelID:     id,
 		Diagnostics: NewPhaseBreakdown(best.Diag),
@@ -131,6 +145,7 @@ func (e localExecutor) execTrain(ctx context.Context, req TrainRequest) (TaskRes
 	if err != nil {
 		return TaskResult{}, err
 	}
+	s.observeJobLedger(ctx, spec.Name())
 	return TaskResult{ModelID: id, Diagnostics: NewPhaseBreakdown(res.Diag)}, nil
 }
 
@@ -185,9 +200,11 @@ func (e *clusterExecutor) execTrain(ctx context.Context, req TrainRequest) (Task
 	if err != nil {
 		return TaskResult{}, err
 	}
-	// The worker recorded its own pipeline spans; rejoin them to this job's
-	// trace so the stage breakdown covers remote work too.
+	// The worker recorded its own pipeline spans and resource ledger; rejoin
+	// both to this job, so the stage breakdown and the cost record cover
+	// remote work too.
 	obs.RecorderFrom(ctx).Add(payload.Spans)
+	obs.LedgerFrom(ctx).Merge(payload.Ledger)
 	m, err := cluster.DecodeModel(payload.Model)
 	if err != nil {
 		return TaskResult{}, err
@@ -216,6 +233,7 @@ func (e *clusterExecutor) execTrain(ctx context.Context, req TrainRequest) (Task
 	if err != nil {
 		return TaskResult{}, err
 	}
+	s.observeJobLedger(ctx, m.Spec.Name())
 	return TaskResult{ModelID: mid, Diagnostics: NewPhaseBreakdown(res.Diag)}, nil
 }
 

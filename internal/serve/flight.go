@@ -1,0 +1,101 @@
+package serve
+
+import (
+	"errors"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"blinkml/internal/obs"
+)
+
+// Flight-recorder debug surface: list and fetch the diagnostic bundles the
+// recorder dumped on SLO breaches and slow requests. Disabled (404) unless
+// the server was started with Config.FlightDir.
+
+// FlightList is the body of GET /v1/debug/flightrecords.
+type FlightList struct {
+	// Dir is the on-disk bundle directory.
+	Dir string `json:"dir"`
+	// Dumps counts bundles written since the server started (rotation may
+	// have removed some from disk).
+	Dumps   int64            `json:"dumps"`
+	Bundles []obs.BundleInfo `json:"bundles"`
+}
+
+func (s *Server) flightEnabled(w http.ResponseWriter) bool {
+	if s.flight == nil {
+		writeError(w, http.StatusNotFound,
+			errors.New("serve: flight recorder disabled (start with -flight-dir)"))
+		return false
+	}
+	return true
+}
+
+func (s *Server) handleFlightList(w http.ResponseWriter, r *http.Request) {
+	if !s.flightEnabled(w) {
+		return
+	}
+	bundles, err := s.flight.Bundles()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, FlightList{
+		Dir:     s.flight.Dir(),
+		Dumps:   s.flight.Dumps(),
+		Bundles: bundles,
+	})
+}
+
+func (s *Server) handleFlightGet(w http.ResponseWriter, r *http.Request) {
+	if !s.flightEnabled(w) {
+		return
+	}
+	name := r.PathValue("name")
+	bundles, err := s.flight.Bundles()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	for _, b := range bundles {
+		if b.Name == name {
+			writeJSON(w, http.StatusOK, b)
+			return
+		}
+	}
+	writeError(w, http.StatusNotFound, errors.New("serve: no such flight-record bundle"))
+}
+
+func (s *Server) handleFlightFile(w http.ResponseWriter, r *http.Request) {
+	if !s.flightEnabled(w) {
+		return
+	}
+	b, err := s.flight.ReadBundleFile(r.PathValue("name"), r.PathValue("file"))
+	if err != nil {
+		status := http.StatusInternalServerError
+		if errors.Is(err, os.ErrNotExist) {
+			status = http.StatusNotFound
+		}
+		writeError(w, status, errors.New("serve: no such flight-record file"))
+		return
+	}
+	w.Header().Set("Content-Type", flightContentType(r.PathValue("file")))
+	w.Header().Set("Last-Modified", time.Now().UTC().Format(http.TimeFormat))
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(b)
+}
+
+// flightContentType picks a content type by bundle-file suffix: JSON bundle
+// members render inline, profiles download as binaries.
+func flightContentType(name string) string {
+	switch {
+	case strings.HasSuffix(name, ".json"):
+		return "application/json"
+	case strings.HasSuffix(name, ".txt"):
+		return "text/plain; charset=utf-8"
+	default:
+		return "application/octet-stream"
+	}
+}

@@ -51,6 +51,13 @@ type Metrics struct {
 	IngestLatency      *obs.Histogram // per-upload ingest latency (ms)
 	SampleRows         *expvar.Int    // rows materialized from the store
 	MaterializeLatency *obs.Histogram // per-sample materialization latency (ms)
+
+	// JobCPUFamily / JobAllocFamily distribute each finished job's ledger
+	// totals (pool CPU milliseconds; data-plane bytes materialized) per model
+	// family — the same bounded label set as TrainLatencyFamily, rendered as
+	// blinkml_job_cpu_ms / blinkml_job_alloc_bytes on /metrics.
+	JobCPUFamily   *obs.HistogramVec
+	JobAllocFamily *obs.HistogramVec
 }
 
 var (
@@ -105,6 +112,10 @@ func sharedMetrics() *Metrics {
 		m.Set("train_latency_family_ms", metrics.TrainLatencyFamily)
 		metrics.PredictLatencyFamily = obs.NewHistogramVec()
 		m.Set("predict_latency_family_ms", metrics.PredictLatencyFamily)
+		metrics.JobCPUFamily = obs.NewHistogramVec()
+		m.Set("job_cpu_ms", metrics.JobCPUFamily)
+		metrics.JobAllocFamily = obs.NewHistogramVec()
+		m.Set("job_alloc_bytes", metrics.JobAllocFamily)
 	})
 	return metrics
 }

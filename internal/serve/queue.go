@@ -80,9 +80,14 @@ type Job struct {
 	result       TaskResult
 	spans        []obs.Span
 	droppedSpans int
+	resources    *obs.LedgerSnapshot
 	enqueuedAt   time.Time
 	startedAt    time.Time
 	finishedAt   time.Time
+
+	// ledger is the live resource ledger while the job runs (set by runJob;
+	// read by the flight recorder's live-ledger dump callback).
+	ledger *obs.Ledger
 }
 
 // Trace returns the job's trace ID.
@@ -101,9 +106,13 @@ func (j *Job) Status() JobStatus {
 		Error:       j.errMsg,
 		Diagnostics: j.result.Diagnostics,
 		Tune:        j.result.Tune,
+		Resources:   j.resources,
 		EnqueuedAt:  j.enqueuedAt,
 		StartedAt:   j.startedAt,
 		FinishedAt:  j.finishedAt,
+	}
+	if st.Resources == nil && j.ledger != nil {
+		st.Resources = j.ledger.Snapshot() // job still running: report live costs
 	}
 	if len(j.spans) > 0 {
 		st.Trace = &TraceReport{
@@ -138,6 +147,21 @@ func (j *Job) setSpans(spans []obs.Span, dropped int) {
 	j.mu.Unlock()
 }
 
+// setLedger publishes the job's live ledger while it runs.
+func (j *Job) setLedger(l *obs.Ledger) {
+	j.mu.Lock()
+	j.ledger = l
+	j.mu.Unlock()
+}
+
+// sealLedger stores the final ledger snapshot and drops the live ledger.
+func (j *Job) sealLedger(s *obs.LedgerSnapshot) {
+	j.mu.Lock()
+	j.resources = s
+	j.ledger = nil
+	j.mu.Unlock()
+}
+
 // finish records a terminal state. The task is dropped so a finished job
 // does not pin its (possibly inline, possibly huge) dataset in memory for
 // the rest of the process lifetime.
@@ -164,6 +188,9 @@ type Queue struct {
 	// SpanSink, when set before any Enqueue, receives every finished job's
 	// spans (the -span-log JSONL export hook). Called from worker goroutines.
 	SpanSink func([]obs.Span)
+	// Flight, when set before any Enqueue, receives every finished job as a
+	// flight-recorder ring entry (span tree + ledger snapshot).
+	Flight *obs.FlightRecorder
 	// Log receives job lifecycle events and becomes the request-scoped
 	// logger for job work; nil discards (tests, embedded queues).
 	Log *slog.Logger
@@ -397,6 +424,14 @@ func (q *Queue) runJob(job *Job) {
 	rec := obs.NewRecorder(job.trace)
 	ctx := obs.WithRecorder(obs.WithTrace(job.ctx, job.trace), rec)
 	ctx = obs.WithJobID(ctx, job.ID)
+	// The job's resource ledger: carried in ctx (explicit charge sites,
+	// audit, cluster merge) and bound to this worker goroutine so the
+	// compute pool, linalg kernels, and the store charge it too.
+	ledger := obs.NewLedger()
+	ledger.ChargeQueueWait(time.Since(job.enqueuedAt))
+	job.setLedger(ledger)
+	ctx = obs.WithLedger(ctx, ledger)
+	unbind := obs.BindLedger(ledger)
 	logger := q.Log
 	if logger == nil {
 		logger = obs.Discard() // embedded/test queues stay quiet unless wired
@@ -406,8 +441,10 @@ func (q *Queue) runJob(job *Job) {
 	log.Info("job started")
 	start := time.Now()
 	result, err := job.task.Run(ctx)
+	unbind()
 	q.m.JobsRunning.Add(-1)
 	job.setSpans(rec.Spans(), rec.Dropped())
+	job.sealLedger(ledger.Snapshot())
 	switch {
 	case err == nil:
 		job.finish(JobSucceeded, "", result)
@@ -427,4 +464,38 @@ func (q *Queue) runJob(job *Job) {
 	if q.SpanSink != nil {
 		q.SpanSink(rec.Spans())
 	}
+	if q.Flight != nil {
+		st := job.Status()
+		q.Flight.Record(obs.FlightEntry{
+			Trace:      job.trace,
+			JobID:      job.ID,
+			Kind:       "job:" + job.kind,
+			Err:        st.Error,
+			DurMs:      float64(time.Since(start)) / float64(time.Millisecond),
+			FinishedAt: time.Now(),
+			Spans:      rec.Spans(),
+			Ledger:     st.Resources,
+		})
+	}
+}
+
+// LiveLedgers snapshots the ledgers of currently running jobs — the flight
+// recorder's view of in-flight cost at dump time.
+func (q *Queue) LiveLedgers() map[string]*obs.LedgerSnapshot {
+	q.mu.Lock()
+	jobs := make([]*Job, 0, len(q.jobs))
+	for _, job := range q.jobs {
+		jobs = append(jobs, job)
+	}
+	q.mu.Unlock()
+	out := make(map[string]*obs.LedgerSnapshot)
+	for _, job := range jobs {
+		job.mu.Lock()
+		l := job.ledger
+		job.mu.Unlock()
+		if l != nil {
+			out[job.ID] = l.Snapshot()
+		}
+	}
+	return out
 }

@@ -89,6 +89,22 @@ type Config struct {
 	// attainment gauge (blinkml_http_slo_latency_attainment) measures
 	// against (default 250 ms).
 	SLOLatencyMs float64
+	// FlightDir, when non-empty, enables the flight recorder: a bounded
+	// in-memory ring of recent completed requests/jobs (span trees + ledgers)
+	// that, on an SLO-window breach or a slow-request hit, dumps a diagnostic
+	// bundle — ring contents, goroutine dump, CPU + heap profiles, live job
+	// ledgers — into a rotated subdirectory of FlightDir. Bundles are listed
+	// and fetched via GET /v1/debug/flightrecords.
+	FlightDir string
+	// FlightRingSize bounds the recorder's entry ring (default 64).
+	FlightRingSize int
+	// FlightMinInterval rate-limits bundle dumps (default 30s).
+	FlightMinInterval time.Duration
+	// FlightMaxBundles caps on-disk bundles; older ones rotate out (default 8).
+	FlightMaxBundles int
+	// FlightCPUProfile is the CPU-profile window captured into each bundle
+	// (default 5s; negative disables the CPU profile).
+	FlightCPUProfile time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -132,6 +148,7 @@ type Server struct {
 	spanLog *obs.SpanLog // open -span-log sink, closed by Close
 	audit   *audit.Log
 	auditor *audit.Auditor
+	flight  *obs.FlightRecorder // non-nil when Config.FlightDir is set
 	started time.Time
 }
 
@@ -178,6 +195,24 @@ func New(cfg Config) (*Server, error) {
 	s.refreshStoreGauges()
 	s.queue = NewQueue(cfg.Workers, cfg.QueueDepth, s.m)
 	s.queue.Log = cfg.Logger // nil keeps job logs silent
+	if cfg.FlightDir != "" {
+		fr, err := obs.NewFlightRecorder(obs.FlightConfig{
+			Dir:         cfg.FlightDir,
+			RingSize:    cfg.FlightRingSize,
+			MinInterval: cfg.FlightMinInterval,
+			MaxBundles:  cfg.FlightMaxBundles,
+			CPUProfile:  cfg.FlightCPUProfile,
+			Ledgers:     s.queue.LiveLedgers,
+			Logger:      log,
+		})
+		if err != nil {
+			s.queue.Close()
+			return nil, err
+		}
+		s.flight = fr
+		s.queue.Flight = fr
+		hm.SetFlightRecorder(fr)
+	}
 	if cfg.SpanLog != "" {
 		sl, err := obs.OpenSpanLog(cfg.SpanLog, cfg.SpanLogMaxBytes)
 		if err != nil {
@@ -245,6 +280,11 @@ func (s *Server) Coordinator() *cluster.Coordinator { return s.coord }
 // In cluster mode the coordinator is closed first, so jobs blocked on
 // remote tasks fail fast instead of waiting out their contexts.
 func (s *Server) Close() {
+	if s.flight != nil {
+		// The shared HTTP plane outlives this server; disarm it so requests
+		// against a later server cannot dump into this one's directory.
+		obs.SharedHTTP().SetFlightRecorder(nil)
+	}
 	if s.auditor != nil {
 		s.auditor.Close()
 	}
@@ -283,6 +323,9 @@ func (s *Server) routes() {
 	handle("GET /v1/audit", http.HandlerFunc(s.handleAuditSummary))
 	handle("GET /v1/audit/records", http.HandlerFunc(s.handleAuditRecords))
 	handle("POST /v1/audit/replay", http.HandlerFunc(s.handleAuditReplay))
+	handle("GET /v1/debug/flightrecords", http.HandlerFunc(s.handleFlightList))
+	handle("GET /v1/debug/flightrecords/{name}", http.HandlerFunc(s.handleFlightGet))
+	handle("GET /v1/debug/flightrecords/{name}/{file}", http.HandlerFunc(s.handleFlightFile))
 	handle("GET /healthz", http.HandlerFunc(s.handleHealthz))
 	handle("GET /metrics", obs.MetricsHandler())
 	handle("GET /metrics.json", expvar.Handler())
@@ -333,6 +376,7 @@ func (t tuneTask) Run(ctx context.Context) (TaskResult, error) {
 // log. kind is "train" or "tune"; ref and opts are what a later replay
 // needs to rebuild the identical training environment.
 func (s *Server) registerModel(ctx context.Context, kind string, spec models.Spec, theta []float64, dim int, ref DatasetRef, opts core.Options, res *core.Result) (string, error) {
+	regStart := time.Now()
 	id, err := s.reg.Put(&modelio.Model{
 		Spec:             spec,
 		Theta:            theta,
@@ -344,6 +388,7 @@ func (s *Server) registerModel(ctx context.Context, kind string, spec models.Spe
 		Diag:             res.Diag,
 		CreatedAt:        time.Now().UTC(),
 	})
+	obs.LedgerFrom(ctx).ChargeRegistryIO(time.Since(regStart))
 	if err != nil {
 		return "", err
 	}
@@ -393,6 +438,9 @@ func (s *Server) recordAudit(ctx context.Context, kind, id string, spec models.S
 		UsedInitialModel: res.UsedInitialModel,
 		Options:          audit.FromCore(o),
 		CreatedAt:        time.Now().UTC(),
+		// Snapshot at registration time: training is done; only the registry
+		// I/O tail is still accruing.
+		Resources: obs.LedgerFrom(ctx).Snapshot(),
 	}
 	if err := s.audit.Append(rec); err != nil {
 		s.log.Warn("audit record append failed", "model", id, "err", err)

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"blinkml/internal/dataset"
+	"blinkml/internal/obs"
 )
 
 // Handle is an open stored dataset: the manifest plus the two data files,
@@ -161,10 +162,17 @@ func (h *Handle) Materialize(idx []int) (*dataset.Dataset, error) {
 	}
 	sort.Slice(order, func(a, b int) bool { return idx[order[a]] < idx[order[b]] })
 
+	// matBytes is the decoded in-memory footprint of the materialized rows,
+	// derived purely from shapes (CSR: 12 bytes per stored entry + the
+	// indptr array; dense: dim float64s per row) so the ledger's
+	// bytes_materialized field is deterministic at a fixed seed.
+	var matBytes int64
 	if h.man.Sparse && h.man.Density() <= dataset.DefaultDenseThreshold {
-		if err := h.materializeCSR(idx, order, ds); err != nil {
+		nnz, err := h.materializeCSR(idx, order, ds)
+		if err != nil {
 			return nil, err
 		}
+		matBytes = nnz*12 + int64(len(idx)+1)*8
 	} else {
 		ds.X = make([]dataset.Row, len(idx))
 		for _, pos := range order {
@@ -177,8 +185,15 @@ func (h *Handle) Materialize(idx []int) (*dataset.Dataset, error) {
 				ds.Y[pos] = label
 			}
 		}
+		matBytes = int64(len(idx)) * int64(h.man.Dim) * 8
+	}
+	if ds.Y != nil {
+		matBytes += int64(len(idx)) * 8
 	}
 	h.rowsRead.Add(int64(len(idx)))
+	// Charge the owning job's ledger, if the calling goroutine is doing
+	// attributed work (training); unattributed readers (CLI export) skip.
+	obs.BoundLedger().ChargeMaterialize(len(idx), matBytes)
 	d := time.Since(start)
 	h.matNanos.Add(int64(d))
 	if h.obs != nil {
@@ -217,20 +232,20 @@ func (h *Handle) rowMaybeDense(i int) (dataset.Row, float64, error) {
 // decodes straight into its slot — no per-row slice allocations, and the
 // sample's stored entries end up cache-adjacent for the full-sample passes
 // (gradients, Fisher statistics) that dominate training.
-func (h *Handle) materializeCSR(idx, order []int, ds *dataset.Dataset) error {
+func (h *Handle) materializeCSR(idx, order []int, ds *dataset.Dataset) (int64, error) {
 	spans := make([][2]int64, len(idx))
 	c := &dataset.CSR{Dim: h.man.Dim, Indptr: make([]int64, len(idx)+1)}
 	for pos, i := range idx {
 		off, end, err := h.span(i)
 		if err != nil {
-			return err
+			return 0, err
 		}
 		if end < off || end > h.man.RowBytes {
-			return fmt.Errorf("store: %s: corrupt index entry %d (span %d..%d)", h.ID, i, off, end)
+			return 0, fmt.Errorf("store: %s: corrupt index entry %d (span %d..%d)", h.ID, i, off, end)
 		}
 		nnz, err := sparseRecNNZ(end - off)
 		if err != nil {
-			return fmt.Errorf("store: %s: row %d: %w", h.ID, i, err)
+			return 0, fmt.Errorf("store: %s: row %d: %w", h.ID, i, err)
 		}
 		spans[pos] = [2]int64{off, end}
 		c.Indptr[pos+1] = int64(nnz) // lengths now, offsets after the prefix sum
@@ -249,19 +264,19 @@ func (h *Handle) materializeCSR(idx, order []int, ds *dataset.Dataset) error {
 		}
 		rec = rec[:end-off]
 		if _, err := h.rows.ReadAt(rec, off); err != nil {
-			return fmt.Errorf("store: %s: read row %d: %w", h.ID, idx[pos], err)
+			return 0, fmt.Errorf("store: %s: read row %d: %w", h.ID, idx[pos], err)
 		}
 		lo, hi := c.Indptr[pos], c.Indptr[pos+1]
 		label, err := decodeSparseInto(rec, h.man.Dim, c.Idx[lo:hi], c.Val[lo:hi])
 		if err != nil {
-			return fmt.Errorf("store: %s: row %d: %w", h.ID, idx[pos], err)
+			return 0, fmt.Errorf("store: %s: row %d: %w", h.ID, idx[pos], err)
 		}
 		if ds.Y != nil {
 			ds.Y[pos] = label
 		}
 	}
 	ds.X = c.Rows()
-	return nil
+	return total, nil
 }
 
 // Scan streams every row in storage order through fn with one sequential

@@ -13,6 +13,7 @@ import (
 	"blinkml/internal/core"
 	"blinkml/internal/dataset"
 	"blinkml/internal/models"
+	"blinkml/internal/obs"
 )
 
 // Config sizes a search. Train carries the per-candidate BlinkML options —
@@ -441,6 +442,9 @@ func forEach(ctx context.Context, workers, n int, fn func(i int)) error {
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
+			// Plain `go` does not inherit the job's goroutine-bound resource
+			// ledger, so trial work re-binds it from the context here.
+			defer obs.BindLedgerFromContext(ctx)()
 			for i := range idx {
 				fn(i)
 			}
